@@ -1,0 +1,111 @@
+// Ablation A3 — the "large graph memory footprint" choke point (§2.1).
+//
+// "there is a drive for new and compact graph storage and compression and
+// summarization algorithms that allow to store more data in less RAM."
+//
+// google-benchmark microbenches over the column store: encode/scan
+// throughput and compression ratio for each block encoding, on data shaped
+// like the edge table's columns (sorted `from`, clustered `to`, constant
+// runs).
+
+#include <benchmark/benchmark.h>
+
+#include "columnstore/column.h"
+#include "common/random.h"
+
+namespace {
+
+using gly::Rng;
+using gly::columnstore::Column;
+
+std::vector<uint32_t> SortedData(size_t n) {
+  Rng rng(1);
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  uint32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<uint32_t>(rng.NextBounded(4));
+    values.push_back(acc);
+  }
+  return values;
+}
+
+std::vector<uint32_t> ClusteredData(size_t n) {
+  Rng rng(2);
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t base = static_cast<uint32_t>((i / 2048) * 50000);
+    values.push_back(base + static_cast<uint32_t>(rng.NextBounded(4096)));
+  }
+  return values;
+}
+
+std::vector<uint32_t> RandomData(size_t n) {
+  Rng rng(3);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Next());
+  return values;
+}
+
+std::vector<uint32_t> ConstantData(size_t n) {
+  return std::vector<uint32_t>(n, 7);
+}
+
+template <std::vector<uint32_t> (*MakeData)(size_t)>
+void BM_ColumnEncode(benchmark::State& state) {
+  auto values = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Column col = Column::Encode(values);
+    benchmark::DoNotOptimize(col.compressed_bytes());
+  }
+  Column col = Column::Encode(values);
+  state.counters["ratio%"] =
+      100.0 * static_cast<double>(col.compressed_bytes()) /
+      static_cast<double>(col.raw_bytes());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+
+template <std::vector<uint32_t> (*MakeData)(size_t)>
+void BM_ColumnScan(benchmark::State& state) {
+  auto values = MakeData(static_cast<size_t>(state.range(0)));
+  Column col = Column::Encode(values);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    col.ReadRange(0, col.size(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+  state.counters["ratio%"] =
+      100.0 * static_cast<double>(col.compressed_bytes()) /
+      static_cast<double>(col.raw_bytes());
+}
+
+void BM_RawVectorScan(benchmark::State& state) {
+  auto values = RandomData(static_cast<size_t>(state.range(0)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.assign(values.begin(), values.end());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+
+constexpr int64_t kN = 1 << 20;
+
+BENCHMARK(BM_ColumnEncode<SortedData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnEncode<ClusteredData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnEncode<RandomData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnEncode<ConstantData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnScan<SortedData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnScan<ClusteredData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnScan<RandomData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnScan<ConstantData>)->Arg(kN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RawVectorScan)->Arg(kN)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

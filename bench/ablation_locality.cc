@@ -1,0 +1,128 @@
+// Ablation A4 — the "poor access locality" choke point (§2.1).
+//
+// "Modern computers are known not to perform well on intensive
+// random-access workloads ... we foresee a tendency to optimize graph
+// processing methods by ... making them more local."
+//
+// google-benchmark: BFS over the same R-MAT graph under three vertex
+// labelings — generator order (random permutation), BFS relabeling
+// (traversal locality), and degree-sorted relabeling (hub locality, the
+// social-layout idea the paper cites [18]). Same algorithm, same graph,
+// different memory layouts: runtime differences are pure locality.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "datagen/rmat.h"
+#include "graph/graph.h"
+#include "ref/algorithms.h"
+
+namespace {
+
+using namespace gly;
+
+Graph BaseGraph() {
+  datagen::RmatConfig config;
+  config.scale = 16;
+  config.edge_factor = 12;
+  config.seed = 4;
+  auto edges = datagen::RmatGenerator(config).Generate(nullptr);
+  edges.status().Check();
+  return GraphBuilder::Undirected(*edges).ValueOrDie();
+}
+
+// Relabels the graph with `label[v]` as the new id of v.
+Graph Relabel(const Graph& graph, const std::vector<VertexId>& label) {
+  EdgeList edges(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (w >= v) edges.Add(label[v], label[w]);
+    }
+  }
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+std::vector<VertexId> BfsOrderLabels(const Graph& graph) {
+  std::vector<VertexId> label(graph.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId seed = 0; seed < graph.num_vertices(); ++seed) {
+    if (label[seed] != kInvalidVertex) continue;
+    std::deque<VertexId> queue{seed};
+    label[seed] = next++;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (label[w] == kInvalidVertex) {
+          label[w] = next++;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<VertexId> DegreeOrderLabels(const Graph& graph) {
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    return graph.Degree(a) != graph.Degree(b)
+               ? graph.Degree(a) > graph.Degree(b)
+               : a < b;
+  });
+  std::vector<VertexId> label(graph.num_vertices());
+  for (VertexId i = 0; i < graph.num_vertices(); ++i) label[order[i]] = i;
+  return label;
+}
+
+const Graph& GeneratorOrderGraph() {
+  static const Graph g = BaseGraph();
+  return g;
+}
+const Graph& BfsOrderGraph() {
+  static const Graph g = Relabel(GeneratorOrderGraph(),
+                                 BfsOrderLabels(GeneratorOrderGraph()));
+  return g;
+}
+const Graph& DegreeOrderGraph() {
+  static const Graph g = Relabel(GeneratorOrderGraph(),
+                                 DegreeOrderLabels(GeneratorOrderGraph()));
+  return g;
+}
+
+void RunBfsBench(benchmark::State& state, const Graph& graph) {
+  // Start from the max-degree vertex so every layout traverses the same
+  // giant component (vertex ids differ across relabelings).
+  VertexId source = 0;
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    if (graph.Degree(v) > graph.Degree(source)) source = v;
+  }
+  for (auto _ : state) {
+    auto out = ref::Bfs(graph, BfsParams{source});
+    benchmark::DoNotOptimize(out.vertex_values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_adjacency_entries()));
+}
+
+void BM_BfsGeneratorOrder(benchmark::State& state) {
+  RunBfsBench(state, GeneratorOrderGraph());
+}
+void BM_BfsBfsOrder(benchmark::State& state) {
+  RunBfsBench(state, BfsOrderGraph());
+}
+void BM_BfsDegreeOrder(benchmark::State& state) {
+  RunBfsBench(state, DegreeOrderGraph());
+}
+
+BENCHMARK(BM_BfsGeneratorOrder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BfsBfsOrder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BfsDegreeOrder)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

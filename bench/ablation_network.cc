@@ -1,0 +1,58 @@
+// Ablation A2 — the "excessive network utilization" choke point (§2.1).
+//
+// "if the communication needs of all nodes and their CPU exceed the
+// available network capacity, the system becomes network bound and ceases
+// to scale. As such, graph workloads call for methods that may reduce the
+// network communication" — e.g. combiners.
+//
+// Experiment: Pregel BFS with and without the min message combiner, with a
+// simulated network. Reported: messages, cross-worker bytes, and runtime
+// under increasingly constrained bandwidth — the combiner's advantage
+// grows as the network tightens.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "pregel/algorithms.h"
+
+int main() {
+  using namespace gly;
+  bench::Banner("Ablation A2", "Excessive network utilization",
+                "combiners cut cross-worker traffic; benefit grows as "
+                "bandwidth shrinks");
+
+  Graph g500 = bench::MakeGraph500(13, 16);
+  std::printf("graph: g500-13 (%u vertices, %llu edges)\n\n",
+              g500.num_vertices(),
+              static_cast<unsigned long long>(g500.num_edges()));
+
+  std::printf("%14s | %12s %14s %10s | %12s %14s %10s | %7s\n",
+              "bandwidth", "msgs(comb)", "bytes(comb)", "time",
+              "msgs(none)", "bytes(none)", "time", "speedup");
+  std::printf("%s\n", std::string(110, '-').c_str());
+  for (double mib_per_s : {0.0, 512.0, 128.0, 32.0}) {
+    pregel::EngineConfig config;
+    config.num_workers = 8;
+    config.network_mib_per_s = mib_per_s;
+    pregel::Engine engine(config);
+    pregel::RunStats with;
+    pregel::RunStats without;
+    auto a = pregel::RunBfs(engine, g500, BfsParams{0}, &with);
+    a.status().Check();
+    auto b = pregel::RunBfsNoCombiner(engine, g500, BfsParams{0}, &without);
+    b.status().Check();
+    std::printf("%11.0f MiB | %12llu %14llu %9.2fs | %12llu %14llu %9.2fs | "
+                "%6.2fx\n",
+                mib_per_s,
+                static_cast<unsigned long long>(with.total_messages),
+                static_cast<unsigned long long>(with.total_cross_worker_bytes),
+                with.total_seconds,
+                static_cast<unsigned long long>(without.total_messages),
+                static_cast<unsigned long long>(
+                    without.total_cross_worker_bytes),
+                without.total_seconds,
+                without.total_seconds / with.total_seconds);
+  }
+  std::printf("\n(bandwidth 0 = unconstrained network)\n");
+  return 0;
+}

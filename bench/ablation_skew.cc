@@ -1,0 +1,90 @@
+// Ablation A1 — the "skewed execution intensity" choke point (§2.1).
+//
+// "iterative algorithms often have a varying workload in the diverse
+// iterations ... those that compute a converging metric in the later
+// iterations typically perform less work ... the network latency and
+// synchronization very easily becomes dominant over CPU cost."
+//
+// Experiment 1: CONN per-superstep trace on a social graph — active
+// vertices and messages collapse over supersteps while the per-superstep
+// barrier cost stays constant, so late supersteps are pure overhead.
+//
+// Experiment 2: worker imbalance under hash vs degree-aware partitioning
+// on a skewed (R-MAT) graph — the mitigation the paper suggests
+// ("adaptive graph re-partitioning ... to achieve better work balance").
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "graph/partition.h"
+#include "pregel/algorithms.h"
+
+int main() {
+  using namespace gly;
+  bench::Banner("Ablation A1", "Skewed execution intensity",
+                "converging iterations do little work; skew hurts barriers");
+
+  // Experiment 1: converging-tail trace.
+  Graph snb = bench::MakeSnbStandin(30000);
+  pregel::EngineConfig config;
+  config.num_workers = 8;
+  config.barrier_latency_s = 0.002;  // fixed per-superstep sync cost
+  pregel::RunStats stats;
+  auto out = pregel::RunConn(pregel::Engine(config), snb, &stats);
+  out.status().Check();
+  std::printf("\nCONN on snb stand-in: per-superstep trace\n");
+  std::printf("%5s %12s %12s %10s %10s %10s\n", "step", "active", "messages",
+              "compute(s)", "barrier(s)", "imbalance");
+  for (const auto& ss : stats.per_superstep) {
+    std::printf("%5u %12llu %12llu %10.4f %10.4f %10.2f\n", ss.superstep,
+                static_cast<unsigned long long>(ss.active_vertices),
+                static_cast<unsigned long long>(ss.messages_sent),
+                ss.compute_seconds, ss.network_seconds, ss.worker_imbalance);
+  }
+  const auto& first = stats.per_superstep[1];
+  const auto& last = stats.per_superstep.back();
+  std::printf("\nwork collapse: active %llu -> %llu; barrier cost is "
+              "constant, so the tail is synchronization-dominated "
+              "(the choke point).\n",
+              static_cast<unsigned long long>(first.active_vertices),
+              static_cast<unsigned long long>(last.active_vertices));
+
+  // Experiment 2: partitioning vs load imbalance on a skewed graph —
+  // static cut/imbalance metrics plus a live engine run under each policy
+  // (the paper's suggested mitigation: "adaptive graph re-partitioning ...
+  // to achieve better work balance").
+  Graph g500 = bench::MakeGraph500(13, 16);
+  for (uint32_t workers : {4u, 8u, 16u}) {
+    HashPartitioner hash(workers);
+    BalancedEdgePartitioner balanced(g500, workers);
+    std::printf("workers=%2u  hash imbalance=%.2f cut=%.2f | "
+                "degree-aware imbalance=%.2f cut=%.2f\n",
+                workers, LoadImbalance(g500, hash), EdgeCutRatio(g500, hash),
+                LoadImbalance(g500, balanced),
+                EdgeCutRatio(g500, balanced));
+  }
+  std::printf("\nlive CONN runs under each policy (8 workers):\n");
+  for (auto policy : {pregel::PartitioningPolicy::kHash,
+                      pregel::PartitioningPolicy::kBalanced}) {
+    pregel::EngineConfig run_config;
+    run_config.num_workers = 8;
+    run_config.partitioning = policy;
+    pregel::RunStats run_stats;
+    auto run = pregel::RunConn(pregel::Engine(run_config), g500, &run_stats);
+    run.status().Check();
+    double max_imbalance = 1.0;
+    for (const auto& ss : run_stats.per_superstep) {
+      max_imbalance = std::max(max_imbalance, ss.worker_imbalance);
+    }
+    std::printf("  %-13s time=%.3fs supersteps=%u peak worker "
+                "imbalance=%.2f\n",
+                policy == pregel::PartitioningPolicy::kHash ? "hash"
+                                                            : "degree-aware",
+                run_stats.total_seconds, run_stats.supersteps, max_imbalance);
+  }
+  std::printf("\nexpected: degree-aware partitioning reduces imbalance "
+              "toward 1.0 on the skewed R-MAT graph.\n");
+  return 0;
+}

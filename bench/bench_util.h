@@ -1,0 +1,79 @@
+// Shared helpers for the experiment benches: dataset construction (the
+// three Figure 4/5 graphs at reproducible reduced scale) and banner output.
+//
+// Scale note: the paper's testbed is an 11-machine cluster processing
+// Graph500 scale-23 (~134M edges); these benches run on one box, so every
+// dataset is scaled down (see EXPERIMENTS.md). The *shapes* of the results
+// — orderings, gaps, crossovers — are what the reproduction checks.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "datagen/rmat.h"
+#include "datagen/social_datagen.h"
+#include "graph/graph.h"
+
+namespace gly::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& id, const std::string& title,
+                   const std::string& paper_summary) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_summary.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Graph500-style R-MAT graph at the given (reduced) scale, undirected.
+inline Graph MakeGraph500(uint32_t scale, uint32_t edge_factor = 16,
+                          uint64_t seed = 1) {
+  datagen::RmatConfig config;
+  config.scale = scale;
+  config.edge_factor = edge_factor;
+  config.seed = seed;
+  auto edges = datagen::RmatGenerator(config).Generate(nullptr);
+  edges.status().Check();
+  return GraphBuilder::Undirected(*edges).ValueOrDie();
+}
+
+/// Patents-like stand-in: citation-network flavour — edges are almost
+/// exclusively "temporal locality" links (patents cite recent patents), so
+/// the graph has a large effective diameter, which is what makes iterative
+/// platforms grind on it (Figure 5's low Patents TEPS).
+inline Graph MakePatentsStandin(uint64_t num_persons, uint64_t seed = 2) {
+  datagen::SocialDatagenConfig config;
+  config.num_persons = num_persons;
+  config.degree_spec = "weibull:shape=1.1,scale=8";
+  config.window_size = 64;
+  config.university_fraction = 0.999;  // near-pure locality
+  config.interest_fraction = 0.0;
+  config.random_fraction = 0.001;
+  config.seed = seed;
+  auto result = datagen::SocialDatagen(config).Generate(nullptr);
+  result.status().Check();
+  return GraphBuilder::Undirected(result->edges).ValueOrDie();
+}
+
+/// SNB-like stand-in: the Datagen person-knows-person graph — Facebook-like
+/// degrees plus abundant long-range friendships, giving the tiny effective
+/// diameter of a social network (few BSP supersteps; Figure 5's high SNB
+/// TEPS).
+inline Graph MakeSnbStandin(uint64_t num_persons, uint64_t seed = 3) {
+  datagen::SocialDatagenConfig config;
+  config.num_persons = num_persons;
+  config.degree_spec = "facebook:mean=18";
+  config.window_size = 192;
+  config.university_fraction = 0.40;
+  config.interest_fraction = 0.30;
+  config.random_fraction = 0.30;
+  config.seed = seed;
+  auto result = datagen::SocialDatagen(config).Generate(nullptr);
+  result.status().Check();
+  return GraphBuilder::Undirected(result->edges).ValueOrDie();
+}
+
+}  // namespace gly::bench

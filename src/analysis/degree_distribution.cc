@@ -1,0 +1,278 @@
+#include "analysis/degree_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gly {
+
+double DegreeModel::LogLikelihood(const Histogram& observed) const {
+  double ll = 0.0;
+  for (const auto& [k, count] : observed.Items()) {
+    if (k == 0) continue;  // models condition on degree >= 1
+    double p = Pmf(k);
+    if (p <= 0.0) p = 1e-300;
+    ll += static_cast<double>(count) * std::log(p);
+  }
+  return ll;
+}
+
+// ---------------------------------------------------------------- Zeta
+
+ZetaModel::ZetaModel(double alpha, uint64_t support_max)
+    : alpha_(alpha), support_max_(support_max) {
+  // Truncated normalizer: sum_{k=1}^{support_max} k^-alpha. Sum the head
+  // exactly and approximate the tail with the integral bound.
+  double norm = 0.0;
+  const uint64_t head = std::min<uint64_t>(support_max_, 100000);
+  for (uint64_t k = 1; k <= head; ++k) norm += std::pow(k, -alpha_);
+  if (support_max_ > head && alpha_ > 1.0) {
+    // Integral of x^-alpha from head to support_max.
+    norm += (std::pow(static_cast<double>(head), 1.0 - alpha_) -
+             std::pow(static_cast<double>(support_max_), 1.0 - alpha_)) /
+            (alpha_ - 1.0);
+  }
+  norm_ = norm;
+}
+
+std::string ZetaModel::ToString() const {
+  return StringPrintf("zeta(alpha=%.3f)", alpha_);
+}
+
+double ZetaModel::Pmf(uint64_t k) const {
+  if (k < 1 || k > support_max_) return 0.0;
+  return std::pow(static_cast<double>(k), -alpha_) / norm_;
+}
+
+ZetaModel ZetaModel::Fit(const Histogram& observed) {
+  // Golden-section maximization of the log-likelihood over alpha.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1.01;
+  double hi = 6.0;
+  auto ll = [&observed](double alpha) {
+    return ZetaModel(alpha).LogLikelihood(observed);
+  };
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = ll(x1);
+  double f2 = ll(x2);
+  for (int iter = 0; iter < 60 && hi - lo > 1e-5; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = ll(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = ll(x1);
+    }
+  }
+  return ZetaModel((lo + hi) / 2.0);
+}
+
+// ------------------------------------------------------------ Geometric
+
+GeometricModel::GeometricModel(double p) : p_(std::clamp(p, 1e-12, 1.0)) {}
+
+std::string GeometricModel::ToString() const {
+  return StringPrintf("geometric(p=%.4f)", p_);
+}
+
+double GeometricModel::Pmf(uint64_t k) const {
+  if (k < 1) return 0.0;
+  return std::pow(1.0 - p_, static_cast<double>(k - 1)) * p_;
+}
+
+GeometricModel GeometricModel::Fit(const Histogram& observed) {
+  double mean = observed.Mean();
+  if (mean < 1.0) mean = 1.0;
+  return GeometricModel(1.0 / mean);
+}
+
+// -------------------------------------------------------------- Weibull
+
+WeibullModel::WeibullModel(double shape, double scale)
+    : shape_(std::max(shape, 1e-6)), scale_(std::max(scale, 1e-6)) {}
+
+std::string WeibullModel::ToString() const {
+  return StringPrintf("weibull(shape=%.3f, scale=%.3f)", shape_, scale_);
+}
+
+double WeibullModel::Pmf(uint64_t k) const {
+  if (k < 1) return 0.0;
+  auto survival = [this](double x) {
+    return x <= 0.0 ? 1.0 : std::exp(-std::pow(x / scale_, shape_));
+  };
+  return survival(static_cast<double>(k - 1)) - survival(static_cast<double>(k));
+}
+
+WeibullModel WeibullModel::Fit(const Histogram& observed) {
+  // Coordinate descent on (shape, scale) maximizing log-likelihood.
+  double shape = 1.0;
+  double scale = std::max(observed.Mean(), 1.0);
+  auto ll = [&observed](double sh, double sc) {
+    return WeibullModel(sh, sc).LogLikelihood(observed);
+  };
+  double best = ll(shape, scale);
+  double step_sh = 0.5;
+  double step_sc = scale / 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    bool improved = false;
+    for (double dsh : {step_sh, -step_sh}) {
+      double cand = shape + dsh;
+      if (cand <= 0.05) continue;
+      double v = ll(cand, scale);
+      if (v > best) {
+        best = v;
+        shape = cand;
+        improved = true;
+      }
+    }
+    for (double dsc : {step_sc, -step_sc}) {
+      double cand = scale + dsc;
+      if (cand <= 0.05) continue;
+      double v = ll(shape, cand);
+      if (v > best) {
+        best = v;
+        scale = cand;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      step_sh /= 2.0;
+      step_sc /= 2.0;
+      if (step_sh < 1e-4 && step_sc < 1e-4) break;
+    }
+  }
+  return WeibullModel(shape, scale);
+}
+
+// -------------------------------------------------------------- Poisson
+
+PoissonModel::PoissonModel(double lambda) : lambda_(std::max(lambda, 1e-9)) {}
+
+std::string PoissonModel::ToString() const {
+  return StringPrintf("poisson(lambda=%.3f)", lambda_);
+}
+
+double PoissonModel::Pmf(uint64_t k) const {
+  if (k < 1) return 0.0;
+  // log pmf = -lambda + k log lambda - lgamma(k+1), then condition on k>=1.
+  double logp = -lambda_ + static_cast<double>(k) * std::log(lambda_) -
+                std::lgamma(static_cast<double>(k) + 1.0);
+  double zero_mass = std::exp(-lambda_);
+  double denominator = 1.0 - zero_mass;
+  if (denominator <= 0.0) return 0.0;
+  return std::exp(logp) / denominator;
+}
+
+PoissonModel PoissonModel::Fit(const Histogram& observed) {
+  // Zero-truncated Poisson MLE: solve mean = lambda / (1 - e^-lambda).
+  double mean = std::max(observed.Mean(), 1.0 + 1e-9);
+  double lambda = mean;  // starting guess
+  for (int iter = 0; iter < 100; ++iter) {
+    double em = std::exp(-lambda);
+    double f = lambda / (1.0 - em) - mean;
+    double df = (1.0 - em - lambda * em) / ((1.0 - em) * (1.0 - em));
+    if (std::abs(df) < 1e-15) break;
+    double next = lambda - f / df;
+    if (next <= 0.0) next = lambda / 2.0;
+    if (std::abs(next - lambda) < 1e-12) {
+      lambda = next;
+      break;
+    }
+    lambda = next;
+  }
+  return PoissonModel(lambda);
+}
+
+// ------------------------------------------------------- goodness of fit
+
+double ChiSquareStatistic(const Histogram& observed, const DegreeModel& model,
+                          double* dof_out) {
+  const double n = static_cast<double>(observed.total_count());
+  auto items = observed.Items();
+  // Build contiguous bins over [1, max], pooling from the right so each
+  // pooled bin has expected count >= 5.
+  uint64_t max_k = observed.Max();
+  double chi = 0.0;
+  double pooled_obs = 0.0;
+  double pooled_exp = 0.0;
+  int bins = 0;
+  size_t idx = 0;
+  for (uint64_t k = 1; k <= max_k; ++k) {
+    double obs = 0.0;
+    while (idx < items.size() && items[idx].first < k) ++idx;
+    if (idx < items.size() && items[idx].first == k) {
+      obs = static_cast<double>(items[idx].second);
+    }
+    double exp = n * model.Pmf(k);
+    pooled_obs += obs;
+    pooled_exp += exp;
+    if (pooled_exp >= 5.0) {
+      chi += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+      ++bins;
+      pooled_obs = 0.0;
+      pooled_exp = 0.0;
+    }
+  }
+  if (pooled_exp > 0.0) {
+    chi += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+    ++bins;
+  }
+  if (dof_out != nullptr) *dof_out = std::max(1, bins - 1);
+  return chi;
+}
+
+double KsStatistic(const Histogram& observed, const DegreeModel& model) {
+  const double n = static_cast<double>(observed.total_count());
+  if (n == 0.0) return 0.0;
+  uint64_t max_k = observed.Max();
+  auto items = observed.Items();
+  double emp_cdf = 0.0;
+  double model_cdf = 0.0;
+  double ks = 0.0;
+  size_t idx = 0;
+  for (uint64_t k = 1; k <= max_k; ++k) {
+    while (idx < items.size() && items[idx].first < k) ++idx;
+    if (idx < items.size() && items[idx].first == k) {
+      emp_cdf += static_cast<double>(items[idx].second) / n;
+    }
+    model_cdf += model.Pmf(k);
+    ks = std::max(ks, std::abs(emp_cdf - model_cdf));
+  }
+  return ks;
+}
+
+std::vector<ModelFit> FitAllModels(const Histogram& observed) {
+  std::vector<std::unique_ptr<DegreeModel>> models;
+  models.push_back(std::make_unique<ZetaModel>(ZetaModel::Fit(observed)));
+  models.push_back(
+      std::make_unique<GeometricModel>(GeometricModel::Fit(observed)));
+  models.push_back(std::make_unique<WeibullModel>(WeibullModel::Fit(observed)));
+  models.push_back(std::make_unique<PoissonModel>(PoissonModel::Fit(observed)));
+
+  const double params[] = {1, 1, 2, 1};  // zeta, geometric, weibull, poisson
+  std::vector<ModelFit> fits;
+  for (size_t i = 0; i < models.size(); ++i) {
+    const auto& m = models[i];
+    ModelFit fit;
+    fit.model_description = m->ToString();
+    fit.log_likelihood = m->LogLikelihood(observed);
+    fit.aic = 2.0 * params[i] - 2.0 * fit.log_likelihood;
+    fit.chi_square = ChiSquareStatistic(observed, *m, &fit.chi_square_dof);
+    fit.ks_statistic = KsStatistic(observed, *m);
+    fits.push_back(fit);
+  }
+  std::sort(fits.begin(), fits.end(), [](const ModelFit& a, const ModelFit& b) {
+    return a.aic < b.aic;
+  });
+  return fits;
+}
+
+}  // namespace gly

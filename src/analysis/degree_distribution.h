@@ -1,0 +1,134 @@
+// Degree-distribution models and fitting.
+//
+// The paper (Section 2.2) fits real degree distributions with "several
+// existing models: Zeta, Geometric, Weibull and Poisson" and observes that
+// the best-fitting model varies per graph. This module provides those four
+// models with maximum-likelihood fitting and goodness-of-fit tests, used by
+// the Table 1 analysis and the Figure 1 reproduction.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+
+namespace gly {
+
+/// A parametric discrete distribution over degrees {1, 2, ...}.
+class DegreeModel {
+ public:
+  virtual ~DegreeModel() = default;
+
+  /// Model family name ("zeta", "geometric", "weibull", "poisson").
+  virtual std::string name() const = 0;
+
+  /// Human-readable parameterization, e.g. "zeta(alpha=1.70)".
+  virtual std::string ToString() const = 0;
+
+  /// P(X = k) for k >= 1 (models are conditioned on X >= 1).
+  virtual double Pmf(uint64_t k) const = 0;
+
+  /// Log-likelihood of an observed degree histogram.
+  double LogLikelihood(const Histogram& observed) const;
+};
+
+/// Zeta (discrete power law): P(k) ∝ k^-alpha, alpha > 1.
+class ZetaModel final : public DegreeModel {
+ public:
+  explicit ZetaModel(double alpha, uint64_t support_max = 1u << 20);
+  std::string name() const override { return "zeta"; }
+  std::string ToString() const override;
+  double Pmf(uint64_t k) const override;
+  double alpha() const { return alpha_; }
+
+  /// MLE fit by golden-section search on alpha in (1, 6].
+  static ZetaModel Fit(const Histogram& observed);
+
+ private:
+  double alpha_;
+  uint64_t support_max_;
+  double norm_;  // truncated zeta(alpha) normalizer
+};
+
+/// Geometric on {1, 2, ...}: P(k) = (1-p)^(k-1) p.
+class GeometricModel final : public DegreeModel {
+ public:
+  explicit GeometricModel(double p);
+  std::string name() const override { return "geometric"; }
+  std::string ToString() const override;
+  double Pmf(uint64_t k) const override;
+  double p() const { return p_; }
+
+  /// MLE: p = 1 / mean.
+  static GeometricModel Fit(const Histogram& observed);
+
+ private:
+  double p_;
+};
+
+/// Discretized Weibull on {1, 2, ...}: P(k) = S(k-1) - S(k),
+/// S(x) = exp(-(x/lambda)^shape).
+class WeibullModel final : public DegreeModel {
+ public:
+  WeibullModel(double shape, double scale);
+  std::string name() const override { return "weibull"; }
+  std::string ToString() const override;
+  double Pmf(uint64_t k) const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// Approximate MLE via coordinate search.
+  static WeibullModel Fit(const Histogram& observed);
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Poisson conditioned on k >= 1: P(k) = e^-λ λ^k / k! / (1 - e^-λ).
+class PoissonModel final : public DegreeModel {
+ public:
+  explicit PoissonModel(double lambda);
+  std::string name() const override { return "poisson"; }
+  std::string ToString() const override;
+  double Pmf(uint64_t k) const override;
+  double lambda() const { return lambda_; }
+
+  /// MLE for the zero-truncated Poisson via Newton iteration on the mean.
+  static PoissonModel Fit(const Histogram& observed);
+
+ private:
+  double lambda_;
+};
+
+/// Result of fitting one model family to observed degrees.
+struct ModelFit {
+  std::string model_description;
+  double log_likelihood = 0.0;
+  double aic = 0.0;                 // 2*params - 2*LL (lower is better)
+  double chi_square = 0.0;          // Pearson chi-square over pooled bins
+  double chi_square_dof = 0.0;      // degrees of freedom used
+  double ks_statistic = 0.0;        // max CDF deviation
+};
+
+/// Fits all four families and returns them sorted by ascending AIC (best
+/// fit first) — the per-graph model selection the paper describes. AIC
+/// rather than raw likelihood, so the 2-parameter Weibull only wins when it
+/// genuinely explains the data better than the 1-parameter families.
+std::vector<ModelFit> FitAllModels(const Histogram& observed);
+
+/// Pearson chi-square statistic between observed counts and model
+/// expectations, pooling tail bins so every expected count >= 5.
+/// `dof_out` receives the resulting degrees of freedom.
+double ChiSquareStatistic(const Histogram& observed, const DegreeModel& model,
+                          double* dof_out);
+
+/// Kolmogorov–Smirnov statistic between the empirical degree CDF and the
+/// model CDF.
+double KsStatistic(const Histogram& observed, const DegreeModel& model);
+
+}  // namespace gly

@@ -1,0 +1,188 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace gly {
+
+namespace {
+
+// Counts, for each vertex v, the edges among v's neighbors (== 2 * triangles
+// through v for undirected graphs, since each neighbor pair is examined
+// once). Neighbor lists are sorted, so we intersect with a merge walk.
+uint64_t EdgesAmongNeighbors(const Graph& graph, VertexId v) {
+  auto nbrs = graph.OutNeighbors(v);
+  uint64_t links = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    VertexId u = nbrs[i];
+    if (u == v) continue;
+    // For each pair (u, w) of neighbors with u < w, check edge u-w.
+    auto u_nbrs = graph.OutNeighbors(u);
+    // Intersect u_nbrs with nbrs[i+1..]: both sorted.
+    size_t a = 0;
+    size_t b = i + 1;
+    while (a < u_nbrs.size() && b < nbrs.size()) {
+      if (u_nbrs[a] < nbrs[b]) {
+        ++a;
+      } else if (u_nbrs[a] > nbrs[b]) {
+        ++b;
+      } else {
+        ++links;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+std::vector<double> LocalClusteringCoefficients(const Graph& graph,
+                                                ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> cc(n, 0.0);
+  auto compute = [&graph, &cc](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      VertexId v = static_cast<VertexId>(i);
+      uint64_t deg = graph.Degree(v);
+      if (deg < 2) continue;
+      uint64_t links = EdgesAmongNeighbors(graph, v);
+      cc[i] = 2.0 * static_cast<double>(links) /
+              (static_cast<double>(deg) * static_cast<double>(deg - 1));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(n, compute);
+  } else {
+    compute(0, n);
+  }
+  return cc;
+}
+
+double AverageClusteringCoefficient(const Graph& graph, ThreadPool* pool) {
+  if (graph.num_vertices() == 0) return 0.0;
+  auto cc = LocalClusteringCoefficients(graph, pool);
+  double sum = 0.0;
+  for (double c : cc) sum += c;
+  return sum / static_cast<double>(cc.size());
+}
+
+uint64_t CountTriangles(const Graph& graph, ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  std::atomic<uint64_t> total{0};
+  auto compute = [&graph, &total](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      // Each triangle {u,v,w} is counted at every vertex as one
+      // neighbor-pair link, so sum(links) == 3 * triangles... but
+      // EdgesAmongNeighbors counts unordered pairs, giving exactly one per
+      // triangle per apex; divide by 3 at the end.
+      local += EdgesAmongNeighbors(graph, static_cast<VertexId>(i));
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(n, compute);
+  } else {
+    compute(0, n);
+  }
+  return total.load() / 3;
+}
+
+uint64_t CountWedges(const Graph& graph) {
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    uint64_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double GlobalClusteringCoefficient(const Graph& graph, ThreadPool* pool) {
+  uint64_t wedges = CountWedges(graph);
+  if (wedges == 0) return 0.0;
+  uint64_t triangles = CountTriangles(graph, pool);
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+double DegreeAssortativity(const Graph& graph) {
+  // Newman's formula over the set of (unordered) edges, using the "remaining
+  // degree" convention simplified to plain degrees (standard for empirical
+  // assortativity): Pearson correlation of endpoint degrees across edges,
+  // with each undirected edge contributing both orientations.
+  double m = 0.0;
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    double dv = static_cast<double>(graph.Degree(v));
+    for (VertexId w : graph.OutNeighbors(v)) {
+      double dw = static_cast<double>(graph.Degree(w));
+      // Each stored arc contributes once; undirected graphs store both
+      // orientations, which yields the symmetric sum Newman requires.
+      sum_xy += dv * dw;
+      sum_x += 0.5 * (dv + dw);
+      sum_x2 += 0.5 * (dv * dv + dw * dw);
+      m += 1.0;
+    }
+  }
+  if (m < 2.0) return 0.0;
+  double num = sum_xy / m - (sum_x / m) * (sum_x / m);
+  double den = sum_x2 / m - (sum_x / m) * (sum_x / m);
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+Histogram DegreeHistogram(const Graph& graph) {
+  Histogram h;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    h.Add(graph.Degree(v));
+  }
+  return h;
+}
+
+GraphCharacteristics ComputeCharacteristics(const Graph& graph,
+                                            ThreadPool* pool) {
+  GraphCharacteristics out;
+  out.num_vertices = graph.num_vertices();
+  out.num_edges = graph.num_edges();
+
+  // One neighbor-intersection pass serves both clustering metrics: the
+  // per-vertex link counts give the local coefficients, and their sum is
+  // 3x the triangle count.
+  const VertexId n = graph.num_vertices();
+  std::vector<uint64_t> links(n, 0);
+  auto compute = [&graph, &links](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      links[i] = EdgesAmongNeighbors(graph, static_cast<VertexId>(i));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(n, compute);
+  } else {
+    compute(0, n);
+  }
+  double cc_sum = 0.0;
+  uint64_t triangles3 = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    triangles3 += links[v];
+    uint64_t deg = graph.Degree(v);
+    if (deg >= 2) {
+      cc_sum += 2.0 * static_cast<double>(links[v]) /
+                (static_cast<double>(deg) * static_cast<double>(deg - 1));
+    }
+  }
+  out.average_clustering_coefficient =
+      n == 0 ? 0.0 : cc_sum / static_cast<double>(n);
+  uint64_t wedges = CountWedges(graph);
+  out.global_clustering_coefficient =
+      wedges == 0 ? 0.0
+                  : static_cast<double>(triangles3) /
+                        static_cast<double>(wedges);
+  out.degree_assortativity = DegreeAssortativity(graph);
+  return out;
+}
+
+}  // namespace gly

@@ -1,0 +1,56 @@
+// Structural graph metrics reported in Table 1 of the paper:
+// node/edge counts, global clustering coefficient, average local clustering
+// coefficient, and degree assortativity.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/threadpool.h"
+#include "graph/graph.h"
+
+namespace gly {
+
+/// The Table 1 characteristics of one graph.
+struct GraphCharacteristics {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double global_clustering_coefficient = 0.0;  // 3*triangles / wedges
+  double average_clustering_coefficient = 0.0; // mean local CC
+  double degree_assortativity = 0.0;           // Pearson r over edge endpoints
+};
+
+/// Local clustering coefficient of each vertex of an *undirected* graph:
+/// (# edges among neighbors) / (deg * (deg-1) / 2); 0 for deg < 2.
+/// Runs triangle counting in parallel on `pool` when provided.
+std::vector<double> LocalClusteringCoefficients(const Graph& graph,
+                                                ThreadPool* pool = nullptr);
+
+/// Mean of LocalClusteringCoefficients.
+double AverageClusteringCoefficient(const Graph& graph,
+                                    ThreadPool* pool = nullptr);
+
+/// Global (transitivity) clustering coefficient: 3*triangles / wedges.
+double GlobalClusteringCoefficient(const Graph& graph,
+                                   ThreadPool* pool = nullptr);
+
+/// Pearson degree assortativity over undirected edges (Newman 2002).
+/// Returns 0 for graphs with < 2 edges or zero variance.
+double DegreeAssortativity(const Graph& graph);
+
+/// Degree histogram (out-degree; full neighborhood degree for undirected).
+Histogram DegreeHistogram(const Graph& graph);
+
+/// Computes all Table 1 characteristics in one pass.
+GraphCharacteristics ComputeCharacteristics(const Graph& graph,
+                                            ThreadPool* pool = nullptr);
+
+/// Exact triangle count (each triangle counted once) for undirected graphs.
+uint64_t CountTriangles(const Graph& graph, ThreadPool* pool = nullptr);
+
+/// Number of wedges (paths of length 2): sum over v of C(deg(v), 2).
+uint64_t CountWedges(const Graph& graph);
+
+}  // namespace gly

@@ -1,0 +1,43 @@
+#include "columnstore/edge_table.h"
+
+#include <algorithm>
+
+namespace gly::columnstore {
+
+Result<EdgeTable> EdgeTable::Build(const EdgeList& edges) {
+  EdgeTable table;
+  table.num_vertices_ = edges.num_vertices();
+  std::vector<Edge> sorted = edges.edges();
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint32_t> from;
+  std::vector<uint32_t> to;
+  from.reserve(sorted.size());
+  to.reserve(sorted.size());
+  for (const Edge& e : sorted) {
+    from.push_back(e.src);
+    to.push_back(e.dst);
+  }
+  table.row_index_.assign(static_cast<size_t>(table.num_vertices_) + 1, 0);
+  for (const Edge& e : sorted) {
+    ++table.row_index_[e.src + 1];
+  }
+  for (size_t i = 1; i < table.row_index_.size(); ++i) {
+    table.row_index_[i] += table.row_index_[i - 1];
+  }
+  table.from_ = Column::Encode(from);
+  table.to_ = Column::Encode(to);
+  return table;
+}
+
+void EdgeTable::OutEdges(VertexId v, std::vector<uint32_t>* out,
+                         LookupStats* stats) const {
+  out->clear();
+  if (v >= num_vertices_) return;
+  ++stats->random_lookups;
+  uint64_t begin = row_index_[v];
+  uint64_t end = row_index_[v + 1];
+  to_.ReadRange(begin, end, out);
+  stats->edge_endpoints_visited += out->size();
+}
+
+}  // namespace gly::columnstore

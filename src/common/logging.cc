@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace gly {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+}  // namespace gly

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gly {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log configuration.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line `[LEVEL] message` if `level` is enabled.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace internal {
+
+/// Stream-style one-shot log line builder.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gly
+
+#define GLY_LOG_DEBUG ::gly::internal::LogMessage(::gly::LogLevel::kDebug)
+#define GLY_LOG_INFO ::gly::internal::LogMessage(::gly::LogLevel::kInfo)
+#define GLY_LOG_WARN ::gly::internal::LogMessage(::gly::LogLevel::kWarn)
+#define GLY_LOG_ERROR ::gly::internal::LogMessage(::gly::LogLevel::kError)

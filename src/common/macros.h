@@ -1,0 +1,44 @@
+// Error-propagation helper macros (Arrow-style).
+
+#pragma once
+
+#include "common/result.h"
+#include "common/status.h"
+
+#define GLY_CONCAT_IMPL(x, y) x##y
+#define GLY_CONCAT(x, y) GLY_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define GLY_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::gly::Status gly_status_ = (expr);            \
+    if (!gly_status_.ok()) return gly_status_;     \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); if it failed, returns its
+/// status from the enclosing function; otherwise declares `lhs` bound to the
+/// moved-out value.
+#define GLY_ASSIGN_OR_RETURN(lhs, rexpr) \
+  GLY_ASSIGN_OR_RETURN_IMPL(GLY_CONCAT(gly_result_, __LINE__), lhs, rexpr)
+
+#define GLY_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// In tests/examples: abort with a message if the expression is not OK.
+#define GLY_CHECK_OK(expr)            \
+  do {                                \
+    ::gly::Status gly_status_ = (expr); \
+    gly_status_.Check();              \
+  } while (false)
+
+namespace gly {
+
+/// Marks a deliberately unused value (e.g. a [[nodiscard]] Status in a
+/// best-effort cleanup path).
+template <typename T>
+void Ignore(const T&) {}
+
+}  // namespace gly

@@ -1,0 +1,27 @@
+#include "common/memory_budget.h"
+
+namespace gly {
+
+Status MemoryBudget::Charge(uint64_t bytes, const std::string& what) {
+  uint64_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  uint64_t now = prev + bytes;
+  if (limit_ != 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "memory budget exceeded while allocating " + std::to_string(bytes) +
+        " bytes for " + what + " (used " + std::to_string(prev) + " of " +
+        std::to_string(limit_) + ")");
+  }
+  // Track peak (racy max-update loop).
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace gly

@@ -1,0 +1,84 @@
+// MemoryBudget: cooperative memory accounting for platform engines.
+//
+// The paper's Figure 4 reports failures ("missing values indicate failures")
+// when a platform exceeds the memory of its machines — GraphX crashes on
+// workloads Giraph completes; Neo4j "is not able to process graphs larger
+// than the memory of a single machine". Each simulated platform charges its
+// graph storage and per-superstep state against a MemoryBudget and fails
+// with ResourceExhausted when the budget is exceeded, reproducing this
+// behaviour mechanistically instead of by fiat.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace gly {
+
+/// Tracks bytes charged against a fixed budget. Thread-safe.
+class MemoryBudget {
+ public:
+  /// `limit_bytes` == 0 means unlimited.
+  explicit MemoryBudget(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  /// Attempts to reserve `bytes`; fails with ResourceExhausted (and leaves
+  /// the accounting unchanged) if the reservation would exceed the limit.
+  Status Charge(uint64_t bytes, const std::string& what);
+
+  /// Releases `bytes` previously charged.
+  void Release(uint64_t bytes);
+
+  /// Forgets all charges.
+  void Reset() { used_.store(0, std::memory_order_relaxed); }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t limit() const { return limit_; }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII guard that releases its charge on destruction.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(MemoryBudget* budget, uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {}
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+  ~ScopedCharge() { ReleaseNow(); }
+
+  /// Releases the charge early.
+  void ReleaseNow() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace gly

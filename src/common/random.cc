@@ -1,0 +1,87 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <deque>
+
+namespace gly {
+
+uint64_t SamplePoisson(Rng& rng, double lambda) {
+  assert(lambda > 0.0);
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Split lambda: Poisson(a+b) = Poisson(a) + Poisson(b). Recurse on halves
+  // until each piece is small. Exact and simple; lambda in Datagen is modest.
+  double half = lambda / 2.0;
+  return SamplePoisson(rng, half) + SamplePoisson(rng, lambda - half);
+}
+
+ZetaSampler::ZetaSampler(double alpha, uint64_t max_value)
+    : alpha_(alpha), max_value_(max_value), b_(std::pow(2.0, alpha - 1.0)) {
+  assert(alpha > 1.0);
+  assert(max_value >= 1);
+}
+
+uint64_t ZetaSampler::Sample(Rng& rng) const {
+  // Devroye's rejection method for the zeta distribution, with truncation
+  // to [1, max_value_] by resampling (truncation mass is tiny for the
+  // max_value_ used in Datagen, so the expected retry count is ~1).
+  for (;;) {
+    double x;
+    double t;
+    do {
+      double u = rng.NextDouble();
+      double v = rng.NextDouble();
+      x = std::floor(std::pow(u, -1.0 / (alpha_ - 1.0)));
+      t = std::pow(1.0 + 1.0 / x, alpha_ - 1.0);
+      if (v * x * (t - 1.0) / (b_ - 1.0) <= t / b_) break;
+    } while (true);
+    uint64_t k = static_cast<uint64_t>(x);
+    if (k >= 1 && k <= max_value_) return k;
+  }
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const size_t n = weights.size();
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  assert(sum > 0.0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / sum;
+
+  std::deque<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.front();
+    small.pop_front();
+    uint32_t l = large.front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace gly

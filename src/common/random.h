@@ -1,0 +1,168 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in graphalytics (Datagen, R-MAT, rewiring,
+// forest-fire evolution, platform partitioners) takes an explicit 64-bit
+// seed, so benchmark runs are reproducible — a core Datagen requirement in
+// the paper ("it is deterministic, guaranteeing reproducible results and
+// fair comparisons").
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gly {
+
+/// SplitMix64: used to seed other generators and to derive independent
+/// substreams (`Derive`) from a master seed, so parallel workers draw from
+/// decorrelated streams regardless of thread scheduling.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Derives an independent stream seed from (master_seed, stream_id).
+inline uint64_t DeriveSeed(uint64_t master_seed, uint64_t stream_id) {
+  SplitMix64 mix(master_seed ^ (stream_id * 0xD1B54A32D192ED03ULL));
+  mix.Next();
+  return mix.Next();
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG used as the workhorse
+/// generator. Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed) {
+    SplitMix64 mix(seed);
+    for (auto& s : state_) s = mix.Next();
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<uint64_t, 4> state_{};
+};
+
+/// Samples from a geometric distribution on {1, 2, ...} with success
+/// probability `p` (number of trials until first success).
+inline uint64_t SampleGeometric(Rng& rng, double p) {
+  // Inverse transform: ceil(ln(U) / ln(1-p)).
+  double u = rng.NextDouble();
+  if (u <= 0.0) u = 1e-300;
+  double v = std::log(u) / std::log1p(-p);
+  uint64_t k = static_cast<uint64_t>(std::ceil(v));
+  return k == 0 ? 1 : k;
+}
+
+/// Samples from a Poisson distribution with mean `lambda`.
+/// Uses Knuth's method for small lambda and a normal approximation with
+/// rejection touch-up for large lambda.
+uint64_t SamplePoisson(Rng& rng, double lambda);
+
+/// Samples from a Weibull distribution with shape `k` and scale `lambda`,
+/// rounded up to an integer >= 1 (degrees are integral).
+inline uint64_t SampleWeibullDegree(Rng& rng, double k, double lambda) {
+  double u = rng.NextDouble();
+  if (u <= 0.0) u = 1e-300;
+  double x = lambda * std::pow(-std::log(1.0 - u), 1.0 / k);
+  uint64_t d = static_cast<uint64_t>(std::ceil(x));
+  return d == 0 ? 1 : d;
+}
+
+/// Samples from a (truncated) zeta / Zipf distribution P(X=k) ∝ k^-alpha on
+/// {1, ..., max_value} using rejection sampling (Devroye). alpha > 1.
+class ZetaSampler {
+ public:
+  ZetaSampler(double alpha, uint64_t max_value);
+
+  uint64_t Sample(Rng& rng) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  uint64_t max_value_;
+  double b_;  // 2^(alpha-1)
+};
+
+/// Weighted discrete sampling in O(1) per draw after O(n) setup
+/// (Walker/Vose alias method). Used by the empirical degree plugin.
+class AliasTable {
+ public:
+  /// `weights` need not be normalized; must be non-empty with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Returns an index in [0, weights.size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace gly

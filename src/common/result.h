@@ -1,0 +1,89 @@
+// Result<T>: a value-or-Status, the return type of fallible producers.
+
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gly {
+
+/// Holds either a successfully produced `T` or an error `Status`.
+///
+/// Usage:
+///   Result<Graph> g = LoadGraph(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.ValueOrDie());
+///
+/// or with the macros in macros.h:
+///   GLY_ASSIGN_OR_RETURN(Graph g, LoadGraph(path));
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a successful result (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status (implicit, so
+  /// `return Status::IOError(...);` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // A Result constructed from a status must carry an error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; `Status::OK()` if this result holds a value.
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts if this result holds an error.
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; aborts if this result holds an error.
+  T&& MoveValueOrDie() {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      status_.Check();  // prints and aborts
+      std::abort();     // unreachable; Check aborts on error
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gly

@@ -1,0 +1,69 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gly {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kIOError: return "io-error";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kNotImplemented: return "not-implemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kValidationFailed: return "validation-failed";
+    case StatusCode::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ ? state_->message : kEmptyString;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(state_->code));
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+Status Status::WithPrefix(std::string_view prefix) const {
+  if (ok()) return *this;
+  std::string msg(prefix);
+  msg += ": ";
+  msg += state_->message;
+  return Status(state_->code, std::move(msg));
+}
+
+void Status::Check() const {
+  if (!ok()) {
+    std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace gly

@@ -1,0 +1,135 @@
+// Status: Arrow/RocksDB-style error propagation without exceptions.
+//
+// All fallible public APIs in graphalytics return either `Status` or
+// `Result<T>` (see result.h). A Status is cheap to copy when OK (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gly {
+
+/// Error categories used across the library.
+///
+/// The set mirrors the failures the Graphalytics harness must distinguish:
+/// platform failures from exceeding a memory budget (`ResourceExhausted`)
+/// are reported differently in benchmark reports ("missing values indicate
+/// failures") than validation failures (`ValidationFailed`) or I/O errors.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kTimeout = 8,
+  kValidationFailed = 9,
+  kCancelled = 10,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "io-error"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code plus message.
+///
+/// An OK status carries no state (the internal pointer is null), so returning
+/// `Status::OK()` from hot paths costs nothing. Error construction allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk`; use the default constructor (or `OK()`) for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Success singleton-by-value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ValidationFailed(std::string msg) {
+    return Status(StatusCode::kValidationFailed, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsValidationFailed() const {
+    return code() == StatusCode::kValidationFailed;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `prefix + ": "` prepended to the
+  /// message. OK statuses are returned unchanged.
+  Status WithPrefix(std::string_view prefix) const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// examples and tests where failure is unrecoverable.
+  void Check() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace gly

@@ -1,0 +1,51 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gly {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; fails on trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses an unsigned 64-bit integer; fails on trailing garbage.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a double; fails on trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view s);
+
+/// Formats bytes with binary units ("1.5 GiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a duration in seconds with an adaptive unit ("3.2 ms", "12.4 s").
+std::string FormatSeconds(double seconds);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace gly

@@ -1,0 +1,55 @@
+#include "common/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+namespace gly {
+
+namespace fs = std::filesystem;
+
+Result<TempDir> TempDir::Create(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmp_env = std::getenv("TMPDIR");
+  fs::path base = tmp_env != nullptr ? fs::path(tmp_env)
+                                     : fs::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    uint64_t id = counter.fetch_add(1) ^
+                  (static_cast<uint64_t>(::getpid()) << 32) ^
+                  static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch().count());
+    fs::path dir = base / (prefix + "." + std::to_string(id));
+    std::error_code ec;
+    if (fs::create_directories(dir, ec) && !ec) {
+      return TempDir(dir.string());
+    }
+  }
+  return Status::IOError("cannot create temp directory with prefix " + prefix);
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), owned_(other.owned_) {
+  other.owned_ = false;
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    this->~TempDir();
+    path_ = std::move(other.path_);
+    owned_ = other.owned_;
+    other.owned_ = false;
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (owned_ && !path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best-effort
+  }
+}
+
+}  // namespace gly

@@ -1,0 +1,39 @@
+// TempDir: RAII scratch directory (MapReduce spills, graphdb stores, tests).
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace gly {
+
+/// Creates a unique directory under the system temp root and removes it
+/// (recursively) on destruction.
+class TempDir {
+ public:
+  /// Creates a directory named `<tmp>/<prefix>.<unique>`.
+  static Result<TempDir> Create(const std::string& prefix);
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  /// Absolute path of the directory (no trailing slash).
+  const std::string& path() const { return path_; }
+
+  /// Returns `path()/name`.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+  /// Detaches: the directory will not be removed on destruction.
+  void Keep() { owned_ = false; }
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)), owned_(true) {}
+  std::string path_;
+  bool owned_ = false;
+};
+
+}  // namespace gly

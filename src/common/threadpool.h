@@ -1,0 +1,71 @@
+// Fixed-size thread pool with task futures and a parallel-for helper.
+//
+// The platform engines (pregel, mapreduce, dataflow) model "cluster workers"
+// as pool threads; Datagen uses the pool for its Hadoop-like block-parallel
+// generation.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gly {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n), distributing chunks across the
+  /// pool, and blocks until all complete. `fn` must be thread-safe across
+  /// distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [0, n) split into roughly
+  /// pool-size chunks, blocking until done.
+  void ParallelForChunked(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Number of hardware threads, at least 1.
+size_t HardwareThreads();
+
+}  // namespace gly

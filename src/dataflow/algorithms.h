@@ -1,0 +1,17 @@
+// The five Graphalytics algorithms on the dataflow (GraphX-like) engine.
+
+#pragma once
+
+#include "dataflow/dataset.h"
+#include "ref/algorithms.h"
+
+namespace gly::dataflow {
+
+/// Runs `kind` on `graph` in a fresh Context built from `config`.
+/// `stats_out` (optional) receives the engine statistics of the run.
+Result<AlgorithmOutput> RunAlgorithm(const ContextConfig& config,
+                                     const Graph& graph, AlgorithmKind kind,
+                                     const AlgorithmParams& params,
+                                     ContextStats* stats_out = nullptr);
+
+}  // namespace gly::dataflow

@@ -1,0 +1,241 @@
+#include "datagen/rewire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gly::datagen {
+
+namespace {
+
+// Mutable adjacency-set view of an undirected simple graph, maintaining the
+// edge array (for uniform edge sampling), triangle count, and
+// S = sum over edges of deg(u)*deg(v).
+class MutableGraph {
+ public:
+  explicit MutableGraph(const EdgeList& input) {
+    EdgeList cleaned = input;
+    cleaned.DeduplicateAndDropLoops();
+    // Dedup leaves (u,v) and (v,u) as distinct entries if both present;
+    // canonicalize to u < v and dedup again.
+    std::vector<Edge>& es = cleaned.mutable_edges();
+    for (Edge& e : es) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+    std::sort(es.begin(), es.end());
+    es.erase(std::unique(es.begin(), es.end()), es.end());
+
+    n_ = cleaned.num_vertices();
+    adj_.resize(n_);
+    edges_ = es;
+    for (const Edge& e : edges_) {
+      adj_[e.src].insert(e.dst);
+      adj_[e.dst].insert(e.src);
+    }
+    // Initial triangle count: sum over edges of |N(u) ∩ N(v)| / 3 counts
+    // each triangle once per edge => divide by 3.
+    uint64_t tri3 = 0;
+    for (const Edge& e : edges_) tri3 += CommonNeighbors(e.src, e.dst);
+    triangles_ = tri3 / 3;
+    // S and the degree-sequence invariants.
+    s_ = 0.0;
+    sum_d_ = 0.0;
+    sum_d2_ = 0.0;
+    for (const Edge& e : edges_) {
+      double du = Degree(e.src);
+      double dv = Degree(e.dst);
+      s_ += du * dv;
+      sum_d_ += 0.5 * (du + dv);
+      sum_d2_ += 0.5 * (du * du + dv * dv);
+    }
+    wedges_ = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      uint64_t d = Degree(v);
+      wedges_ += d * (d - 1) / 2;
+    }
+  }
+
+  uint64_t num_edges() const { return edges_.size(); }
+  uint64_t Degree(VertexId v) const { return adj_[v].size(); }
+  bool HasEdge(VertexId u, VertexId v) const { return adj_[u].count(v) > 0; }
+
+  uint64_t CommonNeighbors(VertexId u, VertexId v) const {
+    const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+    const auto& b = adj_[u].size() <= adj_[v].size() ? adj_[v] : adj_[u];
+    uint64_t c = 0;
+    for (VertexId w : a) {
+      if (b.count(w)) ++c;
+    }
+    return c;
+  }
+
+  double GlobalClustering() const {
+    return wedges_ == 0
+               ? 0.0
+               : 3.0 * static_cast<double>(triangles_) /
+                     static_cast<double>(wedges_);
+  }
+
+  double Assortativity() const {
+    double m = 2.0 * static_cast<double>(edges_.size());
+    if (m < 2.0) return 0.0;
+    // Each undirected edge contributes both orientations; the symmetric
+    // sums below already fold that in (s_, sum_d_, sum_d2_ are per-edge).
+    double mm = static_cast<double>(edges_.size());
+    double mean = sum_d_ / mm;
+    double num = s_ / mm - mean * mean;
+    double den = sum_d2_ / mm - mean * mean;
+    return den <= 0.0 ? 0.0 : num / den;
+  }
+
+  uint64_t triangles() const { return triangles_; }
+  double s() const { return s_; }
+
+  /// Attempts the double-edge swap (a,b),(c,d) -> (a,d),(c,b).
+  /// Returns false (no mutation) if it would create a loop or multi-edge.
+  /// On success updates adjacency, the edge array entries ei/ej, triangle
+  /// count, and S.
+  bool TrySwap(size_t ei, size_t ej) {
+    Edge& e1 = edges_[ei];
+    Edge& e2 = edges_[ej];
+    VertexId a = e1.src, b = e1.dst, c = e2.src, d = e2.dst;
+    if (a == c || a == d || b == c || b == d) return false;
+    if (HasEdge(a, d) || HasEdge(c, b)) return false;
+
+    // Triangle delta: removing (a,b) removes |N(a)∩N(b)| triangles, etc.
+    // Order matters: compute removals before mutating, additions after
+    // removals.
+    int64_t delta = 0;
+    delta -= static_cast<int64_t>(CommonNeighbors(a, b));
+    delta -= static_cast<int64_t>(CommonNeighbors(c, d));
+    RemoveEdge(a, b);
+    RemoveEdge(c, d);
+    delta += static_cast<int64_t>(CommonNeighbors(a, d));
+    delta += static_cast<int64_t>(CommonNeighbors(c, b));
+    AddEdge(a, d);
+    AddEdge(c, b);
+    triangles_ = static_cast<uint64_t>(static_cast<int64_t>(triangles_) + delta);
+
+    // S delta (degrees unchanged).
+    double da = Degree(a), db = Degree(b), dc = Degree(c), dd = Degree(d);
+    s_ += da * dd + dc * db - da * db - dc * dd;
+
+    e1 = Edge{std::min(a, d), std::max(a, d)};
+    e2 = Edge{std::min(c, b), std::max(c, b)};
+    return true;
+  }
+
+  /// Reverts a swap previously performed on the same indices. The caller
+  /// passes the original edges.
+  void RevertSwap(size_t ei, size_t ej, Edge orig1, Edge orig2) {
+    Edge cur1 = edges_[ei];
+    Edge cur2 = edges_[ej];
+    int64_t delta = 0;
+    delta -= static_cast<int64_t>(CommonNeighbors(cur1.src, cur1.dst));
+    delta -= static_cast<int64_t>(CommonNeighbors(cur2.src, cur2.dst));
+    RemoveEdge(cur1.src, cur1.dst);
+    RemoveEdge(cur2.src, cur2.dst);
+    delta += static_cast<int64_t>(CommonNeighbors(orig1.src, orig1.dst));
+    delta += static_cast<int64_t>(CommonNeighbors(orig2.src, orig2.dst));
+    AddEdge(orig1.src, orig1.dst);
+    AddEdge(orig2.src, orig2.dst);
+    triangles_ = static_cast<uint64_t>(static_cast<int64_t>(triangles_) + delta);
+
+    double d1 = static_cast<double>(Degree(orig1.src)) * Degree(orig1.dst);
+    double d2 = static_cast<double>(Degree(orig2.src)) * Degree(orig2.dst);
+    double c1 = static_cast<double>(Degree(cur1.src)) * Degree(cur1.dst);
+    double c2 = static_cast<double>(Degree(cur2.src)) * Degree(cur2.dst);
+    s_ += d1 + d2 - c1 - c2;
+
+    edges_[ei] = orig1;
+    edges_[ej] = orig2;
+  }
+
+  EdgeList ToEdgeList() const {
+    EdgeList out(n_);
+    out.Reserve(edges_.size());
+    for (const Edge& e : edges_) out.Add(e.src, e.dst);
+    return out;
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  void AddEdge(VertexId u, VertexId v) {
+    adj_[u].insert(v);
+    adj_[v].insert(u);
+  }
+  void RemoveEdge(VertexId u, VertexId v) {
+    adj_[u].erase(v);
+    adj_[v].erase(u);
+  }
+
+  VertexId n_ = 0;
+  std::vector<std::unordered_set<VertexId>> adj_;
+  std::vector<Edge> edges_;
+  uint64_t triangles_ = 0;
+  uint64_t wedges_ = 0;
+  double s_ = 0.0;
+  double sum_d_ = 0.0;
+  double sum_d2_ = 0.0;
+};
+
+}  // namespace
+
+Result<EdgeList> GraphRewirer::Rewire(const EdgeList& input,
+                                      RewireStats* stats_out) const {
+  if (config_.clustering_weight < 0 || config_.assortativity_weight < 0) {
+    return Status::InvalidArgument("rewire weights must be non-negative");
+  }
+  MutableGraph g(input);
+  if (g.num_edges() < 2) {
+    if (stats_out != nullptr) *stats_out = RewireStats{};
+    return g.ToEdgeList();
+  }
+
+  auto objective = [this, &g]() {
+    double obj = 0.0;
+    if (config_.clustering_weight > 0.0) {
+      double diff = g.GlobalClustering() - config_.target_clustering;
+      obj += config_.clustering_weight * diff * diff;
+    }
+    if (config_.assortativity_weight > 0.0) {
+      double diff = g.Assortativity() - config_.target_assortativity;
+      obj += config_.assortativity_weight * diff * diff;
+    }
+    return obj;
+  };
+
+  RewireStats stats;
+  stats.initial_clustering = g.GlobalClustering();
+  stats.initial_assortativity = g.Assortativity();
+
+  Rng rng(config_.seed);
+  double current = objective();
+  for (uint64_t iter = 0; iter < config_.max_iterations; ++iter) {
+    ++stats.iterations;
+    if (current <= config_.tolerance) break;
+    size_t ei = static_cast<size_t>(rng.NextBounded(g.num_edges()));
+    size_t ej = static_cast<size_t>(rng.NextBounded(g.num_edges()));
+    if (ei == ej) continue;
+    Edge orig1 = g.edges()[ei];
+    Edge orig2 = g.edges()[ej];
+    if (!g.TrySwap(ei, ej)) continue;
+    double cand = objective();
+    bool accept = config_.strict_improvement ? cand < current : cand <= current;
+    if (accept) {
+      current = cand;
+      ++stats.accepted_swaps;
+    } else {
+      g.RevertSwap(ei, ej, orig1, orig2);
+    }
+  }
+
+  stats.final_clustering = g.GlobalClustering();
+  stats.final_assortativity = g.Assortativity();
+  stats.final_objective = current;
+  if (stats_out != nullptr) *stats_out = stats;
+  return g.ToEdgeList();
+}
+
+}  // namespace gly::datagen

@@ -1,0 +1,71 @@
+#include "datagen/rmat.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace gly::datagen {
+
+Status RmatGenerator::Validate() const {
+  if (config_.scale == 0 || config_.scale > 30) {
+    return Status::InvalidArgument("rmat scale must be in [1, 30]");
+  }
+  if (config_.edge_factor == 0) {
+    return Status::InvalidArgument("rmat edge_factor must be >= 1");
+  }
+  double d = 1.0 - config_.a - config_.b - config_.c;
+  if (config_.a < 0 || config_.b < 0 || config_.c < 0 || d < 0) {
+    return Status::InvalidArgument("rmat quadrant probabilities invalid");
+  }
+  return Status::OK();
+}
+
+Result<EdgeList> RmatGenerator::Generate(ThreadPool* pool) const {
+  GLY_RETURN_NOT_OK(Validate());
+  const uint64_t n = 1ULL << config_.scale;
+  const uint64_t m = n * config_.edge_factor;
+
+  // Vertex permutation (Fisher-Yates with the master seed); identity when
+  // disabled.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (config_.permute_vertices) {
+    Rng prng(DeriveSeed(config_.seed, 0xBEEF));
+    for (uint64_t i = n; i > 1; --i) {
+      uint64_t j = prng.NextBounded(i);
+      std::swap(perm[i - 1], perm[j]);
+    }
+  }
+
+  EdgeList edges(static_cast<VertexId>(n));
+  edges.mutable_edges().resize(m);
+  auto gen = [this, &edges, &perm](size_t begin, size_t end) {
+    const double ab = config_.a + config_.b;
+    const double a_norm = config_.a / ab;
+    const double c_norm =
+        config_.c / (1.0 - ab);  // P(left | bottom half)
+    for (size_t e = begin; e < end; ++e) {
+      Rng rng(DeriveSeed(config_.seed, 0x1000000ULL + e));
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      for (uint32_t bit = 0; bit < config_.scale; ++bit) {
+        // Graph500 noise: jitter quadrant probabilities per level.
+        bool bottom = rng.NextDouble() > ab;
+        bool right = rng.NextDouble() > (bottom ? c_norm : a_norm);
+        src = (src << 1) | (bottom ? 1u : 0u);
+        dst = (dst << 1) | (right ? 1u : 0u);
+      }
+      edges.mutable_edges()[e] = Edge{perm[src], perm[dst]};
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(m, gen);
+  } else {
+    gen(0, m);
+  }
+  return edges;
+}
+
+}  // namespace gly::datagen

@@ -1,0 +1,52 @@
+// RmatGenerator: R-MAT / Graph500-style Kronecker graph generator.
+//
+// Graph500 — "the de facto benchmarking standard ... limited to a single
+// algorithm applied to a synthetic graph model" — generates its input with
+// R-MAT. The paper's Figure 4/5 evaluation uses the "Graph500 23" graph
+// (scale 23, edge factor 16). We implement the same recursive quadrant
+// model (Chakrabarti et al.) with the Graph500 parameters, plus optional
+// vertex permutation to destroy the generator's locality artifacts.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/threadpool.h"
+#include "graph/edge_list.h"
+
+namespace gly::datagen {
+
+/// R-MAT parameters. Defaults are the Graph500 specification.
+struct RmatConfig {
+  uint32_t scale = 16;        ///< num_vertices = 2^scale
+  uint32_t edge_factor = 16;  ///< num_edges = edge_factor * num_vertices
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;            ///< d = 1 - a - b - c
+  /// Randomly permute vertex ids (Graph500 requires this so locality does
+  /// not leak from the recursive construction).
+  bool permute_vertices = true;
+  uint64_t seed = 1;
+};
+
+/// Generates an R-MAT edge list. Deterministic in (config, seed) and
+/// thread-count invariant: each edge is generated from its own derived
+/// RNG stream.
+class RmatGenerator {
+ public:
+  explicit RmatGenerator(RmatConfig config) : config_(config) {}
+
+  Status Validate() const;
+
+  /// Generates the raw directed edge list (duplicates and self-loops
+  /// possible, as in Graph500; build with dedup or keep the multigraph).
+  Result<EdgeList> Generate(ThreadPool* pool = nullptr) const;
+
+  const RmatConfig& config() const { return config_; }
+
+ private:
+  RmatConfig config_;
+};
+
+}  // namespace gly::datagen

@@ -1,0 +1,241 @@
+#include "datagen/social_datagen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace gly::datagen {
+
+namespace {
+
+// Stable sub-stream ids for DeriveSeed.
+enum SeedStream : uint64_t {
+  kPersonStream = 1,
+  kDegreeStream = 2,
+  kPassStreamBase = 16,  // + pass index * 2^20 + block index
+};
+
+// Zipf-ish attribute pick: maps a uniform draw through a power transform so
+// low indices are much more popular. Cheap stand-in for a full zeta sampler
+// over a small attribute space.
+uint32_t SampleSkewedAttribute(Rng& rng, uint32_t space, double alpha) {
+  double u = rng.NextDouble();
+  double x = std::pow(u, alpha);  // concentrates near 0 for alpha > 1
+  uint32_t v = static_cast<uint32_t>(x * space);
+  return v >= space ? space - 1 : v;
+}
+
+// One stub: a slot of a person's degree budget awaiting pairing.
+struct Stub {
+  uint64_t sort_key;  // correlation key (attribute value, tie-broken)
+  VertexId person;
+};
+
+// Sorts stubs by key and pairs them within deterministic shuffled windows.
+// Appends resulting edges to `out`. Deterministic in (seed, pass_id).
+void PairStubsWindowed(std::vector<Stub>& stubs, uint64_t window_size,
+                       uint64_t seed, uint64_t pass_id, ThreadPool* pool,
+                       EdgeList* out) {
+  if (stubs.size() < 2) return;
+  std::sort(stubs.begin(), stubs.end(), [](const Stub& a, const Stub& b) {
+    return a.sort_key != b.sort_key ? a.sort_key < b.sort_key
+                                    : a.person < b.person;
+  });
+  const uint64_t n = stubs.size();
+  const uint64_t num_blocks = (n + window_size - 1) / window_size;
+
+  // Per-block: Fisher-Yates shuffle the window with a block-seeded RNG,
+  // then pair adjacent stubs. Blocks are independent -> parallel safe and
+  // thread-count invariant.
+  std::vector<EdgeList> block_edges(num_blocks);
+  auto run_block = [&](size_t b) {
+    const uint64_t begin = b * window_size;
+    const uint64_t end = std::min(n, begin + window_size);
+    const uint64_t len = end - begin;
+    Rng rng(DeriveSeed(seed, kPassStreamBase + pass_id * (1ULL << 20) + b));
+    std::vector<uint32_t> idx(len);
+    std::iota(idx.begin(), idx.end(), 0);
+    for (uint64_t i = len; i > 1; --i) {
+      uint64_t j = rng.NextBounded(i);
+      std::swap(idx[i - 1], idx[j]);
+    }
+    EdgeList& edges = block_edges[b];
+    edges.Reserve(len / 2);
+    for (uint64_t i = 0; i + 1 < len; i += 2) {
+      VertexId u = stubs[begin + idx[i]].person;
+      VertexId v = stubs[begin + idx[i + 1]].person;
+      if (u == v) continue;  // self-pairing: budget lost, as in Datagen
+      edges.Add(u, v);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_blocks, run_block);
+  } else {
+    for (size_t b = 0; b < num_blocks; ++b) run_block(b);
+  }
+  for (auto& e : block_edges) out->Append(e);
+}
+
+}  // namespace
+
+SocialDatagen::SocialDatagen(SocialDatagenConfig config)
+    : config_(std::move(config)) {}
+
+Status SocialDatagen::Validate() const {
+  if (config_.num_persons < 2) {
+    return Status::InvalidArgument("num_persons must be >= 2");
+  }
+  if (config_.num_persons > kInvalidVertex) {
+    return Status::InvalidArgument("num_persons exceeds VertexId range");
+  }
+  if (config_.window_size < 2) {
+    return Status::InvalidArgument("window_size must be >= 2");
+  }
+  double total = config_.university_fraction + config_.interest_fraction +
+                 config_.random_fraction;
+  if (total > 1.0 + 1e-9) {
+    return Status::InvalidArgument("pass fractions must sum to <= 1");
+  }
+  if (config_.university_fraction < 0 || config_.interest_fraction < 0 ||
+      config_.random_fraction < 0) {
+    return Status::InvalidArgument("pass fractions must be non-negative");
+  }
+  if (config_.num_locations == 0 || config_.universities_per_location == 0 ||
+      config_.num_interests == 0) {
+    return Status::InvalidArgument("attribute spaces must be non-empty");
+  }
+  return MakeDegreePlugin(config_.degree_spec).status();
+}
+
+std::vector<Person> SocialDatagen::GeneratePersons(ThreadPool* pool) const {
+  std::vector<Person> persons(config_.num_persons);
+  auto gen = [this, &persons](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng(DeriveSeed(config_.seed, kPersonStream * (1ULL << 40) + i));
+      Person& p = persons[i];
+      p.location = SampleSkewedAttribute(rng, config_.num_locations,
+                                         config_.attribute_zipf_alpha);
+      // University correlated with location: most people study where they
+      // live (S3G2's correlated property generation).
+      uint32_t local_univ = static_cast<uint32_t>(
+          rng.NextBounded(config_.universities_per_location));
+      if (rng.NextDouble() < 0.1) {
+        // 10% study in a different (random) location.
+        uint32_t other = static_cast<uint32_t>(
+            rng.NextBounded(config_.num_locations));
+        p.university = other * config_.universities_per_location + local_univ;
+      } else {
+        p.university =
+            p.location * config_.universities_per_location + local_univ;
+      }
+      p.interest = SampleSkewedAttribute(rng, config_.num_interests,
+                                         config_.attribute_zipf_alpha);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(persons.size(), gen);
+  } else {
+    gen(0, persons.size());
+  }
+  return persons;
+}
+
+std::vector<uint32_t> SocialDatagen::SampleDegrees(const DegreePlugin& plugin,
+                                                   ThreadPool* pool) const {
+  std::vector<uint32_t> degrees(config_.num_persons);
+  auto gen = [this, &plugin, &degrees](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng(DeriveSeed(config_.seed, kDegreeStream * (1ULL << 40) + i));
+      uint64_t d = plugin.Sample(rng);
+      // Degrees are capped at the person count (can't know more people than
+      // exist).
+      degrees[i] = static_cast<uint32_t>(
+          std::min<uint64_t>(d, config_.num_persons - 1));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(degrees.size(), gen);
+  } else {
+    gen(0, degrees.size());
+  }
+  return degrees;
+}
+
+Result<SocialGraph> SocialDatagen::Generate(ThreadPool* pool) const {
+  GLY_RETURN_NOT_OK(Validate());
+  GLY_ASSIGN_OR_RETURN(std::unique_ptr<DegreePlugin> plugin,
+                       MakeDegreePlugin(config_.degree_spec));
+
+  SocialGraph out;
+  out.persons = GeneratePersons(pool);
+  std::vector<uint32_t> degrees = SampleDegrees(*plugin, pool);
+
+  // Split each person's degree budget across the passes with largest-
+  // remainder rounding, so the per-person total is exact.
+  struct PassSpec {
+    double fraction;
+    uint64_t pass_id;
+  };
+  const PassSpec passes[3] = {
+      {config_.university_fraction, 0},
+      {config_.interest_fraction, 1},
+      {config_.random_fraction, 2},
+  };
+
+  out.edges.EnsureVertices(static_cast<VertexId>(config_.num_persons));
+
+  for (const PassSpec& pass : passes) {
+    if (pass.fraction <= 0.0) continue;
+    // Stubs for this pass. Each edge consumes two stubs, so a person with
+    // budget b contributes b stubs and ends with ~b edges total across
+    // passes (each pairing grants one edge to each endpoint).
+    std::vector<Stub> stubs;
+    stubs.reserve(static_cast<size_t>(
+        static_cast<double>(config_.num_persons) * pass.fraction *
+        plugin->MeanDegree()));
+    for (uint64_t i = 0; i < config_.num_persons; ++i) {
+      // Deterministic largest-remainder-ish split: floor + seeded coin for
+      // the fractional part.
+      double exact = degrees[i] * pass.fraction;
+      uint64_t whole = static_cast<uint64_t>(exact);
+      Rng coin(DeriveSeed(config_.seed,
+                          (pass.pass_id + 7) * (1ULL << 40) + i));
+      if (coin.NextDouble() < exact - static_cast<double>(whole)) ++whole;
+      uint64_t attribute;
+      switch (pass.pass_id) {
+        case 0:
+          attribute = out.persons[i].university;
+          break;
+        case 1:
+          attribute = out.persons[i].interest;
+          break;
+        default:
+          attribute = 0;  // random pass: no attribute grouping
+      }
+      for (uint64_t s = 0; s < whole; ++s) {
+        // Key layout: [attribute | per-stub jitter]. The jitter spreads one
+        // person's stubs across their attribute group (instead of clumping
+        // adjacently), which keeps self-pairings and duplicate edges rare
+        // even for high-degree persons — preserving the plugin's degree
+        // distribution. In the random pass the key is pure jitter, giving
+        // uniform long-range pairing.
+        uint64_t jitter = coin.Next() & 0xFFFFFFFFULL;
+        stubs.push_back(
+            Stub{(attribute << 32) | jitter, static_cast<VertexId>(i)});
+      }
+    }
+    PairStubsWindowed(stubs, config_.window_size, config_.seed, pass.pass_id,
+                      pool, &out.edges);
+  }
+
+  // Canonicalize undirected orientation (u < v) so a pair connected in two
+  // different passes collapses to one edge, then dedup.
+  for (Edge& e : out.edges.mutable_edges()) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  out.edges.DeduplicateAndDropLoops();
+  return out;
+}
+
+}  // namespace gly::datagen

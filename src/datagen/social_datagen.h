@@ -1,0 +1,110 @@
+// SocialDatagen: the LDBC-SNB-style social network generator.
+//
+// Reproduces the person-knows-person generation pipeline of Datagen/S3G2
+// (Pham, Boncz, Erling, TPCTC 2012) as used by Graphalytics:
+//
+//  1. Person generation — each person gets correlated attributes
+//     (location, university, interest): university choice is correlated
+//     with location, interest is drawn from a shared Zipfian pool. This is
+//     S3G2's "nodes are structurally correlated based on their attributes".
+//  2. Degree assignment — a pluggable degree distribution (degree_plugin.h)
+//     assigns each person a target number of "knows" edges.
+//  3. Windowed correlated edge generation — multiple passes; in each pass
+//     persons are sorted along one correlation dimension (university,
+//     interest, random) and edge stubs are paired within a bounded sliding
+//     window of the sorted order. Pairing within a window connects persons
+//     with similar attributes (community structure); the final random pass
+//     adds long-range edges. Stub pairing preserves the sampled degree
+//     sequence up to duplicate/self-loop losses, which is what lets the
+//     plugins reproduce their distributions (paper Figure 1).
+//
+// The whole pipeline is deterministic for a fixed (config, seed): every
+// random decision draws from an Rng seeded by DeriveSeed(seed, stable_id),
+// never from shared mutable state — so block-parallel execution returns
+// bit-identical graphs regardless of thread count ("it is deterministic,
+// guaranteeing reproducible results and fair comparisons").
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/threadpool.h"
+#include "datagen/degree_plugin.h"
+#include "graph/edge_list.h"
+
+namespace gly::datagen {
+
+/// Attributes of one generated person (the correlation dimensions).
+struct Person {
+  uint32_t location = 0;
+  uint32_t university = 0;
+  uint32_t interest = 0;
+};
+
+/// Generator parameters.
+struct SocialDatagenConfig {
+  /// Number of persons (vertices).
+  uint64_t num_persons = 10000;
+
+  /// Degree plugin spec (see MakeDegreePlugin), e.g. "zeta:alpha=1.7".
+  std::string degree_spec = "facebook:mean=20";
+
+  /// Sliding-window size in stubs for the correlated passes.
+  uint64_t window_size = 512;
+
+  /// Fraction of each person's degree budget spent per pass. Must sum to
+  /// <= 1; the remainder is dropped. Defaults mirror Datagen's split:
+  /// most edges correlated, a minority fully random.
+  double university_fraction = 0.45;
+  double interest_fraction = 0.35;
+  double random_fraction = 0.20;
+
+  /// Attribute-space sizes.
+  uint32_t num_locations = 50;
+  uint32_t universities_per_location = 20;
+  uint32_t num_interests = 1000;
+
+  /// Zipf exponent for attribute popularity (locations/interests are
+  /// skewed in real social networks).
+  double attribute_zipf_alpha = 1.3;
+
+  /// Master seed.
+  uint64_t seed = 42;
+};
+
+/// Output of a generation run.
+struct SocialGraph {
+  EdgeList edges;               ///< undirected person-knows-person edges
+  std::vector<Person> persons;  ///< per-vertex attributes
+};
+
+/// The generator. Thread-safe for concurrent Generate calls with distinct
+/// configs.
+class SocialDatagen {
+ public:
+  explicit SocialDatagen(SocialDatagenConfig config);
+
+  /// Validates the config.
+  Status Validate() const;
+
+  /// Runs the full pipeline on `pool` (or single-threaded when null).
+  Result<SocialGraph> Generate(ThreadPool* pool = nullptr) const;
+
+  /// Step 1 only: persons with correlated attributes.
+  std::vector<Person> GeneratePersons(ThreadPool* pool) const;
+
+  /// Step 2 only: per-person target degrees.
+  std::vector<uint32_t> SampleDegrees(const DegreePlugin& plugin,
+                                      ThreadPool* pool) const;
+
+  const SocialDatagenConfig& config() const { return config_; }
+
+ private:
+  SocialDatagenConfig config_;
+};
+
+}  // namespace gly::datagen

@@ -1,0 +1,143 @@
+#include "datagen/structure_targets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/metrics.h"
+#include "common/macros.h"
+#include "datagen/rewire.h"
+#include "datagen/social_datagen.h"
+#include "graph/graph.h"
+
+namespace gly::datagen {
+
+namespace {
+
+// Generates a candidate graph: (1-closure_fraction) of the edge budget from
+// the windowed generator, the rest as wedge-closing edges.
+Result<EdgeList> GenerateCandidate(const StructureTargets& targets,
+                                   double closure_fraction,
+                                   ThreadPool* pool) {
+  const uint64_t closure_edges = static_cast<uint64_t>(
+      static_cast<double>(targets.num_edges) * closure_fraction);
+  const uint64_t base_edges = targets.num_edges - closure_edges;
+
+  SocialDatagenConfig config;
+  config.num_persons = targets.num_vertices;
+  config.degree_spec = targets.degree_spec;
+  config.window_size = 128;
+  config.seed = targets.seed;
+  // The plugin controls degree *shape*; rescale the edge count by thinning
+  // or repeating the stub budget via pass fractions is fragile, so instead
+  // generate at the plugin's natural density and trim/extend below.
+  SocialDatagen generator(config);
+  GLY_ASSIGN_OR_RETURN(SocialGraph social, generator.Generate(pool));
+  EdgeList edges = std::move(social.edges);
+
+  // Trim to the base budget (deterministically: keep a prefix of a seeded
+  // shuffle) or top up with random long-range edges.
+  Rng rng(DeriveSeed(targets.seed, 0xC0FFEE));
+  std::vector<Edge>& es = edges.mutable_edges();
+  for (size_t i = es.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(es[i - 1], es[j]);
+  }
+  if (es.size() > base_edges) {
+    es.resize(base_edges);
+  } else {
+    while (es.size() < base_edges) {
+      VertexId a = static_cast<VertexId>(rng.NextBounded(targets.num_vertices));
+      VertexId b = static_cast<VertexId>(rng.NextBounded(targets.num_vertices));
+      if (a != b) es.push_back(Edge{a, b});
+    }
+  }
+  edges.EnsureVertices(static_cast<VertexId>(targets.num_vertices));
+
+  // Triad closure: repeatedly pick a vertex, pick two of its neighbors,
+  // close the wedge. Operates on an adjacency snapshot refreshed in rounds
+  // so new triangles compound (as in the Holme–Kim model).
+  uint64_t remaining = closure_edges;
+  while (remaining > 0) {
+    GLY_ASSIGN_OR_RETURN(Graph g, GraphBuilder::Undirected(edges));
+    uint64_t this_round = std::min<uint64_t>(remaining, closure_edges / 2 + 1);
+    uint64_t added = 0;
+    uint64_t attempts = 0;
+    const uint64_t max_attempts = this_round * 50;
+    while (added < this_round && attempts < max_attempts) {
+      ++attempts;
+      VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+      auto nbrs = g.OutNeighbors(v);
+      if (nbrs.size() < 2) continue;
+      VertexId u = nbrs[rng.NextBounded(nbrs.size())];
+      VertexId w = nbrs[rng.NextBounded(nbrs.size())];
+      if (u == w || g.HasEdge(u, w)) continue;
+      edges.Add(u, w);
+      ++added;
+    }
+    if (added == 0) break;  // saturated
+    remaining -= added;
+  }
+  edges.DeduplicateAndDropLoops();
+  return edges;
+}
+
+}  // namespace
+
+Result<StructureResult> GenerateWithTargets(const StructureTargets& targets,
+                                            ThreadPool* pool) {
+  if (targets.num_vertices < 3 || targets.num_edges < 3) {
+    return Status::InvalidArgument("targets too small");
+  }
+  // Bisection on the closure fraction against the measured average CC.
+  double lo = 0.0;
+  double hi = 0.9;
+  double best_fraction = 0.0;
+  EdgeList best_edges;
+  double best_cc = -1.0;
+  for (uint32_t step = 0; step < targets.closure_bisection_steps; ++step) {
+    double mid = (step == 0) ? std::min(0.9, targets.target_average_clustering)
+                             : (lo + hi) / 2.0;
+    GLY_ASSIGN_OR_RETURN(EdgeList candidate,
+                         GenerateCandidate(targets, mid, pool));
+    GLY_ASSIGN_OR_RETURN(Graph g, GraphBuilder::Undirected(candidate));
+    double cc = AverageClusteringCoefficient(g, pool);
+    if (best_cc < 0 || std::abs(cc - targets.target_average_clustering) <
+                           std::abs(best_cc -
+                                    targets.target_average_clustering)) {
+      best_cc = cc;
+      best_fraction = mid;
+      best_edges = std::move(candidate);
+    }
+    if (cc < targets.target_average_clustering) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  // Assortativity rewiring with a clustering anchor.
+  RewireConfig rewire;
+  rewire.target_assortativity = targets.target_assortativity;
+  rewire.assortativity_weight = 1.0;
+  {
+    GLY_ASSIGN_OR_RETURN(Graph g, GraphBuilder::Undirected(best_edges));
+    rewire.target_clustering = GlobalClusteringCoefficient(g, pool);
+  }
+  rewire.clustering_weight = 0.5;
+  rewire.max_iterations = targets.rewire_iterations;
+  rewire.seed = DeriveSeed(targets.seed, 0xAB);
+  RewireStats rewire_stats;
+  GLY_ASSIGN_OR_RETURN(EdgeList rewired,
+                       GraphRewirer(rewire).Rewire(best_edges, &rewire_stats));
+
+  StructureResult result;
+  GLY_ASSIGN_OR_RETURN(Graph final_graph, GraphBuilder::Undirected(rewired));
+  result.average_clustering = AverageClusteringCoefficient(final_graph, pool);
+  result.global_clustering = GlobalClusteringCoefficient(final_graph, pool);
+  result.assortativity = DegreeAssortativity(final_graph);
+  result.closure_fraction_used = best_fraction;
+  result.edges = std::move(rewired);
+  return result;
+}
+
+}  // namespace gly::datagen

@@ -1,0 +1,27 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace gly {
+
+void EdgeList::Add(VertexId src, VertexId dst) {
+  edges_.push_back(Edge{src, dst});
+  VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::Append(const EdgeList& other) {
+  edges_.insert(edges_.end(), other.edges_.begin(), other.edges_.end());
+  EnsureVertices(other.num_vertices_);
+}
+
+void EdgeList::DeduplicateAndDropLoops() {
+  edges_.erase(
+      std::remove_if(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.src == e.dst; }),
+      edges_.end());
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+}  // namespace gly

@@ -1,0 +1,54 @@
+// EdgeList: mutable edge container, the interchange format between the
+// generators, the file loaders, and the CSR builder.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace gly {
+
+/// A bag of directed edges plus a vertex-count bound.
+///
+/// Conventions: vertices are dense ids `[0, num_vertices)`. For undirected
+/// graphs, store each edge once in either orientation and build the Graph
+/// with `GraphBuilder::Undirected`; the builder mirrors edges.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Appends edge (src, dst); grows the vertex bound as needed.
+  void Add(VertexId src, VertexId dst);
+
+  /// Appends all edges of `other`.
+  void Append(const EdgeList& other);
+
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  /// Removes duplicate edges and self-loops (in place; sorts edges).
+  void DeduplicateAndDropLoops();
+
+  /// Grows the vertex bound (no-op if already >= n).
+  void EnsureVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  const Edge& operator[](size_t i) const { return edges_[i]; }
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace gly

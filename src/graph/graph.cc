@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gly {
+
+namespace {
+
+// Builds (offsets, targets) CSR arrays from `edges` keyed on `key`,
+// storing `value` per edge. Targets within a row come out sorted because we
+// sort the edge array first.
+void BuildCsr(std::vector<Edge>& edges, VertexId num_vertices, bool by_src,
+              std::vector<EdgeIndex>* offsets, std::vector<VertexId>* targets) {
+  std::sort(edges.begin(), edges.end(), [by_src](const Edge& a, const Edge& b) {
+    VertexId ka = by_src ? a.src : a.dst;
+    VertexId kb = by_src ? b.src : b.dst;
+    VertexId va = by_src ? a.dst : a.src;
+    VertexId vb = by_src ? b.dst : b.src;
+    return ka != kb ? ka < kb : va < vb;
+  });
+  offsets->assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    VertexId k = by_src ? e.src : e.dst;
+    ++(*offsets)[k + 1];
+  }
+  for (size_t i = 1; i < offsets->size(); ++i) (*offsets)[i] += (*offsets)[i - 1];
+  targets->resize(edges.size());
+  // Edges are sorted by key, so a single pass fills targets in order.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    (*targets)[i] = by_src ? edges[i].dst : edges[i].src;
+  }
+}
+
+}  // namespace
+
+bool Graph::HasEdge(VertexId src, VertexId dst) const {
+  auto nbrs = OutNeighbors(src);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeIndex) +
+         out_targets_.size() * sizeof(VertexId) +
+         in_offsets_.size() * sizeof(EdgeIndex) +
+         in_targets_.size() * sizeof(VertexId);
+}
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList out(num_vertices());
+  out.Reserve(num_edges_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (VertexId w : OutNeighbors(v)) {
+      if (undirected_ && w < v) continue;  // emit each mirrored pair once
+      out.Add(v, w);
+    }
+  }
+  return out;
+}
+
+Status Graph::Validate() const {
+  if (out_offsets_.empty()) {
+    if (num_edges_ != 0) return Status::Internal("edges without vertices");
+    return Status::OK();
+  }
+  if (out_offsets_.front() != 0 || out_offsets_.back() != out_targets_.size()) {
+    return Status::Internal("out offsets do not cover targets");
+  }
+  if (in_offsets_.front() != 0 || in_offsets_.back() != in_targets_.size()) {
+    return Status::Internal("in offsets do not cover targets");
+  }
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (out_offsets_[v] > out_offsets_[v + 1]) {
+      return Status::Internal("out offsets not monotone at " + std::to_string(v));
+    }
+    auto nbrs = OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) return Status::Internal("target out of range");
+      if (i > 0 && nbrs[i - 1] > nbrs[i]) {
+        return Status::Internal("adjacency not sorted at vertex " +
+                                std::to_string(v));
+      }
+    }
+  }
+  // out and in must describe the same multiset of edges.
+  if (out_targets_.size() != in_targets_.size()) {
+    return Status::Internal("in/out entry count mismatch");
+  }
+  if (undirected_) {
+    // Every (v,w) must have a mirror (w,v).
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w : OutNeighbors(v)) {
+        if (!HasEdge(w, v)) {
+          return Status::Internal(StringPrintf(
+              "undirected graph missing mirror edge (%u,%u)", w, v));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Directed(const EdgeList& edges, bool dedup) {
+  Graph g;
+  g.undirected_ = false;
+  std::vector<Edge> work = edges.edges();
+  if (dedup) {
+    work.erase(std::remove_if(work.begin(), work.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               work.end());
+    std::sort(work.begin(), work.end());
+    work.erase(std::unique(work.begin(), work.end()), work.end());
+  }
+  g.num_edges_ = work.size();
+  BuildCsr(work, edges.num_vertices(), /*by_src=*/true, &g.out_offsets_,
+           &g.out_targets_);
+  BuildCsr(work, edges.num_vertices(), /*by_src=*/false, &g.in_offsets_,
+           &g.in_targets_);
+  return g;
+}
+
+Result<Graph> GraphBuilder::Undirected(const EdgeList& edges) {
+  Graph g;
+  g.undirected_ = true;
+  std::vector<Edge> work;
+  work.reserve(edges.num_edges() * 2);
+  for (const Edge& e : edges.edges()) {
+    if (e.src == e.dst) continue;
+    // Canonical orientation first, then mirror; dedup below removes repeats.
+    work.push_back(Edge{e.src, e.dst});
+    work.push_back(Edge{e.dst, e.src});
+  }
+  std::sort(work.begin(), work.end());
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+  g.num_edges_ = work.size() / 2;
+  BuildCsr(work, edges.num_vertices(), /*by_src=*/true, &g.out_offsets_,
+           &g.out_targets_);
+  BuildCsr(work, edges.num_vertices(), /*by_src=*/false, &g.in_offsets_,
+           &g.in_targets_);
+  return g;
+}
+
+}  // namespace gly

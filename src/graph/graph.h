@@ -1,0 +1,99 @@
+// Graph: immutable CSR (compressed sparse row) adjacency structure.
+//
+// This is the shared in-memory graph representation. Directed graphs carry
+// both out- and in-adjacency; undirected graphs mirror every edge so that
+// `OutNeighbors` returns the full neighborhood.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gly {
+
+/// Immutable CSR graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// True if built from `GraphBuilder::Undirected` (edges mirrored).
+  bool undirected() const { return undirected_; }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+
+  /// Number of *logical* edges: directed edge count, or undirected edge
+  /// count (each mirrored pair counted once).
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Number of stored adjacency entries (== 2*num_edges for undirected).
+  uint64_t num_adjacency_entries() const { return out_targets_.size(); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  uint64_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  uint64_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Degree for undirected analysis: out-degree (== full neighborhood for
+  /// undirected graphs; for directed graphs callers usually want
+  /// out+in separately).
+  uint64_t Degree(VertexId v) const { return OutDegree(v); }
+
+  /// Binary search for edge (src, dst) in the out-adjacency. O(log deg).
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  /// Estimated resident bytes of the CSR arrays.
+  uint64_t MemoryBytes() const;
+
+  /// Converts back to an edge list (one entry per logical edge).
+  EdgeList ToEdgeList() const;
+
+  /// Internal consistency check (sorted adjacency, offset monotonicity,
+  /// in/out symmetry). Intended for tests.
+  Status Validate() const;
+
+ private:
+  friend class GraphBuilder;
+
+  bool undirected_ = false;
+  uint64_t num_edges_ = 0;
+  std::vector<EdgeIndex> out_offsets_;  // size num_vertices + 1
+  std::vector<VertexId> out_targets_;
+  std::vector<EdgeIndex> in_offsets_;
+  std::vector<VertexId> in_targets_;
+};
+
+/// Builds CSR graphs from edge lists.
+class GraphBuilder {
+ public:
+  /// Builds a directed graph. Duplicate edges and self-loops are kept unless
+  /// `dedup` is true.
+  static Result<Graph> Directed(const EdgeList& edges, bool dedup = true);
+
+  /// Builds an undirected graph: each input edge (u,v) appears in both
+  /// adjacency lists. Self-loops are dropped; duplicates (in either
+  /// orientation) are merged.
+  static Result<Graph> Undirected(const EdgeList& edges);
+};
+
+}  // namespace gly

@@ -1,0 +1,139 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace gly {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'L', 'Y', 'E', 'D', 'G', 'E', '1'};
+}  // namespace
+
+Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# graphalytics edge list: " << edges.num_vertices() << " vertices, "
+      << edges.num_edges() << " edges\n";
+  for (const Edge& e : edges.edges()) {
+    out << e.src << ' ' << e.dst << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EdgeList> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  EdgeList edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = SplitWhitespace(sv);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          StringPrintf("%s:%zu: expected 'src dst'", path.c_str(), line_no));
+    }
+    GLY_ASSIGN_OR_RETURN(uint64_t src, ParseUint64(fields[0]));
+    GLY_ASSIGN_OR_RETURN(uint64_t dst, ParseUint64(fields[1]));
+    if (src > kInvalidVertex - 1 || dst > kInvalidVertex - 1) {
+      return Status::InvalidArgument(
+          StringPrintf("%s:%zu: vertex id too large", path.c_str(), line_no));
+    }
+    edges.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+  }
+  return edges;
+}
+
+Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  uint64_t nv = edges.num_vertices();
+  uint64_t ne = edges.num_edges();
+  out.write(reinterpret_cast<const char*>(&nv), sizeof(nv));
+  out.write(reinterpret_cast<const char*>(&ne), sizeof(ne));
+  out.write(reinterpret_cast<const char*>(edges.edges().data()),
+            static_cast<std::streamsize>(ne * sizeof(Edge)));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint64_t nv = 0;
+  uint64_t ne = 0;
+  in.read(reinterpret_cast<char*>(&nv), sizeof(nv));
+  in.read(reinterpret_cast<char*>(&ne), sizeof(ne));
+  if (!in) return Status::IOError("truncated header in " + path);
+  if (nv > kInvalidVertex) {
+    return Status::InvalidArgument("vertex count too large in " + path);
+  }
+  EdgeList edges(static_cast<VertexId>(nv));
+  edges.mutable_edges().resize(ne);
+  in.read(reinterpret_cast<char*>(edges.mutable_edges().data()),
+          static_cast<std::streamsize>(ne * sizeof(Edge)));
+  if (!in) return Status::IOError("truncated edge data in " + path);
+  for (const Edge& e : edges.edges()) {
+    if (e.src >= nv || e.dst >= nv) {
+      return Status::InvalidArgument("edge endpoint out of range in " + path);
+    }
+  }
+  return edges;
+}
+
+Status WriteVertexFile(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    out << v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ApplyVertexFile(const std::string& path, EdgeList* edges) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    GLY_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(sv));
+    if (v >= kInvalidVertex) {
+      return Status::InvalidArgument(
+          StringPrintf("%s:%zu: vertex id too large", path.c_str(), line_no));
+    }
+    edges->EnsureVertices(static_cast<VertexId>(v) + 1);
+  }
+  return Status::OK();
+}
+
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix) {
+  GLY_ASSIGN_OR_RETURN(EdgeList edges, ReadEdgeListText(prefix + ".e"));
+  std::ifstream probe(prefix + ".v");
+  if (probe) {
+    probe.close();
+    GLY_RETURN_NOT_OK(ApplyVertexFile(prefix + ".v", &edges));
+  }
+  return edges;
+}
+
+}  // namespace gly

@@ -1,0 +1,47 @@
+// Graph I/O: the Graphalytics dataset interchange formats.
+//
+// Text format (".e" edge files, as used by LDBC Graphalytics): one edge per
+// line, `src dst`, '#'-prefixed comment lines allowed. A companion ".v"
+// vertex file (one vertex id per line) is optional; when absent the vertex
+// set is inferred from edge endpoints.
+//
+// Binary format: a compact little-endian dump used for the preconfigured
+// dataset cache ("a database for Datasets, which includes preconfigured
+// graphs ready to be used").
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace gly {
+
+/// Writes `edges` as a text edge file (one `src dst` line per edge).
+Status WriteEdgeListText(const EdgeList& edges, const std::string& path);
+
+/// Reads a text edge file.
+Result<EdgeList> ReadEdgeListText(const std::string& path);
+
+/// Writes the compact binary format (magic, counts, raw edge array).
+Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
+
+/// Reads the compact binary format.
+Result<EdgeList> ReadEdgeListBinary(const std::string& path);
+
+/// Writes the companion ".v" vertex file: one vertex id per line for every
+/// vertex in [0, num_vertices). (LDBC Graphalytics datasets ship a ".v"
+/// alongside each ".e" so isolated vertices are representable.)
+Status WriteVertexFile(const EdgeList& edges, const std::string& path);
+
+/// Reads a ".v" vertex file and raises `edges`' vertex bound to cover every
+/// listed id, so vertices that appear only in the vertex file (isolated
+/// vertices) are part of the graph.
+Status ApplyVertexFile(const std::string& path, EdgeList* edges);
+
+/// Loads a Graphalytics dataset: `<prefix>.e` (required) plus
+/// `<prefix>.v` (optional).
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix);
+
+}  // namespace gly

@@ -1,0 +1,58 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gly {
+
+BalancedEdgePartitioner::BalancedEdgePartitioner(const Graph& graph,
+                                                 uint32_t num_partitions)
+    : num_partitions_(num_partitions),
+      assignment_(graph.num_vertices(), 0),
+      loads_(num_partitions, 0) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    uint64_t da = graph.OutDegree(a);
+    uint64_t db = graph.OutDegree(b);
+    return da != db ? da > db : a < b;
+  });
+  for (VertexId v : order) {
+    uint32_t best = 0;
+    for (uint32_t p = 1; p < num_partitions_; ++p) {
+      if (loads_[p] < loads_[best]) best = p;
+    }
+    assignment_[v] = best;
+    // +1 so zero-degree vertices still spread across partitions.
+    loads_[best] += graph.OutDegree(v) + 1;
+  }
+}
+
+double EdgeCutRatio(const Graph& graph, const Partitioner& partitioner) {
+  if (graph.num_adjacency_entries() == 0) return 0.0;
+  uint64_t cut = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    uint32_t pv = partitioner.PartitionOf(v);
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (partitioner.PartitionOf(w) != pv) ++cut;
+    }
+  }
+  return static_cast<double>(cut) /
+         static_cast<double>(graph.num_adjacency_entries());
+}
+
+double LoadImbalance(const Graph& graph, const Partitioner& partitioner) {
+  uint32_t p = partitioner.num_partitions();
+  if (p == 0 || graph.num_vertices() == 0) return 1.0;
+  std::vector<uint64_t> loads(p, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    loads[partitioner.PartitionOf(v)] += graph.OutDegree(v) + 1;
+  }
+  uint64_t total = std::accumulate(loads.begin(), loads.end(), uint64_t{0});
+  uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  double mean = static_cast<double>(total) / p;
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_load) / mean;
+}
+
+}  // namespace gly

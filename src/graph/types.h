@@ -1,0 +1,36 @@
+// Core graph identifier types shared across all modules.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gly {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Edge offset/index type (CSR offsets can exceed 2^32 on large graphs).
+using EdgeIndex = uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel distance for unreachable vertices in traversal outputs.
+inline constexpr int64_t kUnreachable = std::numeric_limits<int64_t>::max();
+
+/// A directed edge (src -> dst).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+}  // namespace gly

@@ -1,0 +1,279 @@
+#include "graphdb/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/memory_budget.h"
+#include "graphdb/traversal.h"
+
+namespace gly::graphdb {
+
+namespace {
+
+// Fetches a node's algorithm-facing neighborhood: full neighborhood for
+// undirected graphs, out-neighbors for directed; ascending order to match
+// the CSR platforms.
+Status FetchSortedNeighbors(GraphStore* store, VertexId node, bool undirected,
+                            std::vector<VertexId>* out) {
+  GLY_RETURN_NOT_OK(
+      store->CollectNeighbors(node, /*outgoing_only=*/!undirected, out));
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+Result<AlgorithmOutput> RunBfs(GraphStore* store, bool undirected,
+                               const BfsParams& params, DbRunStats* stats) {
+  AlgorithmOutput out;
+  out.vertex_values.assign(store->node_count(), kUnreachable);
+  if (params.source >= store->node_count()) return out;
+  TraversalStats tstats;
+  GLY_RETURN_NOT_OK(Traverse(
+      store, params.source, TraversalOrder::kBreadthFirst,
+      undirected ? Expand::kBoth : Expand::kOutgoing,
+      [&out](VertexId node, uint32_t depth) {
+        out.vertex_values[node] = depth;
+        return true;
+      },
+      &tstats));
+  out.traversed_edges = tstats.relationships_expanded;
+  if (stats != nullptr) stats->relationships_expanded = tstats.relationships_expanded;
+  return out;
+}
+
+Result<AlgorithmOutput> RunConn(GraphStore* store, DbRunStats* stats) {
+  // Connectivity is over the undirected structure; the store's chains give
+  // both directions with Expand::kBoth.
+  AlgorithmOutput out;
+  const VertexId n = static_cast<VertexId>(store->node_count());
+  out.vertex_values.assign(n, -1);
+  uint64_t expanded = 0;
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.vertex_values[start] != -1) continue;
+    TraversalStats tstats;
+    GLY_RETURN_NOT_OK(Traverse(
+        store, start, TraversalOrder::kBreadthFirst, Expand::kBoth,
+        [&out, start](VertexId node, uint32_t) {
+          out.vertex_values[node] = start;
+          return true;
+        },
+        &tstats));
+    expanded += tstats.relationships_expanded;
+  }
+  out.traversed_edges = expanded;
+  if (stats != nullptr) stats->relationships_expanded = expanded;
+  return out;
+}
+
+Result<AlgorithmOutput> RunCd(GraphStore* store, bool undirected,
+                              const CdParams& params, DbRunStats* stats) {
+  const VertexId n = static_cast<VertexId>(store->node_count());
+  std::vector<int64_t> labels(n);
+  std::vector<double> scores(n, 1.0);
+  std::iota(labels.begin(), labels.end(), 0);
+  std::vector<int64_t> new_labels(n);
+  std::vector<double> new_scores(n);
+  std::vector<VertexId> nbrs;
+  uint64_t expanded = 0;
+  for (uint32_t iter = 0; iter < params.max_iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
+      expanded += nbrs.size();
+      if (nbrs.empty()) {
+        new_labels[v] = labels[v];
+        new_scores[v] = scores[v];
+        continue;
+      }
+      std::vector<LabelScore> incoming;
+      incoming.reserve(nbrs.size());
+      for (VertexId w : nbrs) {
+        incoming.push_back(LabelScore{labels[w], scores[w]});
+      }
+      LabelScore adopted = CdAdoptLabel(incoming, params.hop_attenuation);
+      new_labels[v] = adopted.label;
+      new_scores[v] = adopted.score;
+    }
+    labels.swap(new_labels);
+    scores.swap(new_scores);
+  }
+  AlgorithmOutput out;
+  out.vertex_values = std::move(labels);
+  out.traversed_edges = expanded;
+  if (stats != nullptr) stats->relationships_expanded = expanded;
+  return out;
+}
+
+Result<AlgorithmOutput> RunStatsAlgorithm(GraphStore* store, bool undirected,
+                                          uint64_t num_logical_edges,
+                                          DbRunStats* stats) {
+  const VertexId n = static_cast<VertexId>(store->node_count());
+  double sum = 0.0;
+  std::vector<VertexId> nbrs;
+  std::vector<VertexId> their;
+  uint64_t expanded = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
+    expanded += nbrs.size();
+    uint64_t deg = nbrs.size();
+    if (deg < 2) continue;
+    uint64_t links = 0;
+    for (VertexId u : nbrs) {
+      GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, u, undirected, &their));
+      expanded += their.size();
+      size_t a = 0;
+      size_t b = 0;
+      while (a < their.size() && b < nbrs.size()) {
+        if (their[a] < nbrs[b]) {
+          ++a;
+        } else if (their[a] > nbrs[b]) {
+          ++b;
+        } else {
+          ++links;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    sum += static_cast<double>(links) /
+           (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  AlgorithmOutput out;
+  out.stats.num_vertices = n;
+  out.stats.num_edges = num_logical_edges;
+  out.stats.mean_local_clustering =
+      n == 0 ? 0.0 : sum / static_cast<double>(n);
+  out.traversed_edges = expanded;
+  if (stats != nullptr) stats->relationships_expanded = expanded;
+  return out;
+}
+
+Result<AlgorithmOutput> RunEvo(GraphStore* store, bool undirected,
+                               const EvoParams& params, DbRunStats* stats) {
+  const VertexId n = static_cast<VertexId>(store->node_count());
+  AlgorithmOutput out;
+  uint64_t expanded = 0;
+  auto fetch = [store, undirected,
+                &expanded](VertexId v) -> std::vector<VertexId> {
+    std::vector<VertexId> nbrs;
+    Status s = FetchSortedNeighbors(store, v, undirected, &nbrs);
+    s.Check();  // I/O failure mid-burn is unrecoverable for determinism
+    expanded += nbrs.size();
+    return nbrs;
+  };
+  for (uint32_t i = 0; i < params.num_new_vertices; ++i) {
+    Rng rng(DeriveSeed(params.seed, 0xA0000000ULL + i));
+    VertexId ambassador = static_cast<VertexId>(rng.NextBounded(n));
+    std::vector<VertexId> burned =
+        ForestFireBurnWithFetch(n, fetch, ambassador, params, i);
+    for (VertexId b : burned) out.new_edges.Add(n + i, b);
+  }
+  out.new_edges.EnsureVertices(n + params.num_new_vertices);
+  out.traversed_edges = expanded;
+  if (stats != nullptr) stats->relationships_expanded = expanded;
+  return out;
+}
+
+Result<AlgorithmOutput> RunPr(GraphStore* store, bool undirected,
+                              const PrParams& params, DbRunStats* stats) {
+  const VertexId n = static_cast<VertexId>(store->node_count());
+  AlgorithmOutput out;
+  if (n == 0) return out;
+  const double base = (1.0 - params.damping) / static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  uint64_t expanded = 0;
+  // Precompute out-degrees (one pass over the relationship chains).
+  std::vector<uint32_t> out_degree(n, 0);
+  std::vector<VertexId> nbrs;
+  for (VertexId v = 0; v < n; ++v) {
+    GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
+    out_degree[v] = static_cast<uint32_t>(nbrs.size());
+  }
+  for (uint32_t iter = 0; iter < params.iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // Scatter: each vertex pushes rank/deg to its (out-)neighbors, which
+    // is equivalent to the reference's in-neighbor gather.
+    for (VertexId v = 0; v < n; ++v) {
+      if (out_degree[v] == 0) continue;
+      GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
+      expanded += nbrs.size();
+      double contribution = rank[v] / static_cast<double>(out_degree[v]);
+      for (VertexId w : nbrs) next[w] += contribution;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      rank[v] = base + params.damping * next[v];
+    }
+  }
+  out.vertex_scores = std::move(rank);
+  out.traversed_edges = expanded;
+  if (stats != nullptr) stats->relationships_expanded = expanded;
+  return out;
+}
+
+}  // namespace
+
+Result<AlgorithmOutput> RunAlgorithmOnStore(GraphStore* store,
+                                            bool graph_is_undirected,
+                                            uint64_t memory_budget_bytes,
+                                            AlgorithmKind kind,
+                                            const AlgorithmParams& params,
+                                            DbRunStats* stats_out) {
+  // The Neo4j constraint: store plus per-vertex algorithm state must fit in
+  // memory.
+  MemoryBudget budget(memory_budget_bytes);
+  GLY_RETURN_NOT_OK(
+      budget.Charge(store->store_bytes(), "graph store (page cache)")
+          .WithPrefix("graphdb"));
+  GLY_RETURN_NOT_OK(
+      budget.Charge(store->node_count() * 24, "algorithm state")
+          .WithPrefix("graphdb"));
+
+  DbRunStats stats;
+  Result<AlgorithmOutput> result = Status::Internal("unreached");
+  switch (kind) {
+    case AlgorithmKind::kBfs:
+      result = RunBfs(store, graph_is_undirected, params.bfs, &stats);
+      break;
+    case AlgorithmKind::kConn:
+      result = RunConn(store, &stats);
+      break;
+    case AlgorithmKind::kCd:
+      result = RunCd(store, graph_is_undirected, params.cd, &stats);
+      break;
+    case AlgorithmKind::kStats: {
+      uint64_t logical = graph_is_undirected ? store->relationship_count()
+                                             : store->relationship_count();
+      result = RunStatsAlgorithm(store, graph_is_undirected, logical, &stats);
+      break;
+    }
+    case AlgorithmKind::kEvo:
+      result = RunEvo(store, graph_is_undirected, params.evo, &stats);
+      break;
+    case AlgorithmKind::kPr:
+      result = RunPr(store, graph_is_undirected, params.pr, &stats);
+      break;
+  }
+  if (!result.ok()) return result.status();
+  stats.cache = store->cache_stats();
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+Result<AlgorithmOutput> RunAlgorithm(const DbPlatformConfig& config,
+                                     const Graph& graph, AlgorithmKind kind,
+                                     const AlgorithmParams& params,
+                                     DbRunStats* stats_out) {
+  StoreConfig store_config;
+  store_config.directory = config.store_dir;
+  store_config.page_cache_bytes = config.page_cache_bytes;
+  GLY_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
+                       GraphStore::Open(store_config));
+  GLY_RETURN_NOT_OK(store->BulkImport(graph.ToEdgeList()));
+  return RunAlgorithmOnStore(store.get(), graph.undirected(),
+                             config.memory_budget_bytes, kind, params,
+                             stats_out);
+}
+
+}  // namespace gly::graphdb

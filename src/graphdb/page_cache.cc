@@ -1,0 +1,138 @@
+#include "graphdb/page_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gly::graphdb {
+
+PageCache::PageCache(uint64_t capacity_bytes)
+    : capacity_pages_(std::max<uint64_t>(1, capacity_bytes / kPageSize)) {}
+
+PageCache::~PageCache() {
+  // Best effort: write back and close.
+  Status s = Flush();
+  (void)s;
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Result<uint32_t> PageCache::OpenFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  fds_.push_back(fd);
+  paths_.push_back(path);
+  return static_cast<uint32_t>(fds_.size() - 1);
+}
+
+Result<PageCache::Page*> PageCache::GetPage(uint32_t file_id,
+                                            uint64_t page_no) {
+  PageKey key{file_id, page_no};
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return &it->second;
+  }
+  ++stats_.misses;
+  while (pages_.size() >= capacity_pages_) {
+    GLY_RETURN_NOT_OK(EvictOne());
+  }
+  Page page;
+  page.data.assign(kPageSize, 0);
+  ssize_t n = ::pread(fds_[file_id], page.data.data(), kPageSize,
+                      static_cast<off_t>(page_no * kPageSize));
+  if (n < 0) {
+    return Status::IOError("pread(" + paths_[file_id] +
+                           "): " + std::strerror(errno));
+  }
+  lru_.push_front(key);
+  auto [ins, ok] = pages_.emplace(key, std::move(page));
+  (void)ok;
+  ins->second.lru_it = lru_.begin();
+  return &ins->second;
+}
+
+Status PageCache::EvictOne() {
+  if (lru_.empty()) return Status::Internal("page cache empty during evict");
+  PageKey victim = lru_.back();
+  auto it = pages_.find(victim);
+  if (it->second.dirty) {
+    GLY_RETURN_NOT_OK(WritebackPage(victim, it->second));
+  }
+  lru_.pop_back();
+  pages_.erase(it);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status PageCache::WritebackPage(const PageKey& key, Page& page) {
+  ssize_t n = ::pwrite(fds_[key.file_id], page.data.data(), kPageSize,
+                       static_cast<off_t>(key.page_no * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + paths_[key.file_id] +
+                           "): " + std::strerror(errno));
+  }
+  page.dirty = false;
+  ++stats_.writebacks;
+  return Status::OK();
+}
+
+Status PageCache::Read(uint32_t file_id, uint64_t offset, void* out,
+                       size_t len) {
+  char* dst = static_cast<char*>(out);
+  while (len > 0) {
+    uint64_t page_no = offset / kPageSize;
+    size_t in_page = static_cast<size_t>(offset % kPageSize);
+    size_t chunk = std::min(len, kPageSize - in_page);
+    GLY_ASSIGN_OR_RETURN(Page * page, GetPage(file_id, page_no));
+    std::memcpy(dst, page->data.data() + in_page, chunk);
+    dst += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status PageCache::Write(uint32_t file_id, uint64_t offset, const void* data,
+                        size_t len) {
+  const char* src = static_cast<const char*>(data);
+  while (len > 0) {
+    uint64_t page_no = offset / kPageSize;
+    size_t in_page = static_cast<size_t>(offset % kPageSize);
+    size_t chunk = std::min(len, kPageSize - in_page);
+    GLY_ASSIGN_OR_RETURN(Page * page, GetPage(file_id, page_no));
+    std::memcpy(page->data.data() + in_page, src, chunk);
+    page->dirty = true;
+    src += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status PageCache::Flush() {
+  for (auto& [key, page] : pages_) {
+    if (page.dirty) {
+      GLY_RETURN_NOT_OK(WritebackPage(key, page));
+    }
+  }
+  for (int fd : fds_) {
+    if (fd >= 0 && ::fsync(fd) != 0) {
+      return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gly::graphdb

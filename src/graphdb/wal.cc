@@ -1,0 +1,139 @@
+#include "graphdb/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gly::graphdb {
+
+uint32_t Crc32c(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<Wal> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return Wal(fd, path);
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), entries_(other.entries_) {
+  other.fd_ = -1;
+}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    entries_ = other.entries_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(const std::vector<WalChange>& changes) {
+  std::string payload;
+  for (const WalChange& c : changes) {
+    uint32_t size = static_cast<uint32_t>(c.bytes.size());
+    payload.append(reinterpret_cast<const char*>(&c.file_id),
+                   sizeof(c.file_id));
+    payload.append(reinterpret_cast<const char*>(&c.offset), sizeof(c.offset));
+    payload.append(reinterpret_cast<const char*>(&size), sizeof(size));
+    payload.append(c.bytes.data(), c.bytes.size());
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32c(payload.data(), payload.size());
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame += payload;
+  ssize_t n = ::write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    return Status::IOError("wal write failed: " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("wal fsync failed: " + path_);
+  }
+  ++entries_;
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<WalChange>>> Wal::ReadAll() const {
+  std::vector<std::vector<WalChange>> out;
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open(" + path_ + "): " + std::strerror(errno));
+  }
+  uint64_t pos = 0;
+  for (;;) {
+    uint32_t header[2];
+    ssize_t n = ::pread(fd, header, sizeof(header), static_cast<off_t>(pos));
+    if (n == 0) break;                        // clean EOF
+    if (n != sizeof(header)) break;           // torn frame header
+    uint32_t len = header[0];
+    uint32_t crc = header[1];
+    std::vector<char> payload(len);
+    n = ::pread(fd, payload.data(), len, static_cast<off_t>(pos + 8));
+    if (n != static_cast<ssize_t>(len)) break;  // torn payload
+    if (Crc32c(payload.data(), len) != crc) break;  // corrupt tail
+    // Decode changes.
+    std::vector<WalChange> changes;
+    size_t p = 0;
+    bool ok = true;
+    while (p < payload.size()) {
+      if (p + 16 > payload.size()) {
+        ok = false;
+        break;
+      }
+      WalChange c;
+      std::memcpy(&c.file_id, payload.data() + p, 4);
+      std::memcpy(&c.offset, payload.data() + p + 4, 8);
+      uint32_t size;
+      std::memcpy(&size, payload.data() + p + 12, 4);
+      p += 16;
+      if (p + size > payload.size()) {
+        ok = false;
+        break;
+      }
+      c.bytes.assign(payload.data() + p, payload.data() + p + size);
+      p += size;
+      changes.push_back(std::move(c));
+    }
+    if (!ok) break;
+    out.push_back(std::move(changes));
+    pos += 8 + len;
+  }
+  ::close(fd);
+  return out;
+}
+
+Status Wal::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal truncate failed: " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("wal fsync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace gly::graphdb

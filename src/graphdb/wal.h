@@ -1,0 +1,63 @@
+// Write-ahead log for the graph store.
+//
+// Commit protocol: a transaction's record mutations are serialized into one
+// WAL entry, appended and fsynced *before* the mutations reach the page
+// cache (write-ahead rule). On open, the store replays all complete entries
+// beyond the last checkpoint, making commits crash-durable. A checkpoint
+// flushes the page cache and truncates the log.
+//
+// Entry framing:  [len: u32][crc: u32][payload: len bytes]
+// Payload:        sequence of [file_id: u32][offset: u64][size: u32][bytes]
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gly::graphdb {
+
+/// One mutation within a WAL entry.
+struct WalChange {
+  uint32_t file_id = 0;
+  uint64_t offset = 0;
+  std::vector<char> bytes;
+};
+
+/// Append-only write-ahead log.
+class Wal {
+ public:
+  /// Opens (creating if needed) the log at `path`.
+  static Result<Wal> Open(const std::string& path);
+
+  Wal(Wal&&) noexcept;
+  Wal& operator=(Wal&&) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends one entry (a committed transaction) and fsyncs.
+  Status Append(const std::vector<WalChange>& changes);
+
+  /// Reads every complete entry from the start of the log. Torn tails
+  /// (partial final entry, CRC mismatch) are ignored, as on crash.
+  Result<std::vector<std::vector<WalChange>>> ReadAll() const;
+
+  /// Truncates the log (after a checkpoint).
+  Status Truncate();
+
+  uint64_t entries_appended() const { return entries_; }
+
+ private:
+  explicit Wal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_ = -1;
+  std::string path_;
+  uint64_t entries_ = 0;
+};
+
+/// CRC32 (Castagnoli polynomial, bitwise) over a byte buffer.
+uint32_t Crc32c(const void* data, size_t len);
+
+}  // namespace gly::graphdb

@@ -1,0 +1,93 @@
+#include "harness/core.h"
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace gly::harness {
+
+Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
+                                                  const ResultCallback& on_result) {
+  if (spec.platforms.empty()) {
+    return Status::InvalidArgument("run spec has no platforms");
+  }
+  if (spec.datasets.empty()) {
+    return Status::InvalidArgument("run spec has no datasets");
+  }
+  if (spec.algorithms.empty()) {
+    return Status::InvalidArgument("run spec has no algorithms");
+  }
+  for (const DatasetSpec& ds : spec.datasets) {
+    if (ds.graph == nullptr) {
+      return Status::InvalidArgument("dataset '" + ds.name + "' has no graph");
+    }
+  }
+
+  std::vector<BenchmarkResult> results;
+  for (const std::string& platform_name : spec.platforms) {
+    GLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<Platform> platform,
+        MakePlatform(platform_name,
+                     spec.platform_config.Scoped(platform_name)));
+    for (const DatasetSpec& dataset : spec.datasets) {
+      // ETL once per (platform, graph); not part of the runtime metric.
+      Stopwatch load_watch;
+      Status load_status = platform->LoadGraph(*dataset.graph, dataset.name);
+      double load_seconds = load_watch.ElapsedSeconds();
+
+      for (AlgorithmKind algorithm : spec.algorithms) {
+        BenchmarkResult result;
+        result.platform = platform_name;
+        result.graph = dataset.name;
+        result.algorithm = algorithm;
+        result.load_seconds = load_seconds;
+
+        if (!load_status.ok()) {
+          result.status = load_status.WithPrefix("load");
+          results.push_back(result);
+          if (on_result) on_result(result);
+          continue;
+        }
+
+        SystemMonitor monitor;
+        if (spec.monitor) monitor.Start();
+        Stopwatch run_watch;
+        Result<AlgorithmOutput> run =
+            platform->Run(algorithm, dataset.params);
+        result.runtime_seconds = run_watch.ElapsedSeconds();
+        if (spec.monitor) result.resources = monitor.Stop();
+        result.platform_metrics = platform->LastRunMetrics();
+
+        if (!run.ok()) {
+          result.status = run.status();
+          GLY_LOG_WARN << platform_name << "/" << dataset.name << "/"
+                       << AlgorithmKindName(algorithm)
+                       << " failed: " << run.status().ToString();
+        } else {
+          result.status = Status::OK();
+          result.traversed_edges = run->traversed_edges;
+          result.teps = result.runtime_seconds > 0.0
+                            ? static_cast<double>(run->traversed_edges) /
+                                  result.runtime_seconds
+                            : 0.0;
+          if (spec.validate) {
+            result.validation = ValidateOutput(*dataset.graph, algorithm,
+                                               dataset.params, *run);
+            if (!result.validation.ok()) {
+              GLY_LOG_ERROR << platform_name << "/" << dataset.name << "/"
+                            << AlgorithmKindName(algorithm) << " validation: "
+                            << result.validation.ToString();
+            }
+          }
+        }
+        results.push_back(result);
+        if (on_result) on_result(result);
+      }
+      platform->UnloadGraph();
+    }
+  }
+  return results;
+}
+
+}  // namespace gly::harness

@@ -1,0 +1,66 @@
+// BenchmarkCore — Figure 2's "Benchmark Core": "implements the benchmark
+// harness that binds together Graphalytics."
+//
+// Runs the configured (platform × graph × algorithm) matrix: per cell it
+// loads the dataset (ETL, untimed), executes the algorithm under the
+// System Monitor, validates the output, and produces a BenchmarkResult.
+// "By default, Graphalytics runs all the algorithms implemented on all
+// configured graphs" — RunSpec mirrors the paper's run definition.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "harness/monitor.h"
+#include "harness/platform.h"
+#include "harness/validator.h"
+
+namespace gly::harness {
+
+/// One dataset in the run.
+struct DatasetSpec {
+  std::string name;
+  const Graph* graph = nullptr;
+  AlgorithmParams params;  ///< per-graph parameters (BFS source, seeds...)
+};
+
+/// The run definition.
+struct RunSpec {
+  std::vector<std::string> platforms;       ///< platform names
+  Config platform_config;                   ///< keys: <platform>.<option>
+  std::vector<DatasetSpec> datasets;
+  std::vector<AlgorithmKind> algorithms;
+  bool validate = true;
+  bool monitor = true;
+};
+
+/// Outcome of one (platform, graph, algorithm) cell.
+struct BenchmarkResult {
+  std::string platform;
+  std::string graph;
+  AlgorithmKind algorithm = AlgorithmKind::kStats;
+  Status status;                 ///< OK, ResourceExhausted (failure), ...
+  Status validation;             ///< OK / ValidationFailed / untested
+  double runtime_seconds = 0.0;  ///< "job submission to result availability"
+  double load_seconds = 0.0;     ///< ETL (reported separately, not runtime)
+  uint64_t traversed_edges = 0;
+  double teps = 0.0;             ///< traversed edges per second
+  ResourceSummary resources;
+  std::map<std::string, std::string> platform_metrics;
+};
+
+/// Callback invoked after each cell (progress reporting).
+using ResultCallback = std::function<void(const BenchmarkResult&)>;
+
+/// Executes the run and returns all results (one per matrix cell, failures
+/// included — "Missing values indicate failures").
+Result<std::vector<BenchmarkResult>> RunBenchmark(
+    const RunSpec& spec, const ResultCallback& on_result = nullptr);
+
+}  // namespace gly::harness

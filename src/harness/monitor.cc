@@ -1,0 +1,108 @@
+#include "harness/monitor.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace gly::harness {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+uint64_t SystemMonitor::CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return resident * static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+double SystemMonitor::CurrentCpuSeconds() {
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return 0.0;
+  char buf[1024];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // Fields 14 (utime) and 15 (stime) follow the comm field, which may
+  // contain spaces but is parenthesized; skip past the last ')'.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0.0;
+  ++p;
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  // After ')': field 3 is state; utime is field 14 overall, i.e. the 12th
+  // token after state.
+  int field = 2;  // next token parsed will be field 3
+  char state;
+  if (std::sscanf(p, " %c", &state) != 1) return 0.0;
+  const char* q = p;
+  while (*q != '\0' && field < 13) {
+    while (*q == ' ') ++q;
+    while (*q != '\0' && *q != ' ') ++q;
+    ++field;
+  }
+  if (std::sscanf(q, " %llu %llu", &utime, &stime) != 2) return 0.0;
+  double ticks = static_cast<double>(::sysconf(_SC_CLK_TCK));
+  return (static_cast<double>(utime) + static_cast<double>(stime)) / ticks;
+}
+
+SystemMonitor::~SystemMonitor() {
+  if (running_.load()) {
+    running_.store(false);
+    if (thread_.joinable()) thread_.join();
+  }
+}
+
+void SystemMonitor::Start() {
+  samples_.clear();
+  start_cpu_ = CurrentCpuSeconds();
+  start_wall_ = NowSeconds();
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SystemMonitor::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    ResourceSample sample;
+    sample.at_seconds = NowSeconds() - start_wall_;
+    sample.rss_bytes = CurrentRssBytes();
+    sample.cpu_seconds = CurrentCpuSeconds();
+    samples_.push_back(sample);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+  }
+}
+
+ResourceSummary SystemMonitor::Stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+  ResourceSummary summary;
+  summary.wall_seconds = NowSeconds() - start_wall_;
+  summary.cpu_seconds = CurrentCpuSeconds() - start_cpu_;
+  summary.cpu_utilization = summary.wall_seconds > 0.0
+                                ? summary.cpu_seconds / summary.wall_seconds
+                                : 0.0;
+  summary.samples = samples_.size();
+  uint64_t sum_rss = 0;
+  for (const ResourceSample& s : samples_) {
+    summary.peak_rss_bytes = std::max(summary.peak_rss_bytes, s.rss_bytes);
+    sum_rss += s.rss_bytes;
+  }
+  if (!samples_.empty()) summary.mean_rss_bytes = sum_rss / samples_.size();
+  return summary;
+}
+
+}  // namespace gly::harness

@@ -1,0 +1,67 @@
+// SystemMonitor — Figure 2's "System Monitor": "responsible for gathering
+// resource utilization statistics from the SUT."
+//
+// Samples process RSS and CPU time from /proc at a fixed interval on a
+// background thread while a benchmark run executes.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gly::harness {
+
+/// One sample of process resource usage.
+struct ResourceSample {
+  double at_seconds = 0.0;       ///< since Start()
+  uint64_t rss_bytes = 0;
+  double cpu_seconds = 0.0;      ///< cumulative user+system
+};
+
+/// Summary over a monitoring window.
+struct ResourceSummary {
+  uint64_t peak_rss_bytes = 0;
+  uint64_t mean_rss_bytes = 0;
+  double cpu_seconds = 0.0;        ///< CPU consumed during the window
+  double wall_seconds = 0.0;
+  double cpu_utilization = 0.0;    ///< cpu / wall (can exceed 1 with threads)
+  size_t samples = 0;
+};
+
+/// Background sampler.
+class SystemMonitor {
+ public:
+  explicit SystemMonitor(double interval_seconds = 0.05)
+      : interval_seconds_(interval_seconds) {}
+  ~SystemMonitor();
+
+  /// Starts sampling (clears previous samples).
+  void Start();
+
+  /// Stops sampling and returns the summary.
+  ResourceSummary Stop();
+
+  const std::vector<ResourceSample>& samples() const { return samples_; }
+
+  /// Reads the current process RSS (bytes) from /proc/self/statm.
+  static uint64_t CurrentRssBytes();
+
+  /// Reads cumulative process CPU seconds from /proc/self/stat.
+  static double CurrentCpuSeconds();
+
+ private:
+  void Loop();
+
+  double interval_seconds_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<ResourceSample> samples_;
+  double start_cpu_ = 0.0;
+  double start_wall_ = 0.0;
+};
+
+}  // namespace gly::harness

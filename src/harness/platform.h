@@ -1,0 +1,63 @@
+// Platform: the harness-facing interface every graph-processing platform
+// implements ("Platform-specific algorithm implementation" in Figure 2).
+//
+// The paper: "adding a new platform to Graphalytics consists of
+// implementing the algorithms, adding a dataset loading method, providing a
+// workload processing interface, and logging the information required for
+// results reporting" — which maps onto LoadGraph / Run / metrics().
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "ref/algorithms.h"
+
+namespace gly::harness {
+
+/// A loaded-and-runnable graph-processing platform instance.
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  /// Stable identifier used in configs and reports ("giraph", "graphx",
+  /// "mapreduce", "neo4j").
+  virtual std::string name() const = 0;
+
+  /// Dataset loading (ETL). Untimed by the harness: "The runtime measures
+  /// the complete execution of an algorithm, from job submission to result
+  /// availability, but does not include ETL."
+  virtual Status LoadGraph(const Graph& graph, const std::string& graph_name) = 0;
+
+  /// Runs one algorithm on the loaded graph (timed by the harness).
+  virtual Result<AlgorithmOutput> Run(AlgorithmKind kind,
+                                      const AlgorithmParams& params) = 0;
+
+  /// Releases the loaded graph.
+  virtual void UnloadGraph() = 0;
+
+  /// Free-form run metrics for the report (messages, supersteps, spills...).
+  virtual std::map<std::string, std::string> LastRunMetrics() const {
+    return {};
+  }
+};
+
+/// Names of all registered platforms.
+std::vector<std::string> RegisteredPlatforms();
+
+/// Instantiates a platform by name.
+///
+/// Common config keys (all optional):
+///   memory_budget_mb  — per-platform memory budget (0 = unlimited)
+///   workers           — logical workers / partitions
+///   threads           — executor threads
+///   scratch_dir       — spill/store directory (defaults to a temp dir)
+/// Platform-specific keys are documented in platforms.cc.
+Result<std::unique_ptr<Platform>> MakePlatform(const std::string& name,
+                                               const Config& config);
+
+}  // namespace gly::harness

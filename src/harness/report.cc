@@ -1,0 +1,201 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace gly::harness {
+
+namespace {
+
+std::string CellKey(const BenchmarkResult& r) {
+  return r.graph + "/" + r.platform;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderRuntimeTable(const std::vector<BenchmarkResult>& results) {
+  // Column order: (graph, platform) as first seen; row order: algorithms as
+  // first seen.
+  std::vector<std::string> columns;
+  std::vector<AlgorithmKind> rows;
+  for (const BenchmarkResult& r : results) {
+    std::string key = CellKey(r);
+    if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+      columns.push_back(key);
+    }
+    if (std::find(rows.begin(), rows.end(), r.algorithm) == rows.end()) {
+      rows.push_back(r.algorithm);
+    }
+  }
+  std::ostringstream out;
+  out << StringPrintf("%-8s", "algo");
+  for (const std::string& c : columns) {
+    out << StringPrintf(" %22s", c.c_str());
+  }
+  out << '\n';
+  for (AlgorithmKind algo : rows) {
+    out << StringPrintf("%-8s", AlgorithmKindName(algo).c_str());
+    for (const std::string& c : columns) {
+      const BenchmarkResult* cell = nullptr;
+      for (const BenchmarkResult& r : results) {
+        if (r.algorithm == algo && CellKey(r) == c) {
+          cell = &r;
+          break;
+        }
+      }
+      if (cell == nullptr) {
+        out << StringPrintf(" %22s", "?");
+      } else if (!cell->status.ok()) {
+        // "Missing values indicate failures."
+        out << StringPrintf(" %22s", "-");
+      } else {
+        out << StringPrintf(" %22s",
+                            FormatSeconds(cell->runtime_seconds).c_str());
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderTepsTable(const std::vector<BenchmarkResult>& results,
+                            AlgorithmKind algorithm) {
+  std::ostringstream out;
+  out << StringPrintf("%-12s %-12s %14s %14s\n", "graph", "platform", "kTEPS",
+                      "runtime");
+  for (const BenchmarkResult& r : results) {
+    if (r.algorithm != algorithm) continue;
+    if (!r.status.ok()) {
+      out << StringPrintf("%-12s %-12s %14s %14s\n", r.graph.c_str(),
+                          r.platform.c_str(), "-", "-");
+    } else {
+      out << StringPrintf("%-12s %-12s %14.0f %14s\n", r.graph.c_str(),
+                          r.platform.c_str(), r.teps / 1e3,
+                          FormatSeconds(r.runtime_seconds).c_str());
+    }
+  }
+  return out.str();
+}
+
+std::string RenderFullReport(const Config& configuration,
+                             const std::vector<BenchmarkResult>& results) {
+  std::ostringstream out;
+  out << "==== Graphalytics benchmark report ====\n\n";
+  out << "-- configuration --\n" << configuration.ToString() << '\n';
+  out << "-- runtime matrix (algorithm x graph/platform) --\n";
+  out << RenderRuntimeTable(results) << '\n';
+  out << "-- details --\n";
+  for (const BenchmarkResult& r : results) {
+    out << StringPrintf("%s / %s / %s\n", r.platform.c_str(), r.graph.c_str(),
+                        AlgorithmKindName(r.algorithm).c_str());
+    out << "  status:      " << r.status.ToString() << '\n';
+    if (r.status.ok()) {
+      out << "  runtime:     " << FormatSeconds(r.runtime_seconds) << '\n';
+      out << "  load (ETL):  " << FormatSeconds(r.load_seconds) << '\n';
+      out << StringPrintf("  teps:        %.0f\n", r.teps);
+      out << "  validation:  " << r.validation.ToString() << '\n';
+      if (r.resources.samples > 0) {
+        out << "  peak rss:    " << FormatBytes(r.resources.peak_rss_bytes)
+            << StringPrintf("  (cpu util %.0f%%)\n",
+                            r.resources.cpu_utilization * 100.0);
+      }
+      for (const auto& [k, v] : r.platform_metrics) {
+        out << "  " << StringPrintf("%-12s %s\n", (k + ":").c_str(),
+                                    v.c_str());
+      }
+    }
+  }
+  return out.str();
+}
+
+Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path);
+  CsvWriter csv(&file);
+  csv.WriteHeader({"platform", "graph", "algorithm", "status", "validation",
+                   "runtime_s", "load_s", "traversed_edges", "teps",
+                   "peak_rss_bytes", "cpu_utilization"});
+  for (const BenchmarkResult& r : results) {
+    csv.Field(r.platform)
+        .Field(r.graph)
+        .Field(AlgorithmKindName(r.algorithm))
+        .Field(std::string(StatusCodeToString(r.status.code())))
+        .Field(std::string(StatusCodeToString(r.validation.code())))
+        .Field(r.runtime_seconds)
+        .Field(r.load_seconds)
+        .Field(r.traversed_edges)
+        .Field(r.teps)
+        .Field(r.resources.peak_rss_bytes)
+        .Field(r.resources.cpu_utilization);
+    csv.EndRow();
+  }
+  file.flush();
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string ResultToJson(const BenchmarkResult& result) {
+  std::ostringstream out;
+  out << '{'
+      << "\"platform\":\"" << JsonEscape(result.platform) << "\","
+      << "\"graph\":\"" << JsonEscape(result.graph) << "\","
+      << "\"algorithm\":\"" << AlgorithmKindName(result.algorithm) << "\","
+      << "\"status\":\"" << StatusCodeToString(result.status.code()) << "\","
+      << "\"validation\":\"" << StatusCodeToString(result.validation.code())
+      << "\","
+      << StringPrintf("\"runtime_s\":%.6f,", result.runtime_seconds)
+      << StringPrintf("\"load_s\":%.6f,", result.load_seconds)
+      << "\"traversed_edges\":" << result.traversed_edges << ','
+      << StringPrintf("\"teps\":%.1f,", result.teps)
+      << "\"peak_rss_bytes\":" << result.resources.peak_rss_bytes << ','
+      << "\"metrics\":{";
+  bool first = true;
+  for (const auto& [k, v] : result.platform_metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
+  }
+  out << "}}";
+  return out.str();
+}
+
+Status AppendResultsDatabase(const std::vector<BenchmarkResult>& results,
+                             const Config& configuration,
+                             const std::string& path) {
+  std::ofstream file(path, std::ios::app);
+  if (!file) return Status::IOError("cannot open " + path);
+  for (const BenchmarkResult& r : results) {
+    file << ResultToJson(r) << '\n';
+  }
+  (void)configuration;
+  file.flush();
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace gly::harness

@@ -1,0 +1,170 @@
+#include "harness/run_config.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "datagen/rmat.h"
+#include "datagen/social_datagen.h"
+#include "graph/io.h"
+#include "harness/report.h"
+
+namespace gly::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Builds one dataset from its `graph.<name>.*` scope.
+Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
+  std::string source = ToLower(scope.GetStringOr("source", "datagen"));
+  if (source == "datagen") {
+    datagen::SocialDatagenConfig dg;
+    dg.num_persons = scope.GetUintOr("persons", 10000);
+    dg.degree_spec = scope.GetStringOr("degree_spec", "facebook:mean=18");
+    dg.window_size = scope.GetUintOr("window", 128);
+    dg.seed = scope.GetUintOr("seed", 42);
+    dg.university_fraction =
+        scope.GetDoubleOr("university_fraction", dg.university_fraction);
+    dg.interest_fraction =
+        scope.GetDoubleOr("interest_fraction", dg.interest_fraction);
+    dg.random_fraction =
+        scope.GetDoubleOr("random_fraction", dg.random_fraction);
+    ThreadPool pool(HardwareThreads());
+    GLY_ASSIGN_OR_RETURN(datagen::SocialGraph social,
+                         datagen::SocialDatagen(dg).Generate(&pool));
+    return GraphBuilder::Undirected(social.edges);
+  }
+  if (source == "rmat") {
+    datagen::RmatConfig rmat;
+    rmat.scale = static_cast<uint32_t>(scope.GetUintOr("scale", 12));
+    rmat.edge_factor =
+        static_cast<uint32_t>(scope.GetUintOr("edge_factor", 16));
+    rmat.seed = scope.GetUintOr("seed", 1);
+    ThreadPool pool(HardwareThreads());
+    GLY_ASSIGN_OR_RETURN(EdgeList edges,
+                         datagen::RmatGenerator(rmat).Generate(&pool));
+    bool directed = scope.GetBoolOr("directed", false);
+    return directed ? GraphBuilder::Directed(edges)
+                    : GraphBuilder::Undirected(edges);
+  }
+  if (source == "file") {
+    GLY_ASSIGN_OR_RETURN(std::string path, scope.GetString("path"));
+    EdgeList edges;
+    if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
+      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListBinary(path));
+    } else if (path.size() >= 2 && path.substr(path.size() - 2) == ".e") {
+      // Graphalytics dataset convention: companion ".v" picked up when
+      // present (covers isolated vertices).
+      GLY_ASSIGN_OR_RETURN(
+          edges, ReadGraphalyticsDataset(path.substr(0, path.size() - 2)));
+    } else {
+      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListText(path));
+    }
+    bool directed = scope.GetBoolOr("directed", false);
+    return directed ? GraphBuilder::Directed(edges)
+                    : GraphBuilder::Undirected(edges);
+  }
+  return Status::InvalidArgument("graph." + name + ".source: unknown '" +
+                                 source + "'");
+}
+
+}  // namespace
+
+Result<ConfigRunOutput> RunFromConfig(const Config& config) {
+  // ----------------------------------------------------------- add graphs
+  GLY_ASSIGN_OR_RETURN(std::string graphs_value, config.GetString("graphs"));
+  std::vector<std::string> graph_names;
+  for (const std::string& raw : Split(graphs_value, ',')) {
+    std::string name(Trim(raw));
+    if (!name.empty()) graph_names.push_back(name);
+  }
+  if (graph_names.empty()) {
+    return Status::InvalidArgument("'graphs' lists no datasets");
+  }
+
+  // Shared algorithm parameters.
+  AlgorithmParams base_params;
+  base_params.cd.max_iterations =
+      static_cast<uint32_t>(config.GetUintOr("cd.max_iterations", 10));
+  base_params.cd.hop_attenuation =
+      config.GetDoubleOr("cd.hop_attenuation", 0.05);
+  base_params.evo.num_new_vertices =
+      static_cast<uint32_t>(config.GetUintOr("evo.new_vertices", 16));
+  base_params.evo.p_forward = config.GetDoubleOr("evo.p_forward", 0.3);
+  base_params.evo.seed = config.GetUintOr("evo.seed", 99);
+
+  std::vector<Graph> graphs;
+  graphs.reserve(graph_names.size());
+  RunSpec spec;
+  for (const std::string& name : graph_names) {
+    Config scope = config.Scoped("graph." + name);
+    auto graph = BuildGraph(name, scope);
+    if (!graph.ok()) return graph.status().WithPrefix("graph." + name);
+    graphs.push_back(std::move(graph).ValueOrDie());
+  }
+  for (size_t i = 0; i < graph_names.size(); ++i) {
+    Config scope = config.Scoped("graph." + graph_names[i]);
+    DatasetSpec dataset;
+    dataset.name = graph_names[i];
+    dataset.graph = &graphs[i];
+    dataset.params = base_params;
+    dataset.params.bfs.source =
+        static_cast<VertexId>(scope.GetUintOr("bfs_source", 0));
+    spec.datasets.push_back(dataset);
+  }
+
+  // --------------------------------------------------- configure platforms
+  std::string platforms_value =
+      config.GetStringOr("platforms", Join(RegisteredPlatforms(), ","));
+  for (const std::string& raw : Split(platforms_value, ',')) {
+    std::string name(Trim(raw));
+    if (!name.empty()) spec.platforms.push_back(name);
+  }
+  spec.platform_config = config;  // adapters read their own scope
+
+  // ------------------------------------------------------ choose workload
+  std::string algos_value = config.GetStringOr("algorithms", "all");
+  if (ToLower(std::string(Trim(algos_value))) == "all") {
+    spec.algorithms = {AlgorithmKind::kStats, AlgorithmKind::kBfs,
+                       AlgorithmKind::kConn, AlgorithmKind::kCd,
+                       AlgorithmKind::kEvo};
+  } else {
+    for (const std::string& raw : Split(algos_value, ',')) {
+      std::string name(Trim(raw));
+      if (name.empty()) continue;
+      GLY_ASSIGN_OR_RETURN(AlgorithmKind kind, ParseAlgorithmKind(name));
+      spec.algorithms.push_back(kind);
+    }
+  }
+  spec.validate = config.GetBoolOr("validate", true);
+  spec.monitor = config.GetBoolOr("monitor", true);
+
+  // --------------------------------------------------------------- run it
+  GLY_ASSIGN_OR_RETURN(std::vector<BenchmarkResult> results,
+                       RunBenchmark(spec));
+
+  ConfigRunOutput out;
+  out.report_text = RenderFullReport(config, results);
+  out.results = std::move(results);
+
+  out.report_dir = config.GetStringOr("report.dir", "");
+  if (!out.report_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(out.report_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create report dir: " + out.report_dir);
+    }
+    std::ofstream report(out.report_dir + "/report.txt");
+    report << out.report_text;
+    if (!report) return Status::IOError("cannot write report.txt");
+    GLY_RETURN_NOT_OK(
+        WriteResultsCsv(out.results, out.report_dir + "/results.csv"));
+    GLY_RETURN_NOT_OK(AppendResultsDatabase(
+        out.results, config, out.report_dir + "/results.jsonl"));
+  }
+  return out;
+}
+
+}  // namespace gly::harness

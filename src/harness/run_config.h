@@ -1,0 +1,58 @@
+// Config-driven benchmark execution — the paper's user workflow (§2.3):
+// "Add graphs ... Configure the platform ... Choose the workload ... Run
+// the benchmark. Graphalytics includes a Unix shell script that triggers
+// the execution of the benchmark. After the execution completes, the
+// benchmark report is available in the local file system."
+//
+// RunFromConfig is that workflow as a library call (the
+// tools/graphalytics_run CLI is a thin wrapper). Properties dialect:
+//
+//   # datasets
+//   graphs = snb, g500
+//   graph.snb.source = datagen            # datagen | rmat | file
+//   graph.snb.persons = 10000
+//   graph.snb.degree_spec = facebook:mean=18
+//   graph.snb.seed = 42
+//   graph.snb.bfs_source = 0
+//   graph.g500.source = rmat
+//   graph.g500.scale = 12
+//   graph.g500.edge_factor = 16
+//   # graph.mine.source = file
+//   # graph.mine.path = /data/mine.e      # .e text or .bin binary
+//
+//   # platforms (any registered name; keys pass through to the adapter)
+//   platforms = giraph, neo4j
+//   giraph.workers = 8
+//   neo4j.memory_budget_mb = 256
+//
+//   # workload ("all" or a subset)
+//   algorithms = bfs, conn, stats
+//   cd.max_iterations = 10
+//   evo.new_vertices = 32
+//
+//   # outputs
+//   report.dir = graphalytics-report
+//   validate = true
+//   monitor = true
+
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "harness/core.h"
+
+namespace gly::harness {
+
+/// Outcome of a config-driven run.
+struct ConfigRunOutput {
+  std::vector<BenchmarkResult> results;
+  std::string report_text;     ///< full rendered report
+  std::string report_dir;      ///< where files were written ("" if disabled)
+};
+
+/// Executes the workflow described by `config`. Writes report.txt,
+/// results.csv, and appends results.jsonl under `report.dir` when set.
+Result<ConfigRunOutput> RunFromConfig(const Config& config);
+
+}  // namespace gly::harness

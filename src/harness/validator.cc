@@ -1,0 +1,128 @@
+#include "harness/validator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gly::harness {
+
+namespace {
+
+Status CompareVertexValues(const std::vector<int64_t>& expected,
+                           const std::vector<int64_t>& actual,
+                           const char* what) {
+  if (expected.size() != actual.size()) {
+    return Status::ValidationFailed(StringPrintf(
+        "%s: size mismatch (expected %zu, got %zu)", what, expected.size(),
+        actual.size()));
+  }
+  size_t mismatches = 0;
+  size_t first = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != actual[i]) {
+      if (mismatches == 0) first = i;
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    return Status::ValidationFailed(StringPrintf(
+        "%s: %zu/%zu vertices differ; first at vertex %zu (expected %lld, "
+        "got %lld)",
+        what, mismatches, expected.size(), first,
+        static_cast<long long>(expected[first]),
+        static_cast<long long>(actual[first])));
+  }
+  return Status::OK();
+}
+
+Status CompareVertexScores(const std::vector<double>& expected,
+                           const std::vector<double>& actual,
+                           double tolerance) {
+  if (expected.size() != actual.size()) {
+    return Status::ValidationFailed(StringPrintf(
+        "PR scores: size mismatch (expected %zu, got %zu)", expected.size(),
+        actual.size()));
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    double scale = std::max({std::abs(expected[i]), std::abs(actual[i]),
+                             1e-300});
+    if (std::abs(expected[i] - actual[i]) / scale > tolerance) {
+      return Status::ValidationFailed(StringPrintf(
+          "PR score mismatch at vertex %zu (expected %.12g, got %.12g)", i,
+          expected[i], actual[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CompareEdges(const EdgeList& expected, const EdgeList& actual) {
+  std::vector<Edge> e = expected.edges();
+  std::vector<Edge> a = actual.edges();
+  std::sort(e.begin(), e.end());
+  std::sort(a.begin(), a.end());
+  if (e != a) {
+    return Status::ValidationFailed(StringPrintf(
+        "EVO edge sets differ (expected %zu edges, got %zu)", e.size(),
+        a.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateAgainst(const AlgorithmOutput& expected,
+                       const AlgorithmOutput& actual, AlgorithmKind kind,
+                       const ValidatorOptions& options) {
+  switch (kind) {
+    case AlgorithmKind::kBfs:
+      return CompareVertexValues(expected.vertex_values, actual.vertex_values,
+                                 "BFS distances");
+    case AlgorithmKind::kConn:
+      return CompareVertexValues(expected.vertex_values, actual.vertex_values,
+                                 "CONN labels");
+    case AlgorithmKind::kCd:
+      return CompareVertexValues(expected.vertex_values, actual.vertex_values,
+                                 "CD labels");
+    case AlgorithmKind::kEvo:
+      return CompareEdges(expected.new_edges, actual.new_edges);
+    case AlgorithmKind::kPr:
+      return CompareVertexScores(expected.vertex_scores, actual.vertex_scores,
+                                 options.score_tolerance);
+    case AlgorithmKind::kStats: {
+      if (expected.stats.num_vertices != actual.stats.num_vertices) {
+        return Status::ValidationFailed(
+            StringPrintf("STATS vertex count mismatch (expected %llu, got %llu)",
+                         static_cast<unsigned long long>(
+                             expected.stats.num_vertices),
+                         static_cast<unsigned long long>(
+                             actual.stats.num_vertices)));
+      }
+      if (expected.stats.num_edges != actual.stats.num_edges) {
+        return Status::ValidationFailed(StringPrintf(
+            "STATS edge count mismatch (expected %llu, got %llu)",
+            static_cast<unsigned long long>(expected.stats.num_edges),
+            static_cast<unsigned long long>(actual.stats.num_edges)));
+      }
+      double e = expected.stats.mean_local_clustering;
+      double a = actual.stats.mean_local_clustering;
+      double scale = std::max({std::abs(e), std::abs(a), 1e-12});
+      if (std::abs(e - a) / scale > options.stats_tolerance) {
+        return Status::ValidationFailed(StringPrintf(
+            "STATS mean LCC mismatch (expected %.9f, got %.9f)", e, a));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled algorithm kind in validator");
+}
+
+Status ValidateOutput(const Graph& graph, AlgorithmKind kind,
+                      const AlgorithmParams& params,
+                      const AlgorithmOutput& actual,
+                      const ValidatorOptions& options) {
+  AlgorithmOutput expected = ref::Run(graph, kind, params);
+  return ValidateAgainst(expected, actual, kind, options);
+}
+
+}  // namespace gly::harness

@@ -1,0 +1,35 @@
+// OutputValidator — Figure 2's "Output Validator": "checks the outcome of
+// the benchmark to ensure correctness."
+//
+// Every platform output is compared against the reference implementation:
+// exact per-vertex equality for BFS/CONN/CD, exact edge-set equality for
+// EVO, numeric tolerance for STATS (floating-point summation order differs
+// across platforms).
+
+#pragma once
+
+#include "common/result.h"
+#include "ref/algorithms.h"
+
+namespace gly::harness {
+
+/// Validation options.
+struct ValidatorOptions {
+  double stats_tolerance = 1e-6;   ///< relative tolerance for mean LCC
+  double score_tolerance = 1e-9;   ///< relative tolerance for PR ranks
+};
+
+/// Validates `actual` against a freshly computed reference result.
+/// OK on match; ValidationFailed with a diagnostic otherwise.
+Status ValidateOutput(const Graph& graph, AlgorithmKind kind,
+                      const AlgorithmParams& params,
+                      const AlgorithmOutput& actual,
+                      const ValidatorOptions& options = {});
+
+/// Validates against a precomputed expected output (used when the reference
+/// run is amortized across platforms).
+Status ValidateAgainst(const AlgorithmOutput& expected,
+                       const AlgorithmOutput& actual, AlgorithmKind kind,
+                       const ValidatorOptions& options = {});
+
+}  // namespace gly::harness

@@ -1,0 +1,876 @@
+#include "mapreduce/graph_jobs.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "graph/io.h"
+
+namespace gly::mapreduce {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ------------------------------------------------------------ record codec
+//
+// Two record flavors share the (key = vertex id) keyspace:
+//   'G' — graph record: vertex state + adjacency
+//   'M' — message record: (i64, double) payload
+constexpr char kGraphTag = 'G';
+constexpr char kMessageTag = 'M';
+
+struct GraphRecord {
+  int64_t state = 0;
+  double aux = 0.0;
+  uint8_t changed = 0;
+  std::vector<VertexId> adjacency;
+};
+
+std::string EncodeGraphRecord(const GraphRecord& rec) {
+  std::string out;
+  out.push_back(kGraphTag);
+  ValueWriter w(&out);
+  w.PutI64(rec.state);
+  w.PutDouble(rec.aux);
+  w.PutU32(rec.changed);
+  w.PutU32(static_cast<uint32_t>(rec.adjacency.size()));
+  for (VertexId v : rec.adjacency) w.PutU32(v);
+  return out;
+}
+
+Result<GraphRecord> DecodeGraphRecord(const std::string& value) {
+  if (value.empty() || value[0] != kGraphTag) {
+    return Status::InvalidArgument("not a graph record");
+  }
+  // Skip the tag byte by re-reading through a trimmed view.
+  std::string body = value.substr(1);
+  ValueReader br(body);
+  GraphRecord rec;
+  GLY_ASSIGN_OR_RETURN(rec.state, br.GetI64());
+  GLY_ASSIGN_OR_RETURN(rec.aux, br.GetDouble());
+  GLY_ASSIGN_OR_RETURN(uint32_t changed, br.GetU32());
+  rec.changed = static_cast<uint8_t>(changed);
+  GLY_ASSIGN_OR_RETURN(uint32_t n, br.GetU32());
+  rec.adjacency.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GLY_ASSIGN_OR_RETURN(uint32_t v, br.GetU32());
+    rec.adjacency.push_back(v);
+  }
+  return rec;
+}
+
+std::string EncodeMessage(int64_t payload, double aux = 0.0) {
+  std::string out;
+  out.push_back(kMessageTag);
+  ValueWriter w(&out);
+  w.PutI64(payload);
+  w.PutDouble(aux);
+  return out;
+}
+
+struct Message {
+  int64_t payload = 0;
+  double aux = 0.0;
+};
+
+Result<Message> DecodeMessage(const std::string& value) {
+  if (value.empty() || value[0] != kMessageTag) {
+    return Status::InvalidArgument("not a message record");
+  }
+  std::string body = value.substr(1);
+  ValueReader br(body);
+  Message m;
+  GLY_ASSIGN_OR_RETURN(m.payload, br.GetI64());
+  GLY_ASSIGN_OR_RETURN(m.aux, br.GetDouble());
+  return m;
+}
+
+bool IsGraphValue(const std::string& v) {
+  return !v.empty() && v[0] == kGraphTag;
+}
+
+// ------------------------------------------------------------- driver util
+
+// Writes initial graph state split across `parts` record files.
+// `propagation_adjacency` folds in-neighbors into the record for directed
+// graphs (needed by CONN's undirected connectivity semantics).
+Result<std::vector<std::string>> WriteInitialState(
+    const Graph& graph, const PlatformConfig& config,
+    const std::function<GraphRecord(VertexId)>& init, bool union_adjacency) {
+  const uint32_t parts = std::max(1u, config.job.num_mappers);
+  std::vector<std::string> paths;
+  std::vector<RecordFileWriter> writers;
+  for (uint32_t p = 0; p < parts; ++p) {
+    std::string path =
+        config.work_dir + StringPrintf("/state-init/part-%05u", p);
+    fs::create_directories(fs::path(path).parent_path());
+    GLY_ASSIGN_OR_RETURN(RecordFileWriter w, RecordFileWriter::Open(path));
+    writers.push_back(std::move(w));
+    paths.push_back(path);
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    GraphRecord rec = init(v);
+    auto out_nbrs = graph.OutNeighbors(v);
+    rec.adjacency.assign(out_nbrs.begin(), out_nbrs.end());
+    if (union_adjacency && !graph.undirected()) {
+      auto in_nbrs = graph.InNeighbors(v);
+      rec.adjacency.insert(rec.adjacency.end(), in_nbrs.begin(),
+                           in_nbrs.end());
+      std::sort(rec.adjacency.begin(), rec.adjacency.end());
+      rec.adjacency.erase(
+          std::unique(rec.adjacency.begin(), rec.adjacency.end()),
+          rec.adjacency.end());
+    }
+    GLY_RETURN_NOT_OK(writers[v % parts].Append(v, EncodeGraphRecord(rec)));
+  }
+  for (auto& w : writers) {
+    GLY_RETURN_NOT_OK(w.Close());
+  }
+  return paths;
+}
+
+// Reads final state part files into a per-vertex state vector.
+Result<std::vector<int64_t>> ReadFinalState(
+    const std::vector<std::string>& paths, VertexId num_vertices) {
+  std::vector<int64_t> values(num_vertices, 0);
+  for (const std::string& path : paths) {
+    GLY_ASSIGN_OR_RETURN(std::vector<Record> records, ReadAllRecords(path));
+    for (const Record& r : records) {
+      if (!IsGraphValue(r.value)) continue;
+      GLY_ASSIGN_OR_RETURN(GraphRecord rec, DecodeGraphRecord(r.value));
+      if (r.key < num_vertices) values[r.key] = rec.state;
+    }
+  }
+  return values;
+}
+
+void AccumulateStats(const JobStats& job, ChainStats* chain) {
+  ++chain->jobs_run;
+  chain->total_spill_bytes += job.spill_bytes;
+  chain->total_shuffle_bytes += job.shuffle_bytes;
+  chain->total_output_bytes += job.output_bytes;
+  chain->total_input_records += job.input_records;
+}
+
+// ------------------------------------------------------- BFS mapper/reducer
+
+// Map: pass the graph record through; vertices discovered in the previous
+// iteration (state == iteration-1) send dist+1 to neighbors.
+class BfsMapper : public Mapper {
+ public:
+  explicit BfsMapper(int64_t frontier_level) : frontier_(frontier_level) {}
+
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    out->Emit(input.key, input.value);
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok()) return;
+    if (rec->state == frontier_) {
+      for (VertexId w : rec->adjacency) {
+        out->Emit(w, EncodeMessage(rec->state + 1));
+        counters->Increment("traversed");
+      }
+    }
+  }
+
+ private:
+  int64_t frontier_;
+};
+
+class BfsReducer : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters* counters) override {
+    GraphRecord rec;
+    bool have_graph = false;
+    int64_t best = kUnreachable;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        auto g = DecodeGraphRecord(v);
+        if (g.ok()) {
+          rec = std::move(g).ValueOrDie();
+          have_graph = true;
+        }
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) best = std::min(best, m->payload);
+      }
+    }
+    if (!have_graph) return;  // message to a vertex with no record
+    if (best < rec.state) {
+      rec.state = best;
+      counters->Increment("updated");
+    }
+    out->Emit(key, EncodeGraphRecord(rec));
+  }
+};
+
+// A min-combiner for BFS/CONN messages: keeps the graph record and the
+// minimum message payload.
+class MinMessageCombiner : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    int64_t best = kUnreachable;
+    bool have_message = false;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        out->Emit(key, v);
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) {
+          best = std::min(best, m->payload);
+          have_message = true;
+        }
+      }
+    }
+    if (have_message) out->Emit(key, EncodeMessage(best));
+  }
+};
+
+// ------------------------------------------------------ CONN mapper/reducer
+
+class ConnMapper : public Mapper {
+ public:
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    out->Emit(input.key, input.value);
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok()) return;
+    if (rec->changed) {
+      for (VertexId w : rec->adjacency) {
+        out->Emit(w, EncodeMessage(rec->state));
+        counters->Increment("traversed");
+      }
+    }
+  }
+};
+
+class ConnReducer : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters* counters) override {
+    GraphRecord rec;
+    bool have_graph = false;
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        auto g = DecodeGraphRecord(v);
+        if (g.ok()) {
+          rec = std::move(g).ValueOrDie();
+          have_graph = true;
+        }
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) best = std::min(best, m->payload);
+      }
+    }
+    if (!have_graph) return;
+    if (best < rec.state) {
+      rec.state = best;
+      rec.changed = 1;
+      counters->Increment("updated");
+    } else {
+      rec.changed = 0;
+    }
+    out->Emit(key, EncodeGraphRecord(rec));
+  }
+};
+
+// -------------------------------------------------------- CD mapper/reducer
+
+class CdMapper : public Mapper {
+ public:
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    out->Emit(input.key, input.value);
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok()) return;
+    for (VertexId w : rec->adjacency) {
+      out->Emit(w, EncodeMessage(rec->state, rec->aux));
+      counters->Increment("traversed");
+    }
+  }
+};
+
+class CdReducer : public Reducer {
+ public:
+  explicit CdReducer(double hop_attenuation) : hop_(hop_attenuation) {}
+
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    GraphRecord rec;
+    bool have_graph = false;
+    std::vector<LabelScore> incoming;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        auto g = DecodeGraphRecord(v);
+        if (g.ok()) {
+          rec = std::move(g).ValueOrDie();
+          have_graph = true;
+        }
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) incoming.push_back(LabelScore{m->payload, m->aux});
+      }
+    }
+    if (!have_graph) return;
+    if (!incoming.empty()) {
+      LabelScore adopted = CdAdoptLabel(incoming, hop_);
+      rec.state = adopted.label;
+      rec.aux = adopted.score;
+    }
+    out->Emit(key, EncodeGraphRecord(rec));
+  }
+
+ private:
+  double hop_;
+};
+
+// -------------------------------------------------------- PR mapper/reducer
+//
+// Rank rides in the graph record's aux field; messages carry
+// rank/out_degree contributions.
+
+class PrMapper : public Mapper {
+ public:
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    out->Emit(input.key, input.value);
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok() || rec->adjacency.empty()) return;
+    double contribution =
+        rec->aux / static_cast<double>(rec->adjacency.size());
+    for (VertexId w : rec->adjacency) {
+      out->Emit(w, EncodeMessage(0, contribution));
+      counters->Increment("traversed");
+    }
+  }
+};
+
+class PrReducer : public Reducer {
+ public:
+  PrReducer(double base, double damping) : base_(base), damping_(damping) {}
+
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    GraphRecord rec;
+    bool have_graph = false;
+    double sum = 0.0;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        auto g = DecodeGraphRecord(v);
+        if (g.ok()) {
+          rec = std::move(g).ValueOrDie();
+          have_graph = true;
+        }
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) sum += m->aux;
+      }
+    }
+    if (!have_graph) return;
+    rec.aux = base_ + damping_ * sum;
+    out->Emit(key, EncodeGraphRecord(rec));
+  }
+
+ private:
+  double base_;
+  double damping_;
+};
+
+// Sum-combiner for PR contributions.
+class PrCombiner : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    double sum = 0.0;
+    bool have_message = false;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        out->Emit(key, v);
+      } else {
+        auto m = DecodeMessage(v);
+        if (m.ok()) {
+          sum += m->aux;
+          have_message = true;
+        }
+      }
+    }
+    if (have_message) out->Emit(key, EncodeMessage(0, sum));
+  }
+};
+
+// ----------------------------------------------------- STATS mapper/reducer
+//
+// Job 1: exchange adjacency lists and compute the local clustering
+// coefficient per vertex (stored in aux). Neighbor lists are encoded as a
+// 'M' message whose payload abuses (i64 = count) followed by raw ids in a
+// separate encoding — for simplicity the list rides in the value after the
+// standard message header.
+
+std::string EncodeListMessage(const std::vector<VertexId>& list) {
+  std::string out;
+  out.push_back(kMessageTag);
+  ValueWriter w(&out);
+  w.PutI64(static_cast<int64_t>(list.size()));
+  w.PutDouble(0.0);
+  for (VertexId v : list) w.PutU32(v);
+  return out;
+}
+
+Result<std::vector<VertexId>> DecodeListMessage(const std::string& value) {
+  std::string body = value.substr(1);
+  ValueReader br(body);
+  GLY_ASSIGN_OR_RETURN(int64_t n, br.GetI64());
+  GLY_ASSIGN_OR_RETURN(double unused, br.GetDouble());
+  (void)unused;
+  std::vector<VertexId> list;
+  list.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    GLY_ASSIGN_OR_RETURN(uint32_t v, br.GetU32());
+    list.push_back(v);
+  }
+  return list;
+}
+
+class LccMapper : public Mapper {
+ public:
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    out->Emit(input.key, input.value);
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok()) return;
+    if (rec->adjacency.size() >= 2) {
+      std::string msg = EncodeListMessage(rec->adjacency);
+      for (VertexId w : rec->adjacency) {
+        out->Emit(w, msg);
+        counters->Increment("traversed");
+      }
+    }
+  }
+};
+
+class LccReducer : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    GraphRecord rec;
+    bool have_graph = false;
+    std::vector<std::vector<VertexId>> lists;
+    for (const std::string& v : values) {
+      if (IsGraphValue(v)) {
+        auto g = DecodeGraphRecord(v);
+        if (g.ok()) {
+          rec = std::move(g).ValueOrDie();
+          have_graph = true;
+        }
+      } else {
+        auto l = DecodeListMessage(v);
+        if (l.ok()) lists.push_back(std::move(l).ValueOrDie());
+      }
+    }
+    if (!have_graph) return;
+    uint64_t deg = rec.adjacency.size();
+    if (deg >= 2) {
+      uint64_t links = 0;
+      for (const auto& their : lists) {
+        size_t a = 0;
+        size_t b = 0;
+        while (a < their.size() && b < rec.adjacency.size()) {
+          if (their[a] < rec.adjacency[b]) {
+            ++a;
+          } else if (their[a] > rec.adjacency[b]) {
+            ++b;
+          } else {
+            ++links;
+            ++a;
+            ++b;
+          }
+        }
+      }
+      rec.aux = static_cast<double>(links) /
+                (static_cast<double>(deg) * static_cast<double>(deg - 1));
+    }
+    out->Emit(key, EncodeGraphRecord(rec));
+  }
+};
+
+// Job 2: aggregate the mean LCC under a single key.
+class LccAggregateMapper : public Mapper {
+ public:
+  void Map(const Record& input, Emitter* out, Counters*) override {
+    if (!IsGraphValue(input.value)) return;
+    auto rec = DecodeGraphRecord(input.value);
+    if (!rec.ok()) return;
+    out->Emit(0, EncodeMessage(1, rec->aux));
+  }
+};
+
+class LccAggregateReducer : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    double sum = 0.0;
+    int64_t count = 0;
+    for (const std::string& v : values) {
+      auto m = DecodeMessage(v);
+      if (m.ok()) {
+        sum += m->aux;
+        count += m->payload;
+      }
+    }
+    std::string encoded = EncodeMessage(count, sum);
+    out->Emit(key, encoded);
+  }
+};
+
+// ------------------------------------------------------- EVO mapper/reducer
+//
+// Fire records (key = fire index); the graph rides in the distributed
+// cache (a binary edge file every mapper loads once).
+
+class EvoMapper : public Mapper {
+ public:
+  EvoMapper(std::shared_ptr<const Graph> graph, EvoParams params)
+      : graph_(std::move(graph)), params_(params) {}
+
+  void Map(const Record& input, Emitter* out, Counters* counters) override {
+    uint32_t fire = static_cast<uint32_t>(input.key);
+    VertexId ambassador = ForestFireAmbassador(*graph_, params_, fire);
+    std::vector<VertexId> burned =
+        ForestFireBurn(*graph_, ambassador, params_, fire);
+    VertexId new_vertex = graph_->num_vertices() + fire;
+    for (VertexId b : burned) {
+      out->Emit(new_vertex, EncodeMessage(static_cast<int64_t>(b)));
+      counters->Increment("traversed");
+    }
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  EvoParams params_;
+};
+
+class EvoReducer : public Reducer {
+ public:
+  void Reduce(uint64_t key, const std::vector<std::string>& values,
+              Emitter* out, Counters*) override {
+    for (const std::string& v : values) out->Emit(key, v);
+  }
+};
+
+// ----------------------------------------------------------------- drivers
+
+struct Driver {
+  const PlatformConfig& config;
+  const Graph& graph;
+  ThreadPool pool;
+  Counters counters;
+  ChainStats chain;
+  uint64_t traversed_total = 0;
+
+  explicit Driver(const PlatformConfig& cfg, const Graph& g)
+      : config(cfg), graph(g), pool(std::max(1u, cfg.job.num_mappers)) {}
+
+  Result<std::vector<std::string>> RunJob(
+      const std::vector<std::string>& inputs, const std::string& out_dir,
+      MapperFactory mf, ReducerFactory rf, ReducerFactory cf = nullptr) {
+    Job job(config.job, std::move(mf), std::move(rf), std::move(cf));
+    JobStats stats;
+    Stopwatch watch;
+    GLY_ASSIGN_OR_RETURN(
+        auto outputs, job.Run(inputs, out_dir, &pool, &counters, &stats));
+    chain.total_seconds += watch.ElapsedSeconds();
+    AccumulateStats(stats, &chain);
+    return outputs;
+  }
+};
+
+Result<AlgorithmOutput> RunBfsChain(Driver& driver, const BfsParams& params) {
+  const Graph& graph = driver.graph;
+  GLY_ASSIGN_OR_RETURN(
+      std::vector<std::string> state,
+      WriteInitialState(
+          graph, driver.config,
+          [&params](VertexId v) {
+            GraphRecord rec;
+            rec.state = (v == params.source) ? 0 : kUnreachable;
+            return rec;
+          },
+          /*union_adjacency=*/false));
+
+  for (uint32_t iter = 1; iter <= driver.config.max_iterations; ++iter) {
+    driver.traversed_total += driver.counters.Get("traversed");
+    driver.counters.Reset();
+    int64_t frontier = static_cast<int64_t>(iter) - 1;
+    GLY_ASSIGN_OR_RETURN(
+        state,
+        driver.RunJob(
+            state, driver.config.work_dir + "/iter-" + std::to_string(iter),
+            [frontier] { return std::make_unique<BfsMapper>(frontier); },
+            [] { return std::make_unique<BfsReducer>(); },
+            [] { return std::make_unique<MinMessageCombiner>(); }));
+    if (driver.counters.Get("updated") == 0) break;
+  }
+
+  AlgorithmOutput out;
+  GLY_ASSIGN_OR_RETURN(out.vertex_values,
+                       ReadFinalState(state, graph.num_vertices()));
+  return out;
+}
+
+Result<AlgorithmOutput> RunConnChain(Driver& driver) {
+  const Graph& graph = driver.graph;
+  GLY_ASSIGN_OR_RETURN(
+      std::vector<std::string> state,
+      WriteInitialState(
+          graph, driver.config,
+          [](VertexId v) {
+            GraphRecord rec;
+            rec.state = static_cast<int64_t>(v);
+            rec.changed = 1;
+            return rec;
+          },
+          /*union_adjacency=*/true));
+
+  for (uint32_t iter = 1; iter <= driver.config.max_iterations; ++iter) {
+    driver.traversed_total += driver.counters.Get("traversed");
+    driver.counters.Reset();
+    GLY_ASSIGN_OR_RETURN(
+        state,
+        driver.RunJob(
+            state, driver.config.work_dir + "/iter-" + std::to_string(iter),
+            [] { return std::make_unique<ConnMapper>(); },
+            [] { return std::make_unique<ConnReducer>(); },
+            [] { return std::make_unique<MinMessageCombiner>(); }));
+    if (driver.counters.Get("updated") == 0) break;
+  }
+
+  AlgorithmOutput out;
+  GLY_ASSIGN_OR_RETURN(out.vertex_values,
+                       ReadFinalState(state, graph.num_vertices()));
+  return out;
+}
+
+Result<AlgorithmOutput> RunCdChain(Driver& driver, const CdParams& params) {
+  const Graph& graph = driver.graph;
+  GLY_ASSIGN_OR_RETURN(
+      std::vector<std::string> state,
+      WriteInitialState(
+          graph, driver.config,
+          [](VertexId v) {
+            GraphRecord rec;
+            rec.state = static_cast<int64_t>(v);
+            rec.aux = 1.0;
+            return rec;
+          },
+          /*union_adjacency=*/false));
+
+  for (uint32_t iter = 1; iter <= params.max_iterations; ++iter) {
+    double hop = params.hop_attenuation;
+    GLY_ASSIGN_OR_RETURN(
+        state,
+        driver.RunJob(
+            state, driver.config.work_dir + "/iter-" + std::to_string(iter),
+            [] { return std::make_unique<CdMapper>(); },
+            [hop] { return std::make_unique<CdReducer>(hop); }));
+  }
+
+  AlgorithmOutput out;
+  GLY_ASSIGN_OR_RETURN(out.vertex_values,
+                       ReadFinalState(state, graph.num_vertices()));
+  return out;
+}
+
+Result<AlgorithmOutput> RunPrChain(Driver& driver, const PrParams& params) {
+  const Graph& graph = driver.graph;
+  const double n = static_cast<double>(graph.num_vertices());
+  GLY_ASSIGN_OR_RETURN(
+      std::vector<std::string> state,
+      WriteInitialState(
+          graph, driver.config,
+          [n](VertexId) {
+            GraphRecord rec;
+            rec.aux = 1.0 / n;
+            return rec;
+          },
+          /*union_adjacency=*/false));
+
+  const double base = (1.0 - params.damping) / n;
+  const double damping = params.damping;
+  for (uint32_t iter = 1; iter <= params.iterations; ++iter) {
+    GLY_ASSIGN_OR_RETURN(
+        state,
+        driver.RunJob(
+            state, driver.config.work_dir + "/iter-" + std::to_string(iter),
+            [] { return std::make_unique<PrMapper>(); },
+            [base, damping] {
+              return std::make_unique<PrReducer>(base, damping);
+            },
+            [] { return std::make_unique<PrCombiner>(); }));
+  }
+
+  AlgorithmOutput out;
+  out.vertex_scores.assign(graph.num_vertices(), 0.0);
+  for (const std::string& path : state) {
+    GLY_ASSIGN_OR_RETURN(std::vector<Record> records, ReadAllRecords(path));
+    for (const Record& r : records) {
+      if (!IsGraphValue(r.value)) continue;
+      GLY_ASSIGN_OR_RETURN(GraphRecord rec, DecodeGraphRecord(r.value));
+      if (r.key < graph.num_vertices()) out.vertex_scores[r.key] = rec.aux;
+    }
+  }
+  return out;
+}
+
+Result<AlgorithmOutput> RunStatsChain(Driver& driver) {
+  const Graph& graph = driver.graph;
+  GLY_ASSIGN_OR_RETURN(std::vector<std::string> state,
+                       WriteInitialState(
+                           graph, driver.config,
+                           [](VertexId) { return GraphRecord{}; },
+                           /*union_adjacency=*/false));
+
+  GLY_ASSIGN_OR_RETURN(
+      state, driver.RunJob(state, driver.config.work_dir + "/lcc",
+                           [] { return std::make_unique<LccMapper>(); },
+                           [] { return std::make_unique<LccReducer>(); }));
+  GLY_ASSIGN_OR_RETURN(
+      auto agg,
+      driver.RunJob(state, driver.config.work_dir + "/lcc-agg",
+                    [] { return std::make_unique<LccAggregateMapper>(); },
+                    [] { return std::make_unique<LccAggregateReducer>(); },
+                    [] { return std::make_unique<LccAggregateReducer>(); }));
+
+  AlgorithmOutput out;
+  out.stats.num_vertices = graph.num_vertices();
+  out.stats.num_edges = graph.num_edges();
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const std::string& path : agg) {
+    GLY_ASSIGN_OR_RETURN(std::vector<Record> records, ReadAllRecords(path));
+    for (const Record& r : records) {
+      auto m = DecodeMessage(r.value);
+      if (m.ok()) {
+        sum += m->aux;
+        count += m->payload;
+      }
+    }
+  }
+  out.stats.mean_local_clustering =
+      count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return out;
+}
+
+Result<AlgorithmOutput> RunEvoChain(Driver& driver, const EvoParams& params) {
+  const Graph& graph = driver.graph;
+  // Fire-seed input records.
+  std::vector<std::string> inputs;
+  {
+    const uint32_t parts = std::max(1u, driver.config.job.num_mappers);
+    std::vector<RecordFileWriter> writers;
+    for (uint32_t p = 0; p < parts; ++p) {
+      std::string path =
+          driver.config.work_dir + StringPrintf("/fires/part-%05u", p);
+      fs::create_directories(fs::path(path).parent_path());
+      GLY_ASSIGN_OR_RETURN(RecordFileWriter w, RecordFileWriter::Open(path));
+      writers.push_back(std::move(w));
+      inputs.push_back(path);
+    }
+    for (uint32_t f = 0; f < params.num_new_vertices; ++f) {
+      GLY_RETURN_NOT_OK(writers[f % parts].Append(f, std::string()));
+    }
+    for (auto& w : writers) {
+      GLY_RETURN_NOT_OK(w.Close());
+    }
+  }
+
+  // Distributed cache: write the graph once, each mapper instance loads it.
+  // (A single shared immutable instance stands in for the per-process copy
+  // every Hadoop mapper would deserialize.)
+  std::string cache_path = driver.config.work_dir + "/cache-graph.bin";
+  GLY_RETURN_NOT_OK(WriteEdgeListBinary(graph.ToEdgeList(), cache_path));
+  GLY_ASSIGN_OR_RETURN(EdgeList cached_edges, ReadEdgeListBinary(cache_path));
+  Result<Graph> cached = graph.undirected()
+                             ? GraphBuilder::Undirected(cached_edges)
+                             : GraphBuilder::Directed(cached_edges);
+  GLY_RETURN_NOT_OK(cached.status());
+  auto shared_graph = std::make_shared<const Graph>(std::move(cached).ValueOrDie());
+
+  EvoParams p = params;
+  GLY_ASSIGN_OR_RETURN(
+      auto outputs,
+      driver.RunJob(inputs, driver.config.work_dir + "/evo-out",
+                    [shared_graph, p] {
+                      return std::make_unique<EvoMapper>(shared_graph, p);
+                    },
+                    [] { return std::make_unique<EvoReducer>(); }));
+
+  AlgorithmOutput out;
+  for (const std::string& path : outputs) {
+    GLY_ASSIGN_OR_RETURN(std::vector<Record> records, ReadAllRecords(path));
+    for (const Record& r : records) {
+      auto m = DecodeMessage(r.value);
+      if (m.ok()) {
+        out.new_edges.Add(static_cast<VertexId>(r.key),
+                          static_cast<VertexId>(m->payload));
+      }
+    }
+  }
+  out.new_edges.EnsureVertices(graph.num_vertices() + params.num_new_vertices);
+  return out;
+}
+
+}  // namespace
+
+Result<AlgorithmOutput> RunAlgorithm(const PlatformConfig& config,
+                                     const Graph& graph, AlgorithmKind kind,
+                                     const AlgorithmParams& params,
+                                     ChainStats* stats_out) {
+  if (config.work_dir.empty()) {
+    return Status::InvalidArgument("PlatformConfig.work_dir is required");
+  }
+  std::error_code ec;
+  fs::create_directories(config.work_dir, ec);
+
+  Driver driver(config, graph);
+  Result<AlgorithmOutput> result = Status::Internal("unreached");
+  switch (kind) {
+    case AlgorithmKind::kBfs:
+      result = RunBfsChain(driver, params.bfs);
+      break;
+    case AlgorithmKind::kConn:
+      result = RunConnChain(driver);
+      break;
+    case AlgorithmKind::kCd:
+      result = RunCdChain(driver, params.cd);
+      break;
+    case AlgorithmKind::kStats:
+      result = RunStatsChain(driver);
+      break;
+    case AlgorithmKind::kEvo:
+      result = RunEvoChain(driver, params.evo);
+      break;
+    case AlgorithmKind::kPr:
+      result = RunPrChain(driver, params.pr);
+      break;
+  }
+  if (!result.ok()) return result.status();
+  AlgorithmOutput out = std::move(result).ValueOrDie();
+  out.traversed_edges =
+      driver.traversed_total + driver.counters.Get("traversed");
+  if (out.traversed_edges == 0) {
+    out.traversed_edges = graph.num_adjacency_entries();
+  }
+  if (stats_out != nullptr) *stats_out = driver.chain;
+
+  // Remove iteration state (keeps disk usage bounded across bench sweeps).
+  fs::remove_all(config.work_dir, ec);
+  return out;
+}
+
+}  // namespace gly::mapreduce

@@ -1,0 +1,350 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <queue>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace gly::mapreduce {
+
+namespace fs = std::filesystem;
+
+void Counters::Increment(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] += delta;
+}
+
+uint64_t Counters::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> Counters::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+void Counters::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+namespace {
+
+// Collects map output for one (mapper, reducer) pair; sorts and spills runs.
+class SpillBuffer {
+ public:
+  SpillBuffer(std::string path_prefix, uint64_t limit, Reducer* combiner,
+              Counters* counters)
+      : path_prefix_(std::move(path_prefix)),
+        limit_(limit),
+        combiner_(combiner),
+        counters_(counters) {}
+
+  Status Add(uint64_t key, const std::string& value, JobStats* stats) {
+    bytes_ += sizeof(uint64_t) + sizeof(uint32_t) + value.size();
+    records_.push_back(Record{key, value});
+    if (bytes_ >= limit_) return Spill(stats);
+    return Status::OK();
+  }
+
+  Status Spill(JobStats* stats) {
+    if (records_.empty()) return Status::OK();
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const Record& a, const Record& b) {
+                       return a.key < b.key;
+                     });
+    if (combiner_ != nullptr) RunCombiner(stats);
+    std::string path = path_prefix_ + "." + std::to_string(spill_count_++);
+    GLY_ASSIGN_OR_RETURN(RecordFileWriter writer,
+                         RecordFileWriter::Open(path));
+    for (const Record& r : records_) {
+      GLY_RETURN_NOT_OK(writer.Append(r));
+    }
+    GLY_RETURN_NOT_OK(writer.Close());
+    if (stats != nullptr) {
+      stats->spill_bytes += writer.bytes_written();
+      ++stats->spill_files;
+    }
+    run_paths_.push_back(path);
+    records_.clear();
+    bytes_ = 0;
+    return Status::OK();
+  }
+
+  const std::vector<std::string>& run_paths() const { return run_paths_; }
+
+ private:
+  // Folds sorted `records_` through the combiner, replacing each key group
+  // with the combiner's output (map-side combine, as Hadoop does at spill).
+  void RunCombiner(JobStats* stats);
+
+  std::string path_prefix_;
+  uint64_t limit_;
+  Reducer* combiner_;
+  Counters* counters_;
+  uint64_t bytes_ = 0;
+  uint32_t spill_count_ = 0;
+  std::vector<Record> records_;
+  std::vector<std::string> run_paths_;
+};
+
+// Emitter routing to per-reducer spill buffers by key hash.
+class PartitionedEmitter : public Emitter {
+ public:
+  PartitionedEmitter(std::vector<SpillBuffer>* buffers, JobStats* stats,
+                     std::atomic<uint64_t>* emitted)
+      : buffers_(buffers), stats_(stats), emitted_(emitted) {}
+
+  void Emit(uint64_t key, const std::string& value) override {
+    uint64_t h = (key + 1) * 0x9E3779B97F4A7C15ULL;
+    size_t r = static_cast<size_t>((h >> 33) % buffers_->size());
+    Status s = (*buffers_)[r].Add(key, value, stats_);
+    if (!s.ok()) {
+      // Spill failures surface when runs are collected; remember the first.
+      if (error_.ok()) error_ = s;
+    }
+    emitted_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Status& error() const { return error_; }
+
+ private:
+  std::vector<SpillBuffer>* buffers_;
+  JobStats* stats_;
+  std::atomic<uint64_t>* emitted_;
+  Status error_;
+};
+
+// Emitter that buffers records in memory (combiner / reducer output).
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(uint64_t key, const std::string& value) override {
+    records_.push_back(Record{key, value});
+  }
+  std::vector<Record>& records() { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+void SpillBuffer::RunCombiner(JobStats* stats) {
+  VectorEmitter out;
+  std::vector<Record> combined;
+  size_t i = 0;
+  while (i < records_.size()) {
+    uint64_t key = records_[i].key;
+    std::vector<std::string> group;
+    while (i < records_.size() && records_[i].key == key) {
+      group.push_back(std::move(records_[i].value));
+      ++i;
+    }
+    combiner_->Reduce(key, group, &out, counters_);
+  }
+  // Combiner output for one key may be multiple records; re-sort to keep
+  // the run file ordered.
+  combined = std::move(out.records());
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+  if (stats != nullptr) stats->combined_records += combined.size();
+  records_ = std::move(combined);
+}
+
+// One source in the k-way merge of sorted run files.
+struct MergeSource {
+  std::unique_ptr<RecordFileReader> reader;
+  Record current;
+  bool done = false;
+};
+
+}  // namespace
+
+Job::Job(JobConfig config, MapperFactory mapper_factory,
+         ReducerFactory reducer_factory, ReducerFactory combiner_factory)
+    : config_(std::move(config)),
+      mapper_factory_(std::move(mapper_factory)),
+      reducer_factory_(std::move(reducer_factory)),
+      combiner_factory_(std::move(combiner_factory)) {}
+
+Result<std::vector<std::string>> Job::Run(
+    const std::vector<std::string>& input_paths, const std::string& output_dir,
+    ThreadPool* pool, Counters* counters, JobStats* stats_out) {
+  if (config_.scratch_dir.empty()) {
+    return Status::InvalidArgument("JobConfig.scratch_dir is required");
+  }
+  std::error_code ec;
+  fs::create_directories(config_.scratch_dir, ec);
+  fs::create_directories(output_dir, ec);
+
+  JobStats stats;
+  const uint32_t mappers = std::max(1u, config_.num_mappers);
+  const uint32_t reducers = std::max(1u, config_.num_reducers);
+
+  // Simulated job submission + scheduling latency.
+  if (config_.job_startup_s > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.job_startup_s));
+  }
+
+  // ------------------------------------------------------------- map phase
+  Stopwatch map_watch;
+  // Split inputs across mappers round-robin by file; files are the natural
+  // split unit since the driver writes one part per previous reducer.
+  std::vector<std::vector<std::string>> splits(mappers);
+  for (size_t i = 0; i < input_paths.size(); ++i) {
+    splits[i % mappers].push_back(input_paths[i]);
+  }
+
+  // Per-mapper stats merged afterwards to avoid locking.
+  std::vector<JobStats> mapper_stats(mappers);
+  std::vector<std::vector<std::string>> mapper_runs(
+      static_cast<size_t>(mappers) * reducers);
+  std::atomic<uint64_t> input_records{0};
+  std::atomic<uint64_t> map_output{0};
+
+  std::vector<std::future<Status>> map_tasks;
+  for (uint32_t m = 0; m < mappers; ++m) {
+    map_tasks.push_back(pool->Submit([&, m]() -> Status {
+      auto mapper = mapper_factory_();
+      std::unique_ptr<Reducer> combiner =
+          combiner_factory_ ? combiner_factory_() : nullptr;
+      std::vector<SpillBuffer> buffers;
+      buffers.reserve(reducers);
+      for (uint32_t r = 0; r < reducers; ++r) {
+        buffers.emplace_back(
+            config_.scratch_dir +
+                StringPrintf("/map-%05u-r-%05u", m, r),
+            config_.sort_buffer_bytes, combiner.get(), counters);
+      }
+      PartitionedEmitter emitter(&buffers, &mapper_stats[m], &map_output);
+      for (const std::string& path : splits[m]) {
+        GLY_ASSIGN_OR_RETURN(RecordFileReader reader,
+                             RecordFileReader::Open(path));
+        Record record;
+        for (;;) {
+          GLY_ASSIGN_OR_RETURN(bool more, reader.Next(&record));
+          if (!more) break;
+          input_records.fetch_add(1, std::memory_order_relaxed);
+          mapper->Map(record, &emitter, counters);
+        }
+      }
+      GLY_RETURN_NOT_OK(emitter.error());
+      for (uint32_t r = 0; r < reducers; ++r) {
+        GLY_RETURN_NOT_OK(buffers[r].Spill(&mapper_stats[m]));
+        mapper_runs[static_cast<size_t>(m) * reducers + r] =
+            buffers[r].run_paths();
+      }
+      return Status::OK();
+    }));
+  }
+  for (auto& t : map_tasks) {
+    GLY_RETURN_NOT_OK(t.get());
+  }
+  stats.map_seconds = map_watch.ElapsedSeconds();
+  stats.input_records = input_records.load();
+  stats.map_output_records = map_output.load();
+  for (const JobStats& ms : mapper_stats) {
+    stats.spill_bytes += ms.spill_bytes;
+    stats.spill_files += ms.spill_files;
+  }
+
+  // -------------------------------------------------- shuffle+reduce phase
+  Stopwatch reduce_watch;
+  std::vector<std::string> output_paths(reducers);
+  std::vector<JobStats> reducer_stats(reducers);
+  std::vector<std::future<Status>> reduce_tasks;
+  for (uint32_t r = 0; r < reducers; ++r) {
+    reduce_tasks.push_back(pool->Submit([&, r]() -> Status {
+      // Gather this reducer's run files from every mapper.
+      std::vector<MergeSource> sources;
+      for (uint32_t m = 0; m < mappers; ++m) {
+        for (const std::string& path :
+             mapper_runs[static_cast<size_t>(m) * reducers + r]) {
+          MergeSource src;
+          GLY_ASSIGN_OR_RETURN(RecordFileReader reader,
+                               RecordFileReader::Open(path));
+          src.reader = std::make_unique<RecordFileReader>(std::move(reader));
+          GLY_ASSIGN_OR_RETURN(bool more, src.reader->Next(&src.current));
+          src.done = !more;
+          if (!src.done) sources.push_back(std::move(src));
+        }
+      }
+      // K-way merge by key.
+      auto cmp = [&sources](size_t a, size_t b) {
+        return sources[a].current.key > sources[b].current.key;
+      };
+      std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
+      for (size_t i = 0; i < sources.size(); ++i) heap.push(i);
+
+      auto reducer = reducer_factory_();
+      std::string out_path =
+          output_dir + StringPrintf("/part-%05u", r);
+      GLY_ASSIGN_OR_RETURN(RecordFileWriter writer,
+                           RecordFileWriter::Open(out_path));
+      VectorEmitter out_emitter;
+
+      uint64_t current_key = 0;
+      std::vector<std::string> group;
+      auto flush_group = [&]() -> Status {
+        if (group.empty()) return Status::OK();
+        reducer->Reduce(current_key, group, &out_emitter, counters);
+        for (const Record& rec : out_emitter.records()) {
+          GLY_RETURN_NOT_OK(writer.Append(rec));
+          ++reducer_stats[r].reduce_output_records;
+        }
+        out_emitter.records().clear();
+        group.clear();
+        return Status::OK();
+      };
+
+      while (!heap.empty()) {
+        size_t i = heap.top();
+        heap.pop();
+        Record& rec = sources[i].current;
+        reducer_stats[r].shuffle_bytes +=
+            sizeof(uint64_t) + sizeof(uint32_t) + rec.value.size();
+        if (!group.empty() && rec.key != current_key) {
+          GLY_RETURN_NOT_OK(flush_group());
+        }
+        current_key = rec.key;
+        group.push_back(std::move(rec.value));
+        GLY_ASSIGN_OR_RETURN(bool more, sources[i].reader->Next(&rec));
+        if (more) heap.push(i);
+      }
+      GLY_RETURN_NOT_OK(flush_group());
+      GLY_RETURN_NOT_OK(writer.Close());
+      reducer_stats[r].output_bytes = writer.bytes_written();
+      output_paths[r] = out_path;
+      return Status::OK();
+    }));
+  }
+  for (auto& t : reduce_tasks) {
+    GLY_RETURN_NOT_OK(t.get());
+  }
+  stats.shuffle_reduce_seconds = reduce_watch.ElapsedSeconds();
+  for (const JobStats& rs : reducer_stats) {
+    stats.shuffle_bytes += rs.shuffle_bytes;
+    stats.output_bytes += rs.output_bytes;
+    stats.reduce_output_records += rs.reduce_output_records;
+  }
+
+  // Clean spills.
+  for (const auto& runs : mapper_runs) {
+    for (const std::string& path : runs) {
+      fs::remove(path, ec);
+    }
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return output_paths;
+}
+
+}  // namespace gly::mapreduce

@@ -1,0 +1,489 @@
+// Pregel/BSP engine — the "Giraph" substrate.
+//
+// Implements the Pregel programming model (Malewicz et al., SIGMOD 2010) the
+// paper benchmarks through Apache Giraph: vertex-centric computation in
+// supersteps separated by synchronization barriers; vertices exchange
+// messages, vote to halt, and are reactivated by incoming messages.
+//
+// Distribution is simulated: vertices are partitioned across `num_workers`
+// logical workers executed by a thread pool. The engine accounts network
+// traffic (messages whose endpoints live on different workers) and can
+// inject a bandwidth/latency cost model, which makes the paper's
+// choke points measurable:
+//   * "excessive network utilization" — per-superstep cross-worker bytes,
+//     reducible with message combiners (ablation_network bench);
+//   * "skewed execution intensity" — per-superstep active-vertex counts and
+//     per-worker compute imbalance (ablation_skew bench);
+//   * "large graph memory footprint" — graph + message memory is charged
+//     against a MemoryBudget; exceeding it aborts the run with
+//     ResourceExhausted, which the harness reports as a failure (the
+//     paper's "missing values").
+//
+// Determinism: per-vertex inboxes are either combined with an associative,
+// commutative combiner or passed as unordered batches to Compute; every
+// algorithm in pregel/algorithms.h is written to be order-independent, so
+// results are identical across thread counts.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory_budget.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/threadpool.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace gly::pregel {
+
+/// Pregel aggregators: named global values every vertex can contribute to
+/// during a superstep; the combined result is visible to all vertices in
+/// the *next* superstep (and to the caller after the run). Sum/min/max
+/// over doubles, matching the common Giraph aggregators.
+class Aggregators {
+ public:
+  enum class Kind { kSum, kMin, kMax };
+
+  /// Registers an aggregator before the run. Re-registering is a no-op.
+  void Register(const std::string& name, Kind kind) {
+    kinds_.emplace(name, kind);
+    current_.emplace(name, Identity(kind));
+    next_.emplace(name, Identity(kind));
+  }
+
+  /// Contribution from a vertex (thread-safe via per-worker partials; this
+  /// object is only touched through WorkerView during compute).
+  void Combine(std::map<std::string, double>* partial,
+               const std::string& name, double value) const {
+    auto kind_it = kinds_.find(name);
+    if (kind_it == kinds_.end()) return;  // unregistered: dropped
+    auto [it, inserted] = partial->emplace(name, value);
+    if (!inserted) it->second = Fold(kind_it->second, it->second, value);
+  }
+
+  /// Value aggregated during the previous superstep.
+  double Get(const std::string& name) const {
+    auto it = current_.find(name);
+    return it == current_.end() ? 0.0 : it->second;
+  }
+
+  /// Merges worker partials and rolls the epoch (engine-internal).
+  void EndSuperstep(const std::vector<std::map<std::string, double>>& partials) {
+    for (auto& [name, value] : next_) value = Identity(kinds_.at(name));
+    for (const auto& partial : partials) {
+      for (const auto& [name, value] : partial) {
+        auto kind_it = kinds_.find(name);
+        if (kind_it == kinds_.end()) continue;
+        next_[name] = Fold(kind_it->second, next_[name], value);
+      }
+    }
+    current_ = next_;
+  }
+
+ private:
+  static double Identity(Kind kind) {
+    switch (kind) {
+      case Kind::kSum: return 0.0;
+      case Kind::kMin: return std::numeric_limits<double>::infinity();
+      case Kind::kMax: return -std::numeric_limits<double>::infinity();
+    }
+    return 0.0;
+  }
+  static double Fold(Kind kind, double a, double b) {
+    switch (kind) {
+      case Kind::kSum: return a + b;
+      case Kind::kMin: return std::min(a, b);
+      case Kind::kMax: return std::max(a, b);
+    }
+    return a;
+  }
+
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, double> current_;
+  std::map<std::string, double> next_;
+};
+
+/// Approximate wire size of one message (for network accounting).
+template <typename M>
+uint64_t MessageWireBytes(const M&) {
+  return sizeof(M);
+}
+template <typename T>
+uint64_t MessageWireBytes(const std::vector<T>& m) {
+  return sizeof(uint32_t) + m.size() * sizeof(T);
+}
+
+/// Vertex-to-worker assignment policy.
+enum class PartitioningPolicy {
+  kHash,      ///< multiplicative hash (Giraph default)
+  kBalanced,  ///< greedy degree-aware balancing (the §2.1 skew mitigation)
+};
+
+/// Engine configuration (one simulated Giraph deployment).
+struct EngineConfig {
+  /// Logical workers (cluster nodes). Paper testbed: 10 compute machines.
+  uint32_t num_workers = 8;
+
+  /// How vertices map to workers.
+  PartitioningPolicy partitioning = PartitioningPolicy::kHash;
+
+  /// Real threads executing the workers.
+  uint32_t num_threads = 0;  // 0 = hardware concurrency
+
+  /// Memory budget for graph + live messages; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Simulated network: cross-worker message bandwidth (MiB/s, 0 = free)
+  /// and per-superstep barrier latency (seconds).
+  double network_mib_per_s = 0.0;
+  double barrier_latency_s = 0.0;
+
+  /// Safety valve.
+  uint32_t max_supersteps = 10000;
+};
+
+/// Per-superstep statistics (skew/network diagnostics).
+struct SuperstepStats {
+  uint32_t superstep = 0;
+  uint64_t active_vertices = 0;
+  uint64_t messages_sent = 0;
+  uint64_t cross_worker_messages = 0;
+  uint64_t cross_worker_bytes = 0;
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  /// max worker busy-time / mean worker busy-time (execution skew).
+  double worker_imbalance = 1.0;
+};
+
+/// Whole-run statistics.
+struct RunStats {
+  uint32_t supersteps = 0;
+  uint64_t total_messages = 0;
+  uint64_t total_cross_worker_bytes = 0;
+  double total_seconds = 0.0;
+  double network_seconds = 0.0;
+  uint64_t peak_memory_bytes = 0;
+  std::vector<SuperstepStats> per_superstep;
+};
+
+/// A vertex program: V = vertex value, M = message type.
+/// Subclasses override Init and Compute. All member functions must be
+/// thread-safe (they run concurrently for distinct vertices).
+template <typename V, typename M>
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// Context handed to Compute for one vertex in one superstep.
+  class Context {
+   public:
+    Context(const Graph* graph, VertexId vertex, uint32_t superstep, V* value,
+            std::vector<std::pair<VertexId, M>>* outbox, bool* halted,
+            const Aggregators* aggregators = nullptr,
+            std::map<std::string, double>* aggregator_partial = nullptr)
+        : graph_(graph),
+          vertex_(vertex),
+          superstep_(superstep),
+          value_(value),
+          outbox_(outbox),
+          halted_(halted),
+          aggregators_(aggregators),
+          aggregator_partial_(aggregator_partial) {}
+
+    VertexId vertex() const { return vertex_; }
+    uint32_t superstep() const { return superstep_; }
+    V& value() { return *value_; }
+    const Graph& graph() const { return *graph_; }
+
+    std::span<const VertexId> out_neighbors() const {
+      return graph_->OutNeighbors(vertex_);
+    }
+
+    /// Sends `msg` to `target`, delivered next superstep.
+    void SendTo(VertexId target, const M& msg) {
+      outbox_->emplace_back(target, msg);
+    }
+
+    /// Sends `msg` to all out-neighbors.
+    void SendToNeighbors(const M& msg) {
+      for (VertexId w : out_neighbors()) outbox_->emplace_back(w, msg);
+    }
+
+    /// Votes to halt; the vertex is reactivated by an incoming message.
+    void VoteToHalt() { *halted_ = true; }
+
+    /// Contributes to a registered aggregator (visible next superstep).
+    void AggregateValue(const std::string& name, double value) {
+      if (aggregators_ != nullptr && aggregator_partial_ != nullptr) {
+        aggregators_->Combine(aggregator_partial_, name, value);
+      }
+    }
+
+    /// Reads an aggregator's value from the *previous* superstep.
+    double GetAggregate(const std::string& name) const {
+      return aggregators_ != nullptr ? aggregators_->Get(name) : 0.0;
+    }
+
+   private:
+    const Graph* graph_;
+    VertexId vertex_;
+    uint32_t superstep_;
+    V* value_;
+    std::vector<std::pair<VertexId, M>>* outbox_;
+    bool* halted_;
+    const Aggregators* aggregators_;
+    std::map<std::string, double>* aggregator_partial_;
+  };
+
+  /// Initial vertex value (superstep 0 runs Compute on every vertex).
+  virtual V Init(const Graph& graph, VertexId v) = 0;
+
+  /// One superstep of computation for an active vertex.
+  virtual void Compute(Context& ctx, const std::vector<M>& messages) = 0;
+
+  /// Optional associative+commutative message combiner. Returning a
+  /// function enables combining at the sender (reduces network bytes, the
+  /// ablation_network experiment).
+  virtual std::optional<std::function<M(const M&, const M&)>> Combiner() const {
+    return std::nullopt;
+  }
+
+  /// Registers the program's aggregators before superstep 0.
+  virtual void RegisterAggregators(Aggregators*) const {}
+};
+
+/// Result of Engine::Run.
+template <typename V>
+struct RunOutput {
+  std::vector<V> values;
+  RunStats stats;
+  Aggregators aggregators;  ///< final aggregator values
+};
+
+/// The BSP engine.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config) : config_(config) {}
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Runs `program` on `graph` to halt (all vertices halted, no messages in
+  /// flight) or to max_supersteps. Fails with ResourceExhausted if the
+  /// memory budget is exceeded.
+  template <typename V, typename M>
+  Result<RunOutput<V>> Run(const Graph& graph,
+                           VertexProgram<V, M>* program) const {
+    const VertexId n = graph.num_vertices();
+    const uint32_t workers = std::max(1u, config_.num_workers);
+    const uint32_t threads = config_.num_threads != 0
+                                 ? config_.num_threads
+                                 : static_cast<uint32_t>(HardwareThreads());
+    MemoryBudget budget(config_.memory_budget_bytes);
+
+    // The graph is replicated state on every worker in Giraph-like systems
+    // only for small worker counts; realistically each worker stores its
+    // partition. We charge the CSR once (partitioned storage).
+    GLY_RETURN_NOT_OK(budget.Charge(graph.MemoryBytes(), "graph partitions"));
+    GLY_RETURN_NOT_OK(
+        budget.Charge(n * (sizeof(V) + 2), "vertex values and flags"));
+
+    std::unique_ptr<Partitioner> partitioner_holder;
+    if (config_.partitioning == PartitioningPolicy::kBalanced) {
+      partitioner_holder = std::make_unique<BalancedEdgePartitioner>(graph, workers);
+    } else {
+      partitioner_holder = std::make_unique<HashPartitioner>(workers);
+    }
+    const Partitioner& partitioner = *partitioner_holder;
+    ThreadPool pool(threads);
+
+    RunOutput<V> out;
+    out.values.resize(n);
+    std::vector<uint8_t> halted(n, 0);
+    pool.ParallelForChunked(n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        out.values[i] = program->Init(graph, static_cast<VertexId>(i));
+      }
+    });
+
+    auto combiner = program->Combiner();
+    Aggregators aggregators;
+    program->RegisterAggregators(&aggregators);
+
+    // Inboxes: per-vertex message vectors, double-buffered.
+    std::vector<std::vector<M>> inbox(n);
+    std::vector<std::vector<M>> next_inbox(n);
+
+    // Per-worker vertex lists.
+    std::vector<std::vector<VertexId>> worker_vertices(workers);
+    for (VertexId v = 0; v < n; ++v) {
+      worker_vertices[partitioner.PartitionOf(v)].push_back(v);
+    }
+
+    Stopwatch total_watch;
+    uint64_t live_message_bytes = 0;
+
+    for (uint32_t step = 0; step < config_.max_supersteps; ++step) {
+      SuperstepStats ss;
+      ss.superstep = step;
+      Stopwatch step_watch;
+
+      // Compute phase: each worker processes its active vertices and fills
+      // per-worker outboxes (keyed by destination worker for traffic
+      // accounting).
+      std::vector<std::vector<std::pair<VertexId, M>>> outboxes(workers);
+      std::vector<std::map<std::string, double>> aggregator_partials(workers);
+      std::vector<double> worker_busy(workers, 0.0);
+      std::atomic<uint64_t> active_count{0};
+      std::vector<std::future<void>> futures;
+      futures.reserve(workers);
+      for (uint32_t w = 0; w < workers; ++w) {
+        futures.push_back(pool.Submit([&, w] {
+          Stopwatch busy;
+          auto& outbox = outboxes[w];
+          uint64_t local_active = 0;
+          for (VertexId v : worker_vertices[w]) {
+            const bool has_messages = !inbox[v].empty();
+            if (halted[v] && !has_messages && step > 0) continue;
+            halted[v] = 0;
+            ++local_active;
+            bool halt_flag = false;
+            typename VertexProgram<V, M>::Context ctx(
+                &graph, v, step, &out.values[v], &outbox, &halt_flag,
+                &aggregators, &aggregator_partials[w]);
+            program->Compute(ctx, inbox[v]);
+            if (halt_flag) halted[v] = 1;
+          }
+          active_count.fetch_add(local_active, std::memory_order_relaxed);
+          worker_busy[w] = busy.ElapsedSeconds();
+        }));
+      }
+      for (auto& f : futures) f.get();
+      aggregators.EndSuperstep(aggregator_partials);
+      ss.active_vertices = active_count.load();
+      ss.compute_seconds = step_watch.ElapsedSeconds();
+
+      // Worker imbalance (skew choke point).
+      double max_busy = 0.0;
+      double sum_busy = 0.0;
+      for (double b : worker_busy) {
+        max_busy = std::max(max_busy, b);
+        sum_busy += b;
+      }
+      double mean_busy = sum_busy / workers;
+      ss.worker_imbalance = mean_busy > 1e-12 ? max_busy / mean_busy : 1.0;
+
+      // Message delivery phase. Combine at the *sender* when a combiner is
+      // available (per destination vertex), then deliver.
+      budget.Release(live_message_bytes);
+      live_message_bytes = 0;
+      for (auto& v : next_inbox) v.clear();
+
+      uint64_t sent = 0;
+      uint64_t cross = 0;
+      uint64_t cross_bytes = 0;
+      uint64_t inbox_bytes = 0;
+      // Deliver sequentially per source worker; per-destination-vertex
+      // combining keeps inbox sizes O(1) for combinable programs.
+      for (uint32_t w = 0; w < workers; ++w) {
+        auto& outbox = outboxes[w];
+        if (combiner.has_value()) {
+          // Sender-side combine: sort by target, fold runs.
+          std::sort(outbox.begin(), outbox.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          size_t write = 0;
+          for (size_t i = 0; i < outbox.size();) {
+            VertexId target = outbox[i].first;
+            M acc = outbox[i].second;
+            size_t j = i + 1;
+            while (j < outbox.size() && outbox[j].first == target) {
+              acc = (*combiner)(acc, outbox[j].second);
+              ++j;
+            }
+            outbox[write++] = {target, acc};
+            i = j;
+          }
+          outbox.resize(write);
+        }
+        for (auto& [target, msg] : outbox) {
+          ++sent;
+          uint64_t wire = MessageWireBytes(msg);
+          inbox_bytes += wire;
+          if (partitioner.PartitionOf(target) != w) {
+            ++cross;
+            cross_bytes += wire + sizeof(VertexId);
+          }
+          next_inbox[target].push_back(std::move(msg));
+        }
+      }
+      ss.messages_sent = sent;
+      ss.cross_worker_messages = cross;
+      ss.cross_worker_bytes = cross_bytes;
+
+      // Charge live messages against the budget (the Giraph OOM mode).
+      live_message_bytes = inbox_bytes;
+      Status charge = budget.Charge(inbox_bytes, "superstep messages");
+      if (!charge.ok()) {
+        return charge.WithPrefix("pregel superstep " + std::to_string(step));
+      }
+
+      // Simulated network cost: cross-worker bytes over the pipe plus the
+      // barrier latency.
+      double network_s = config_.barrier_latency_s;
+      if (config_.network_mib_per_s > 0.0) {
+        network_s += static_cast<double>(ss.cross_worker_bytes) /
+                     (config_.network_mib_per_s * (1 << 20));
+      }
+      if (network_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(network_s));
+      }
+      ss.network_seconds = network_s;
+
+      inbox.swap(next_inbox);
+
+      out.stats.total_messages += sent;
+      out.stats.total_cross_worker_bytes += ss.cross_worker_bytes;
+      out.stats.network_seconds += network_s;
+      out.stats.per_superstep.push_back(ss);
+      out.stats.supersteps = step + 1;
+
+      // Termination: all halted and no messages in flight.
+      if (sent == 0) {
+        bool all_halted = true;
+        for (VertexId v = 0; v < n; ++v) {
+          if (!halted[v]) {
+            all_halted = false;
+            break;
+          }
+        }
+        if (all_halted) break;
+      }
+    }
+
+    out.stats.total_seconds = total_watch.ElapsedSeconds();
+    out.stats.peak_memory_bytes = budget.peak();
+    out.aggregators = aggregators;
+    return out;
+  }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace gly::pregel

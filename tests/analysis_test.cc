@@ -1,0 +1,205 @@
+// Unit tests for the analysis module: clustering coefficients,
+// assortativity, degree-distribution models and fitting (Table 1/Figure 1
+// machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/degree_distribution.h"
+#include "analysis/metrics.h"
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace gly {
+namespace {
+
+Graph MakeUndirected(std::initializer_list<std::pair<VertexId, VertexId>> es,
+                     VertexId n = 0) {
+  EdgeList edges(n);
+  for (auto [a, b] : es) edges.Add(a, b);
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, TriangleIsFullyClustered) {
+  Graph g = MakeUndirected({{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(CountTriangles(g), 1u);
+  EXPECT_EQ(CountWedges(g), 3u);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(MetricsTest, StarHasNoClustering) {
+  Graph g = MakeUndirected({{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(MetricsTest, CompleteGraphK5) {
+  EdgeList edges;
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = a + 1; b < 5; ++b) edges.Add(a, b);
+  }
+  Graph g = GraphBuilder::Undirected(edges).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), 10u);  // C(5,3)
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(MetricsTest, TriangleWithTailLocalCc) {
+  // Triangle 0-1-2 plus edge 2-3: cc(0)=cc(1)=1, cc(2)=1/3, cc(3)=0.
+  Graph g = MakeUndirected({{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  auto cc = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);
+  EXPECT_DOUBLE_EQ(cc[1], 1.0);
+  EXPECT_NEAR(cc[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cc[3], 0.0);
+  GraphCharacteristics chars = ComputeCharacteristics(g);
+  EXPECT_EQ(chars.num_vertices, 4u);
+  EXPECT_EQ(chars.num_edges, 4u);
+  EXPECT_NEAR(chars.average_clustering_coefficient, (1 + 1 + 1.0 / 3) / 4,
+              1e-12);
+  // global = 3*1 triangles / (1+1+3+0=5 wedges)
+  EXPECT_NEAR(chars.global_clustering_coefficient, 3.0 / 5.0, 1e-12);
+}
+
+TEST(MetricsTest, ParallelMatchesSerial) {
+  // Random-ish graph; parallel triangle counting must agree with serial.
+  EdgeList edges;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(100));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(100));
+    if (a != b) edges.Add(a, b);
+  }
+  Graph g = GraphBuilder::Undirected(edges).ValueOrDie();
+  ThreadPool pool(4);
+  EXPECT_EQ(CountTriangles(g, &pool), CountTriangles(g, nullptr));
+  EXPECT_NEAR(AverageClusteringCoefficient(g, &pool),
+              AverageClusteringCoefficient(g, nullptr), 1e-12);
+}
+
+TEST(MetricsTest, StarIsDisassortative) {
+  // Hubs connected to leaves: negative degree correlation.
+  Graph g = MakeUndirected({{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  EXPECT_LT(DegreeAssortativity(g), -0.9);
+}
+
+TEST(MetricsTest, RegularishChainAssortativity) {
+  // A long path: interior vertices all degree 2 — strongly assortative
+  // core. Expect positive-ish value.
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < 50; ++v) edges.Add(v, v + 1);
+  Graph g = GraphBuilder::Undirected(edges).ValueOrDie();
+  EXPECT_GT(DegreeAssortativity(g), -0.5);
+}
+
+TEST(MetricsTest, DegreeHistogram) {
+  Graph g = MakeUndirected({{0, 1}, {0, 2}, {0, 3}});
+  Histogram h = DegreeHistogram(g);
+  EXPECT_EQ(h.CountOf(3), 1u);  // hub
+  EXPECT_EQ(h.CountOf(1), 3u);  // leaves
+}
+
+// ---------------------------------------------------- distribution models
+
+TEST(DegreeModelTest, PmfsSumToOne) {
+  ZetaModel zeta(2.0, 100000);
+  GeometricModel geo(0.2);
+  PoissonModel poisson(5.0);
+  WeibullModel weibull(1.2, 8.0);
+  for (const DegreeModel* m :
+       std::initializer_list<const DegreeModel*>{&zeta, &geo, &poisson,
+                                                 &weibull}) {
+    double sum = 0.0;
+    for (uint64_t k = 1; k <= 100000; ++k) sum += m->Pmf(k);
+    EXPECT_NEAR(sum, 1.0, 0.02) << m->ToString();
+  }
+}
+
+Histogram SampleHistogram(const std::function<uint64_t(Rng&)>& sampler,
+                          int n, uint64_t seed) {
+  Histogram h;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) h.Add(sampler(rng));
+  return h;
+}
+
+TEST(DegreeModelTest, ZetaFitRecoversAlpha) {
+  ZetaSampler sampler(1.7, 10000);
+  Histogram h = SampleHistogram(
+      [&sampler](Rng& rng) { return sampler.Sample(rng); }, 100000, 31);
+  ZetaModel fit = ZetaModel::Fit(h);
+  EXPECT_NEAR(fit.alpha(), 1.7, 0.05);
+}
+
+TEST(DegreeModelTest, GeometricFitRecoversP) {
+  Histogram h = SampleHistogram(
+      [](Rng& rng) { return SampleGeometric(rng, 0.12); }, 100000, 37);
+  GeometricModel fit = GeometricModel::Fit(h);
+  EXPECT_NEAR(fit.p(), 0.12, 0.01);
+}
+
+TEST(DegreeModelTest, PoissonFitRecoversLambda) {
+  Histogram h = SampleHistogram(
+      [](Rng& rng) {
+        uint64_t k;
+        do {
+          k = SamplePoisson(rng, 9.0);
+        } while (k == 0);
+        return k;
+      },
+      50000, 41);
+  PoissonModel fit = PoissonModel::Fit(h);
+  EXPECT_NEAR(fit.lambda(), 9.0, 0.3);
+}
+
+TEST(DegreeModelTest, ModelSelectionPicksTrueFamily) {
+  // Paper: "depending on the graph, the best fitting model changed".
+  // Zeta data must rank zeta first; geometric data must rank geometric
+  // first.
+  ZetaSampler zeta_sampler(1.7, 10000);
+  Histogram zeta_data = SampleHistogram(
+      [&zeta_sampler](Rng& rng) { return zeta_sampler.Sample(rng); }, 50000,
+      43);
+  auto zeta_fits = FitAllModels(zeta_data);
+  EXPECT_TRUE(zeta_fits[0].model_description.find("zeta") !=
+              std::string::npos)
+      << "best: " << zeta_fits[0].model_description;
+
+  Histogram geo_data = SampleHistogram(
+      [](Rng& rng) { return SampleGeometric(rng, 0.12); }, 50000, 47);
+  auto geo_fits = FitAllModels(geo_data);
+  EXPECT_TRUE(geo_fits[0].model_description.find("geometric") !=
+              std::string::npos)
+      << "best: " << geo_fits[0].model_description;
+}
+
+TEST(DegreeModelTest, GoodnessOfFitDiscriminates) {
+  // KS statistic of the true model must beat a wrong model.
+  ZetaSampler sampler(1.7, 10000);
+  Histogram h = SampleHistogram(
+      [&sampler](Rng& rng) { return sampler.Sample(rng); }, 50000, 53);
+  ZetaModel good = ZetaModel::Fit(h);
+  PoissonModel bad = PoissonModel::Fit(h);
+  EXPECT_LT(KsStatistic(h, good), KsStatistic(h, bad));
+  double dof_good = 0;
+  double dof_bad = 0;
+  double chi_good = ChiSquareStatistic(h, good, &dof_good);
+  double chi_bad = ChiSquareStatistic(h, bad, &dof_bad);
+  EXPECT_LT(chi_good / dof_good, chi_bad / dof_bad);
+}
+
+TEST(DegreeModelTest, WeibullFitImprovesOverDefault) {
+  Histogram h = SampleHistogram(
+      [](Rng& rng) { return SampleWeibullDegree(rng, 0.8, 15.0); }, 30000, 59);
+  WeibullModel fit = WeibullModel::Fit(h);
+  WeibullModel naive(1.0, 1.0);
+  EXPECT_GT(fit.LogLikelihood(h), naive.LogLikelihood(h));
+  EXPECT_NEAR(fit.shape(), 0.8, 0.2);
+}
+
+}  // namespace
+}  // namespace gly

@@ -1,0 +1,147 @@
+// Cross-platform conformance: every (platform × algorithm × graph family)
+// cell must produce output identical to the reference implementation —
+// the property the paper's Output Validator enforces, swept here with
+// parameterized tests.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "datagen/rmat.h"
+#include "datagen/social_datagen.h"
+#include "harness/platform.h"
+#include "harness/validator.h"
+
+namespace gly {
+namespace {
+
+enum class GraphFamily { kSocial, kRmat, kPath, kDisconnected };
+
+std::string FamilyName(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kSocial: return "social";
+    case GraphFamily::kRmat: return "rmat";
+    case GraphFamily::kPath: return "path";
+    case GraphFamily::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+// Builds one representative graph per family (cached across tests).
+const Graph& GraphFor(GraphFamily family) {
+  static const Graph social = [] {
+    datagen::SocialDatagenConfig config;
+    config.num_persons = 400;
+    config.degree_spec = "geometric:p=0.25";
+    config.window_size = 64;
+    config.seed = 7;
+    auto result = datagen::SocialDatagen(config).Generate(nullptr);
+    return GraphBuilder::Undirected(result->edges).ValueOrDie();
+  }();
+  static const Graph rmat = [] {
+    datagen::RmatConfig config;
+    config.scale = 8;
+    config.edge_factor = 6;
+    auto edges = datagen::RmatGenerator(config).Generate(nullptr);
+    return GraphBuilder::Undirected(*edges).ValueOrDie();
+  }();
+  static const Graph path = [] {
+    EdgeList edges;
+    for (VertexId v = 0; v + 1 < 60; ++v) edges.Add(v, v + 1);
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  static const Graph disconnected = [] {
+    EdgeList edges(100);  // trailing isolated vertices
+    Rng rng(9);
+    for (int c = 0; c < 4; ++c) {
+      for (int i = 0; i < 40; ++i) {
+        VertexId a = static_cast<VertexId>(c * 20 + rng.NextBounded(20));
+        VertexId b = static_cast<VertexId>(c * 20 + rng.NextBounded(20));
+        if (a != b) edges.Add(a, b);
+      }
+    }
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  switch (family) {
+    case GraphFamily::kSocial: return social;
+    case GraphFamily::kRmat: return rmat;
+    case GraphFamily::kPath: return path;
+    case GraphFamily::kDisconnected: return disconnected;
+  }
+  return path;
+}
+
+using ConformanceParam =
+    std::tuple<std::string /*platform*/, AlgorithmKind, GraphFamily>;
+
+class ConformanceTest : public ::testing::TestWithParam<ConformanceParam> {};
+
+TEST_P(ConformanceTest, MatchesReference) {
+  const auto& [platform_name, algorithm, family] = GetParam();
+  const Graph& graph = GraphFor(family);
+  AlgorithmParams params;
+  params.bfs.source = 0;
+  params.cd = CdParams{4, 0.05};
+  params.evo.num_new_vertices = 5;
+
+  auto platform = harness::MakePlatform(platform_name, Config());
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*platform)->LoadGraph(graph, FamilyName(family)).ok());
+  auto out = (*platform)->Run(algorithm, params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Status validation =
+      harness::ValidateOutput(graph, algorithm, params, *out);
+  EXPECT_TRUE(validation.ok()) << validation.ToString();
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<ConformanceParam>& info) {
+  const auto& [platform, algorithm, family] = info.param;
+  return platform + "_" + AlgorithmKindName(algorithm) + "_" +
+         FamilyName(family);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, ConformanceTest,
+    ::testing::Combine(
+        ::testing::Values("giraph", "graphx", "mapreduce", "neo4j"),
+        ::testing::Values(AlgorithmKind::kStats, AlgorithmKind::kBfs,
+                          AlgorithmKind::kConn, AlgorithmKind::kCd,
+                          AlgorithmKind::kEvo, AlgorithmKind::kPr),
+        ::testing::Values(GraphFamily::kSocial, GraphFamily::kRmat,
+                          GraphFamily::kPath, GraphFamily::kDisconnected)),
+    ParamName);
+
+// BFS from several sources: platforms must agree with the reference for
+// any source, including sources inside small components.
+class BfsSourceSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, VertexId>> {};
+
+TEST_P(BfsSourceSweepTest, MatchesReference) {
+  const auto& [platform_name, source] = GetParam();
+  const Graph& graph = GraphFor(GraphFamily::kDisconnected);
+  AlgorithmParams params;
+  params.bfs.source = source;
+  auto platform = harness::MakePlatform(platform_name, Config());
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*platform)->LoadGraph(graph, "sweep").ok());
+  auto out = (*platform)->Run(AlgorithmKind::kBfs, params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(
+      harness::ValidateOutput(graph, AlgorithmKind::kBfs, params, *out).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, BfsSourceSweepTest,
+    ::testing::Combine(::testing::Values("giraph", "graphx", "mapreduce",
+                                         "neo4j"),
+                       ::testing::Values(VertexId{0}, VertexId{33},
+                                         VertexId{77})),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, VertexId>>&
+           info) {
+      return std::get<0>(info.param) + "_src" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gly

@@ -1,0 +1,229 @@
+// Tests for the dataflow (GraphX-like) engine: dataset transformations,
+// shuffles/joins, memory accounting and lineage, and the algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "dataflow/algorithms.h"
+#include "dataflow/dataset.h"
+#include "dataflow/graph.h"
+#include "harness/validator.h"
+
+namespace gly::dataflow {
+namespace {
+
+ContextConfig SmallContext() {
+  ContextConfig config;
+  config.num_partitions = 4;
+  config.num_threads = 4;
+  return config;
+}
+
+Graph RandomUndirected(VertexId n, size_t m, uint64_t seed) {
+  EdgeList edges(n);
+  Rng rng(seed);
+  while (edges.num_edges() < m) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a != b) edges.Add(a, b);
+  }
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+// ---------------------------------------------------------------- datasets
+
+TEST(DatasetTest, ParallelizeAndCollect) {
+  Context ctx(SmallContext());
+  std::vector<int> data = {1, 2, 3, 4, 5};
+  auto ds = ctx.Parallelize(data);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->Count(), 5u);
+  auto collected = ds->Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, data);
+}
+
+TEST(DatasetTest, MapAndFilter) {
+  Context ctx(SmallContext());
+  std::vector<int> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i);
+  auto ds = ctx.Parallelize(data);
+  ASSERT_TRUE(ds.ok());
+  auto doubled = ctx.Map<int>(*ds, [](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.ok());
+  auto small = ctx.Filter(*doubled, [](int x) { return x < 10; });
+  ASSERT_TRUE(small.ok());
+  auto collected = small->Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(DatasetTest, FlatMap) {
+  Context ctx(SmallContext());
+  auto ds = ctx.Parallelize(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(ds.ok());
+  auto expanded = ctx.FlatMap<int>(*ds, [](int x) {
+    return std::vector<int>(static_cast<size_t>(x), x);
+  });
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->Count(), 6u);  // 1 + 2 + 3
+}
+
+TEST(DatasetTest, ReduceByKeySums) {
+  Context ctx(SmallContext());
+  std::vector<std::pair<uint64_t, int>> data;
+  for (int i = 0; i < 100; ++i) data.emplace_back(i % 7, 1);
+  auto ds = ctx.ParallelizeByKey(std::move(data));
+  ASSERT_TRUE(ds.ok());
+  auto reduced = ctx.ReduceByKey(*ds, [](int a, int b) { return a + b; });
+  ASSERT_TRUE(reduced.ok());
+  auto collected = reduced->Collect();
+  EXPECT_EQ(collected.size(), 7u);
+  int total = 0;
+  for (const auto& [k, v] : collected) total += v;
+  EXPECT_EQ(total, 100);
+}
+
+TEST(DatasetTest, LeftJoinFindsMatches) {
+  Context ctx(SmallContext());
+  std::vector<std::pair<uint64_t, int>> left = {{1, 10}, {2, 20}, {3, 30}};
+  std::vector<std::pair<uint64_t, int>> right = {{2, 200}, {3, 300}};
+  auto l = ctx.ParallelizeByKey(std::move(left));
+  auto r = ctx.ParallelizeByKey(std::move(right));
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(r.ok());
+  auto joined = ctx.LeftJoin<std::pair<uint64_t, int>>(
+      *l, *r, [](uint64_t k, const int& a, const int* b) {
+        return std::make_pair(k, b != nullptr ? a + *b : a);
+      });
+  ASSERT_TRUE(joined.ok());
+  auto collected = joined->Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected,
+            (std::vector<std::pair<uint64_t, int>>{{1, 10}, {2, 220},
+                                                   {3, 330}}));
+}
+
+TEST(DatasetTest, ShuffleCoPartitions) {
+  Context ctx(SmallContext());
+  std::vector<std::pair<uint64_t, int>> data;
+  for (uint64_t i = 0; i < 64; ++i) data.emplace_back(i, 0);
+  auto ds = ctx.Parallelize(data);  // NOT key-partitioned
+  ASSERT_TRUE(ds.ok());
+  auto shuffled = ctx.Shuffle(*ds);
+  ASSERT_TRUE(shuffled.ok());
+  for (size_t p = 0; p < shuffled->num_partitions(); ++p) {
+    for (const auto& [k, v] : shuffled->partition(p)) {
+      EXPECT_EQ(ctx.PartitionOf(k), p);
+    }
+  }
+  EXPECT_GT(ctx.stats().shuffle_bytes, 0u);
+}
+
+TEST(DatasetTest, MemoryBudgetAborts) {
+  ContextConfig config = SmallContext();
+  config.memory_budget_bytes = 128;  // tiny
+  Context ctx(config);
+  std::vector<int> data(10000, 1);
+  auto ds = ctx.Parallelize(data);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_TRUE(ds.status().IsResourceExhausted());
+}
+
+TEST(DatasetTest, DroppedDatasetReleasesBudget) {
+  ContextConfig config = SmallContext();
+  config.memory_budget_bytes = 1 << 20;
+  config.object_overhead_factor = 1.0;
+  Context ctx(config);
+  {
+    auto ds = ctx.Parallelize(std::vector<int>(1000, 7));
+    ASSERT_TRUE(ds.ok());
+    EXPECT_GT(ctx.budget().used(), 0u);
+  }
+  EXPECT_EQ(ctx.budget().used(), 0u);
+}
+
+TEST(DatasetTest, ObjectOverheadFactorCharged) {
+  ContextConfig config = SmallContext();
+  config.object_overhead_factor = 3.0;
+  Context ctx(config);
+  auto ds = ctx.Parallelize(std::vector<int>(1000, 7));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GE(ctx.budget().used(), 3u * 1000u * sizeof(int));
+}
+
+// -------------------------------------------------------------- algorithms
+
+TEST(DataflowAlgorithmsTest, BfsMatchesReference) {
+  Graph g = RandomUndirected(200, 600, 31);
+  AlgorithmParams params;
+  params.bfs.source = 1;
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kBfs, params);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(
+      harness::ValidateOutput(g, AlgorithmKind::kBfs, params, *out).ok());
+}
+
+TEST(DataflowAlgorithmsTest, ConnMatchesReference) {
+  Graph g = RandomUndirected(200, 350, 32);
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kConn, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(
+      harness::ValidateOutput(g, AlgorithmKind::kConn, {}, *out).ok());
+}
+
+TEST(DataflowAlgorithmsTest, CdMatchesReference) {
+  Graph g = RandomUndirected(150, 450, 33);
+  AlgorithmParams params;
+  params.cd = CdParams{5, 0.05};
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kCd, params);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(
+      harness::ValidateOutput(g, AlgorithmKind::kCd, params, *out).ok());
+}
+
+TEST(DataflowAlgorithmsTest, StatsMatchesReference) {
+  Graph g = RandomUndirected(150, 450, 34);
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kStats, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(
+      harness::ValidateOutput(g, AlgorithmKind::kStats, {}, *out).ok());
+}
+
+TEST(DataflowAlgorithmsTest, EvoMatchesReference) {
+  Graph g = RandomUndirected(150, 450, 35);
+  AlgorithmParams params;
+  params.evo.num_new_vertices = 6;
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kEvo, params);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(
+      harness::ValidateOutput(g, AlgorithmKind::kEvo, params, *out).ok());
+}
+
+TEST(DataflowAlgorithmsTest, FailsOnBudgetGiraphSurvives) {
+  // The Figure 4 memory story: with the same budget, the dataflow engine's
+  // immutable re-materialization exhausts memory on a graph the leaner
+  // engines handle. ~50 KiB of CSR with a 400 KiB budget: dataflow fails.
+  Graph g = RandomUndirected(2000, 6000, 36);
+  ContextConfig config = SmallContext();
+  config.memory_budget_bytes = 400 << 10;
+  auto out = RunAlgorithm(config, g, AlgorithmKind::kConn, {});
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsResourceExhausted());
+}
+
+TEST(DataflowAlgorithmsTest, StatsReportMaterializations) {
+  Graph g = RandomUndirected(100, 300, 37);
+  ContextStats stats;
+  auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kConn, {}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(stats.datasets_materialized, 5u);
+  EXPECT_GT(stats.bytes_materialized, 0u);
+  EXPECT_GT(stats.join_probe_rows, 0u);
+}
+
+}  // namespace
+}  // namespace gly::dataflow

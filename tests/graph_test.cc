@@ -1,0 +1,292 @@
+// Unit tests for the graph module: edge lists, CSR construction, I/O,
+// partitioners.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "common/temp_dir.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+
+namespace gly {
+namespace {
+
+EdgeList TriangleWithTail() {
+  // 0-1, 1-2, 2-0 triangle plus 2-3 tail.
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(2, 0);
+  edges.Add(2, 3);
+  return edges;
+}
+
+TEST(EdgeListTest, TracksVertexBound) {
+  EdgeList edges;
+  edges.Add(3, 9);
+  EXPECT_EQ(edges.num_vertices(), 10u);
+  edges.Add(11, 2);
+  EXPECT_EQ(edges.num_vertices(), 12u);
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, DeduplicateDropsLoopsAndRepeats) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(1, 1);  // loop
+  edges.Add(1, 0);  // distinct orientation is kept
+  edges.DeduplicateAndDropLoops();
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, AppendMergesBounds) {
+  EdgeList a;
+  a.Add(0, 1);
+  EdgeList b(50);
+  b.Add(2, 3);
+  a.Append(b);
+  EXPECT_EQ(a.num_edges(), 2u);
+  EXPECT_EQ(a.num_vertices(), 50u);
+}
+
+TEST(GraphBuilderTest, DirectedAdjacency) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(2, 1);
+  auto g = GraphBuilder::Directed(edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->undirected());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(1), 2u);
+  EXPECT_EQ(g->OutDegree(1), 0u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+TEST(GraphBuilderTest, UndirectedMirrorsEdges) {
+  auto g = GraphBuilder::Undirected(TriangleWithTail());
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->undirected());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->num_adjacency_entries(), 8u);
+  EXPECT_EQ(g->Degree(2), 3u);
+  EXPECT_TRUE(g->HasEdge(1, 0));
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+TEST(GraphBuilderTest, UndirectedMergesBothOrientations) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 0);  // same undirected edge
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DirectedKeepsDuplicatesWhenAsked) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  auto g = GraphBuilder::Directed(edges, /*dedup=*/false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  EdgeList edges(5);
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 5u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+TEST(GraphTest, AdjacencyIsSorted) {
+  EdgeList edges;
+  edges.Add(0, 3);
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  auto g = GraphBuilder::Directed(edges);
+  ASSERT_TRUE(g.ok());
+  auto nbrs = g->OutNeighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, ToEdgeListRoundTripsUndirected) {
+  auto g = GraphBuilder::Undirected(TriangleWithTail());
+  ASSERT_TRUE(g.ok());
+  EdgeList out = g->ToEdgeList();
+  EXPECT_EQ(out.num_edges(), g->num_edges());
+  auto g2 = GraphBuilder::Undirected(out);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_adjacency_entries(), g->num_adjacency_entries());
+}
+
+TEST(GraphTest, MemoryBytesPositive) {
+  auto g = GraphBuilder::Undirected(TriangleWithTail());
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->MemoryBytes(), 0u);
+}
+
+// --------------------------------------------------------------------- IO
+
+TEST(GraphIoTest, TextRoundTrip) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges = TriangleWithTail();
+  ASSERT_TRUE(WriteEdgeListText(edges, dir->File("g.e")).ok());
+  auto read = ReadEdgeListText(dir->File("g.e"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_edges(), edges.num_edges());
+  EXPECT_EQ(read->edges(), edges.edges());
+}
+
+TEST(GraphIoTest, TextSkipsComments) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("g.e")) << "# header\n0 1\n\n2 3\n";
+  auto read = ReadEdgeListText(dir->File("g.e"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, TextRejectsMalformed) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("bad.e")) << "0\n";
+  EXPECT_FALSE(ReadEdgeListText(dir->File("bad.e")).ok());
+  std::ofstream(dir->File("bad2.e")) << "0 xyz\n";
+  EXPECT_FALSE(ReadEdgeListText(dir->File("bad2.e")).ok());
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges = TriangleWithTail();
+  ASSERT_TRUE(WriteEdgeListBinary(edges, dir->File("g.bin")).ok());
+  auto read = ReadEdgeListBinary(dir->File("g.bin"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->edges(), edges.edges());
+  EXPECT_EQ(read->num_vertices(), edges.num_vertices());
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("junk.bin"), std::ios::binary) << "NOTMAGIC123456";
+  EXPECT_FALSE(ReadEdgeListBinary(dir->File("junk.bin")).ok());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadEdgeListText("/nonexistent/g.e").status().IsIOError());
+  EXPECT_TRUE(ReadEdgeListBinary("/nonexistent/g.bin").status().IsIOError());
+}
+
+TEST(GraphIoTest, VertexFileCoversIsolatedVertices) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges;
+  edges.Add(0, 1);
+  // Graphalytics dataset: .e file plus a .v listing vertices 0..4
+  // (2, 3, 4 are isolated).
+  ASSERT_TRUE(WriteEdgeListText(edges, dir->File("g.e")).ok());
+  std::ofstream(dir->File("g.v")) << "0\n1\n2\n3\n4\n";
+  auto read = ReadGraphalyticsDataset(dir->File("g"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_vertices(), 5u);
+  EXPECT_EQ(read->num_edges(), 1u);
+  auto g = GraphBuilder::Undirected(*read);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Degree(4), 0u);
+}
+
+TEST(GraphIoTest, DatasetWithoutVertexFileInfersFromEdges) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges = TriangleWithTail();
+  ASSERT_TRUE(WriteEdgeListText(edges, dir->File("g.e")).ok());
+  auto read = ReadGraphalyticsDataset(dir->File("g"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_vertices(), 4u);
+}
+
+TEST(GraphIoTest, VertexFileRoundTrip) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges(7);
+  edges.Add(0, 1);
+  ASSERT_TRUE(WriteVertexFile(edges, dir->File("g.v")).ok());
+  EdgeList fresh;
+  fresh.Add(0, 1);
+  ASSERT_TRUE(ApplyVertexFile(dir->File("g.v"), &fresh).ok());
+  EXPECT_EQ(fresh.num_vertices(), 7u);
+}
+
+TEST(GraphIoTest, VertexFileRejectsGarbage) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("bad.v")) << "0\nxyz\n";
+  EdgeList edges;
+  EXPECT_FALSE(ApplyVertexFile(dir->File("bad.v"), &edges).ok());
+}
+
+// ------------------------------------------------------------- Partition
+
+TEST(PartitionTest, HashCoversAllPartitions) {
+  HashPartitioner p(4);
+  std::set<uint32_t> seen;
+  for (VertexId v = 0; v < 1000; ++v) {
+    uint32_t part = p.PartitionOf(v);
+    EXPECT_LT(part, 4u);
+    seen.insert(part);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PartitionTest, RangeIsContiguous) {
+  RangePartitioner p(100, 4);
+  EXPECT_EQ(p.PartitionOf(0), 0u);
+  EXPECT_EQ(p.PartitionOf(99), 3u);
+  for (VertexId v = 1; v < 100; ++v) {
+    EXPECT_GE(p.PartitionOf(v), p.PartitionOf(v - 1));
+  }
+}
+
+TEST(PartitionTest, BalancedEdgePartitionerBalancesLoad) {
+  // Star graph: hub 0 with 99 spokes. Hash partitioning is balanced by
+  // vertex count but wildly imbalanced by edges; the greedy partitioner
+  // should spread the load.
+  EdgeList edges;
+  for (VertexId v = 1; v < 100; ++v) edges.Add(0, v);
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  BalancedEdgePartitioner balanced(*g, 4);
+  EXPECT_LT(LoadImbalance(*g, balanced), 2.0);
+}
+
+TEST(PartitionTest, CutRatioBounds) {
+  auto g = GraphBuilder::Undirected(TriangleWithTail());
+  ASSERT_TRUE(g.ok());
+  HashPartitioner hash(4);
+  double cut = EdgeCutRatio(*g, hash);
+  EXPECT_GE(cut, 0.0);
+  EXPECT_LE(cut, 1.0);
+  // Single partition has no cut.
+  HashPartitioner one(1);
+  EXPECT_DOUBLE_EQ(EdgeCutRatio(*g, one), 0.0);
+}
+
+}  // namespace
+}  // namespace gly

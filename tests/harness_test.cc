@@ -1,0 +1,260 @@
+// Tests for the harness: platform factory, validator, system monitor,
+// benchmark core, report generator, results database.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "harness/core.h"
+#include "harness/monitor.h"
+#include "harness/platform.h"
+#include "harness/report.h"
+#include "harness/validator.h"
+
+namespace gly::harness {
+namespace {
+
+Graph RandomUndirected(VertexId n, size_t m, uint64_t seed) {
+  EdgeList edges(n);
+  Rng rng(seed);
+  while (edges.num_edges() < m) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a != b) edges.Add(a, b);
+  }
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+// ---------------------------------------------------------------- platform
+
+TEST(PlatformFactoryTest, CreatesAllRegisteredPlatforms) {
+  for (const std::string& name : RegisteredPlatforms()) {
+    auto platform = MakePlatform(name, Config());
+    ASSERT_TRUE(platform.ok()) << name;
+    EXPECT_EQ((*platform)->name(), name);
+  }
+}
+
+TEST(PlatformFactoryTest, RejectsUnknown) {
+  EXPECT_TRUE(MakePlatform("flink", Config()).status().IsNotFound());
+}
+
+TEST(PlatformTest, RunWithoutLoadFails) {
+  auto platform = MakePlatform("giraph", Config());
+  ASSERT_TRUE(platform.ok());
+  EXPECT_FALSE((*platform)->Run(AlgorithmKind::kBfs, {}).ok());
+}
+
+TEST(PlatformTest, EachPlatformRunsBfsCorrectly) {
+  Graph g = RandomUndirected(120, 300, 51);
+  AlgorithmParams params;
+  params.bfs.source = 0;
+  for (const std::string& name : RegisteredPlatforms()) {
+    auto platform = MakePlatform(name, Config());
+    ASSERT_TRUE(platform.ok()) << name;
+    ASSERT_TRUE((*platform)->LoadGraph(g, "test").ok()) << name;
+    auto out = (*platform)->Run(AlgorithmKind::kBfs, params);
+    ASSERT_TRUE(out.ok()) << name << ": " << out.status().ToString();
+    EXPECT_TRUE(
+        ValidateOutput(g, AlgorithmKind::kBfs, params, *out).ok())
+        << name;
+    EXPECT_FALSE((*platform)->LastRunMetrics().empty()) << name;
+    (*platform)->UnloadGraph();
+  }
+}
+
+// --------------------------------------------------------------- validator
+
+TEST(ValidatorTest, AcceptsCorrectOutput) {
+  Graph g = RandomUndirected(50, 120, 52);
+  AlgorithmParams params;
+  auto expected = ref::Run(g, AlgorithmKind::kConn, params);
+  EXPECT_TRUE(
+      ValidateOutput(g, AlgorithmKind::kConn, params, expected).ok());
+}
+
+TEST(ValidatorTest, RejectsCorruptedVertexValues) {
+  Graph g = RandomUndirected(50, 120, 53);
+  AlgorithmParams params;
+  auto out = ref::Run(g, AlgorithmKind::kConn, params);
+  out.vertex_values[7] += 1;
+  Status s = ValidateOutput(g, AlgorithmKind::kConn, params, out);
+  EXPECT_TRUE(s.IsValidationFailed());
+  EXPECT_NE(s.message().find("vertex 7"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsSizeMismatch) {
+  Graph g = RandomUndirected(50, 120, 54);
+  AlgorithmParams params;
+  auto out = ref::Run(g, AlgorithmKind::kBfs, params);
+  out.vertex_values.pop_back();
+  EXPECT_TRUE(ValidateOutput(g, AlgorithmKind::kBfs, params, out)
+                  .IsValidationFailed());
+}
+
+TEST(ValidatorTest, StatsToleranceAllowsSummationNoise) {
+  Graph g = RandomUndirected(50, 120, 55);
+  AlgorithmParams params;
+  auto out = ref::Run(g, AlgorithmKind::kStats, params);
+  out.stats.mean_local_clustering *= 1.0 + 1e-9;
+  EXPECT_TRUE(ValidateOutput(g, AlgorithmKind::kStats, params, out).ok());
+  out.stats.mean_local_clustering += 0.1;
+  EXPECT_TRUE(ValidateOutput(g, AlgorithmKind::kStats, params, out)
+                  .IsValidationFailed());
+}
+
+TEST(ValidatorTest, RejectsEvoEdgeDifference) {
+  Graph g = RandomUndirected(50, 120, 56);
+  AlgorithmParams params;
+  auto out = ref::Run(g, AlgorithmKind::kEvo, params);
+  out.new_edges.Add(51, 0);
+  EXPECT_TRUE(ValidateOutput(g, AlgorithmKind::kEvo, params, out)
+                  .IsValidationFailed());
+}
+
+// ----------------------------------------------------------------- monitor
+
+TEST(SystemMonitorTest, ReadsProcCounters) {
+  EXPECT_GT(SystemMonitor::CurrentRssBytes(), 1u << 20);
+  double cpu1 = SystemMonitor::CurrentCpuSeconds();
+  // Burn a little CPU.
+  volatile double x = 0;
+  for (int i = 0; i < 20000000; ++i) x = x + i;
+  (void)x;
+  double cpu2 = SystemMonitor::CurrentCpuSeconds();
+  EXPECT_GE(cpu2, cpu1);
+}
+
+TEST(SystemMonitorTest, SamplesDuringWindow) {
+  SystemMonitor monitor(0.01);
+  monitor.Start();
+  // Generous window: under heavy parallel test load the sampler thread can
+  // be starved, so only a conservative sample count is asserted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ResourceSummary summary = monitor.Stop();
+  EXPECT_GE(summary.samples, 2u);
+  EXPECT_GT(summary.peak_rss_bytes, 0u);
+  EXPECT_GT(summary.wall_seconds, 0.1);
+}
+
+// -------------------------------------------------------------------- core
+
+TEST(BenchmarkCoreTest, RunsFullMatrixWithValidation) {
+  Graph g = RandomUndirected(80, 200, 57);
+  RunSpec spec;
+  spec.platforms = {"giraph", "neo4j"};
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kBfs, AlgorithmKind::kConn};
+  spec.monitor = false;
+  size_t callbacks = 0;
+  auto results = RunBenchmark(spec, [&callbacks](const BenchmarkResult&) {
+    ++callbacks;
+  });
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_EQ(callbacks, 4u);
+  for (const BenchmarkResult& r : *results) {
+    EXPECT_TRUE(r.status.ok()) << r.platform;
+    EXPECT_TRUE(r.validation.ok()) << r.platform;
+    EXPECT_GT(r.runtime_seconds, 0.0);
+    EXPECT_GT(r.teps, 0.0);
+  }
+}
+
+TEST(BenchmarkCoreTest, ReportsFailuresAsResults) {
+  Graph g = RandomUndirected(2000, 6000, 58);
+  RunSpec spec;
+  spec.platforms = {"graphx"};
+  Config config;
+  config.SetInt("graphx.memory_budget_mb", 1);  // guaranteed failure
+  spec.platform_config = config;
+  spec.datasets.push_back({"big", &g, {}});
+  spec.algorithms = {AlgorithmKind::kConn};
+  spec.monitor = false;
+  spec.validate = false;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_TRUE((*results)[0].status.IsResourceExhausted());
+}
+
+TEST(BenchmarkCoreTest, RejectsEmptySpec) {
+  EXPECT_FALSE(RunBenchmark(RunSpec{}).ok());
+}
+
+// ------------------------------------------------------------------ report
+
+std::vector<BenchmarkResult> FakeResults() {
+  BenchmarkResult ok;
+  ok.platform = "giraph";
+  ok.graph = "g500";
+  ok.algorithm = AlgorithmKind::kBfs;
+  ok.runtime_seconds = 86.0;
+  ok.teps = 1.6e7;
+  ok.traversed_edges = 1000;
+  BenchmarkResult failed;
+  failed.platform = "graphx";
+  failed.graph = "g500";
+  failed.algorithm = AlgorithmKind::kBfs;
+  failed.status = Status::ResourceExhausted("oom");
+  return {ok, failed};
+}
+
+TEST(ReportTest, RuntimeTableMarksFailures) {
+  std::string table = RenderRuntimeTable(FakeResults());
+  EXPECT_NE(table.find("BFS"), std::string::npos);
+  EXPECT_NE(table.find("g500/giraph"), std::string::npos);
+  // "Missing values indicate failures."
+  EXPECT_NE(table.find(" -"), std::string::npos);
+}
+
+TEST(ReportTest, TepsTable) {
+  std::string table = RenderTepsTable(FakeResults(), AlgorithmKind::kBfs);
+  EXPECT_NE(table.find("kTEPS"), std::string::npos);
+  EXPECT_NE(table.find("16000"), std::string::npos);
+}
+
+TEST(ReportTest, FullReportIncludesConfigAndDetails) {
+  Config config;
+  config.Set("platforms", "giraph,graphx");
+  std::string report = RenderFullReport(config, FakeResults());
+  EXPECT_NE(report.find("platforms = giraph,graphx"), std::string::npos);
+  EXPECT_NE(report.find("resource-exhausted"), std::string::npos);
+}
+
+TEST(ReportTest, CsvAndJsonlOutputs) {
+  auto dir = TempDir::Create("gly-report");
+  ASSERT_TRUE(dir.ok());
+  auto results = FakeResults();
+  ASSERT_TRUE(WriteResultsCsv(results, dir->File("r.csv")).ok());
+  ASSERT_TRUE(
+      AppendResultsDatabase(results, Config(), dir->File("db.jsonl")).ok());
+  ASSERT_TRUE(
+      AppendResultsDatabase(results, Config(), dir->File("db.jsonl")).ok());
+  std::ifstream csv(dir->File("r.csv"));
+  std::string line;
+  int csv_lines = 0;
+  while (std::getline(csv, line)) ++csv_lines;
+  EXPECT_EQ(csv_lines, 3);  // header + 2 rows
+  std::ifstream db(dir->File("db.jsonl"));
+  int db_lines = 0;
+  while (std::getline(db, line)) ++db_lines;
+  EXPECT_EQ(db_lines, 4);  // appended twice
+}
+
+TEST(ReportTest, JsonEscapesSpecials) {
+  BenchmarkResult r;
+  r.platform = "giraph";
+  r.graph = "we\"ird\ngraph";
+  r.algorithm = AlgorithmKind::kCd;
+  std::string json = ResultToJson(r);
+  EXPECT_NE(json.find("we\\\"ird\\ngraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gly::harness

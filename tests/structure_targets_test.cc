@@ -1,0 +1,95 @@
+// Tests for the structure-targeted generation pipeline (§2.2 / Table 1).
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "datagen/structure_targets.h"
+#include "graph/graph.h"
+
+namespace gly::datagen {
+namespace {
+
+StructureTargets SmallTargets() {
+  StructureTargets targets;
+  targets.num_vertices = 3000;
+  targets.num_edges = 12000;
+  targets.degree_spec = "geometric:p=0.25";
+  targets.closure_bisection_steps = 4;
+  targets.rewire_iterations = 15000;
+  targets.seed = 9;
+  return targets;
+}
+
+TEST(StructureTargetsTest, HitsHighClusteringTarget) {
+  StructureTargets targets = SmallTargets();
+  targets.target_average_clustering = 0.35;
+  auto result = GenerateWithTargets(targets);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->average_clustering, 0.2);
+  EXPECT_GT(result->closure_fraction_used, 0.0);
+}
+
+TEST(StructureTargetsTest, HitsLowClusteringTarget) {
+  StructureTargets targets = SmallTargets();
+  targets.target_average_clustering = 0.02;
+  auto result = GenerateWithTargets(targets);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->average_clustering, 0.08);
+}
+
+TEST(StructureTargetsTest, DrivesAssortativitySign) {
+  for (double target : {0.12, -0.12}) {
+    StructureTargets targets = SmallTargets();
+    targets.target_average_clustering = 0.05;
+    targets.target_assortativity = target;
+    auto result = GenerateWithTargets(targets);
+    ASSERT_TRUE(result.ok());
+    if (target > 0) {
+      EXPECT_GT(result->assortativity, 0.02) << "target " << target;
+    } else {
+      EXPECT_LT(result->assortativity, -0.02) << "target " << target;
+    }
+  }
+}
+
+TEST(StructureTargetsTest, EdgeBudgetApproximatelyRespected) {
+  StructureTargets targets = SmallTargets();
+  targets.target_average_clustering = 0.15;
+  auto result = GenerateWithTargets(targets);
+  ASSERT_TRUE(result.ok());
+  double ratio = static_cast<double>(result->edges.num_edges()) /
+                 static_cast<double>(targets.num_edges);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(StructureTargetsTest, ReportedMetricsMatchIndependentMeasurement) {
+  StructureTargets targets = SmallTargets();
+  targets.target_average_clustering = 0.2;
+  auto result = GenerateWithTargets(targets);
+  ASSERT_TRUE(result.ok());
+  Graph g = GraphBuilder::Undirected(result->edges).ValueOrDie();
+  EXPECT_NEAR(AverageClusteringCoefficient(g), result->average_clustering,
+              1e-9);
+  EXPECT_NEAR(DegreeAssortativity(g), result->assortativity, 1e-9);
+}
+
+TEST(StructureTargetsTest, DeterministicForSeed) {
+  StructureTargets targets = SmallTargets();
+  targets.target_average_clustering = 0.1;
+  auto a = GenerateWithTargets(targets);
+  auto b = GenerateWithTargets(targets);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->edges.edges(), b->edges.edges());
+}
+
+TEST(StructureTargetsTest, RejectsDegenerateTargets) {
+  StructureTargets targets;
+  targets.num_vertices = 1;
+  targets.num_edges = 0;
+  EXPECT_FALSE(GenerateWithTargets(targets).ok());
+}
+
+}  // namespace
+}  // namespace gly::datagen

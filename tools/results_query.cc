@@ -1,0 +1,145 @@
+// results_query — CLI over the results database.
+//
+// The paper's design "includes a database for Results that is hosted by us
+// online and accepts results submissions from Graphalytics users". Locally
+// the harness appends one JSON object per benchmark cell to a JSONL file
+// (see harness/report.h); this tool is the query side: filter by platform/
+// graph/algorithm and print rows or aggregates.
+//
+//   $ results_query results_database.jsonl [--platform P] [--graph G]
+//       [--algorithm A] [--failures] [--summary]
+//
+// The parser handles exactly the flat JSON the Report Generator emits; it
+// is not a general JSON library.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace {
+
+using gly::Split;
+using gly::StringPrintf;
+
+struct Row {
+  std::string platform;
+  std::string graph;
+  std::string algorithm;
+  std::string status;
+  double runtime_s = 0.0;
+  double teps = 0.0;
+};
+
+// Extracts `"key":"value"` or `"key":number` from one flat JSON line.
+std::string ExtractField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  if (pos < line.size() && line[pos] == '"') {
+    size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) return "";
+    return line.substr(pos + 1, end - pos - 1);
+  }
+  size_t end = line.find_first_of(",}", pos);
+  return line.substr(pos, end - pos);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <results.jsonl> [--platform P] [--graph G] "
+                 "[--algorithm A] [--failures] [--summary]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string path = argv[1];
+  std::string want_platform;
+  std::string want_graph;
+  std::string want_algorithm;
+  bool failures_only = false;
+  bool summary = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--platform") want_platform = next();
+    else if (arg == "--graph") want_graph = next();
+    else if (arg == "--algorithm") want_algorithm = next();
+    else if (arg == "--failures") failures_only = true;
+    else if (arg == "--summary") summary = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Row row;
+    row.platform = ExtractField(line, "platform");
+    row.graph = ExtractField(line, "graph");
+    row.algorithm = ExtractField(line, "algorithm");
+    row.status = ExtractField(line, "status");
+    row.runtime_s = std::strtod(ExtractField(line, "runtime_s").c_str(), nullptr);
+    row.teps = std::strtod(ExtractField(line, "teps").c_str(), nullptr);
+    if (!want_platform.empty() && row.platform != want_platform) continue;
+    if (!want_graph.empty() && row.graph != want_graph) continue;
+    if (!want_algorithm.empty() && row.algorithm != want_algorithm) continue;
+    if (failures_only && row.status == "ok") continue;
+    rows.push_back(row);
+  }
+
+  if (summary) {
+    // Aggregate mean runtime/teps per (platform, algorithm).
+    struct Agg {
+      double runtime_sum = 0;
+      double teps_sum = 0;
+      int ok = 0;
+      int failed = 0;
+    };
+    std::map<std::string, Agg> aggs;
+    for (const Row& r : rows) {
+      Agg& a = aggs[r.platform + "/" + r.algorithm];
+      if (r.status == "ok") {
+        a.runtime_sum += r.runtime_s;
+        a.teps_sum += r.teps;
+        ++a.ok;
+      } else {
+        ++a.failed;
+      }
+    }
+    std::printf("%-24s %6s %6s %12s %12s\n", "platform/algorithm", "ok",
+                "fail", "mean rt (s)", "mean kTEPS");
+    for (const auto& [key, a] : aggs) {
+      std::printf("%-24s %6d %6d %12.3f %12.0f\n", key.c_str(), a.ok,
+                  a.failed, a.ok > 0 ? a.runtime_sum / a.ok : 0.0,
+                  a.ok > 0 ? a.teps_sum / a.ok / 1e3 : 0.0);
+    }
+    return 0;
+  }
+
+  std::printf("%-12s %-12s %-8s %-10s %12s %12s\n", "platform", "graph",
+              "algo", "status", "runtime (s)", "kTEPS");
+  for (const Row& r : rows) {
+    std::printf("%-12s %-12s %-8s %-10s %12.3f %12.0f\n", r.platform.c_str(),
+                r.graph.c_str(), r.algorithm.c_str(), r.status.c_str(),
+                r.runtime_s, r.teps / 1e3);
+  }
+  std::printf("(%zu rows)\n", rows.size());
+  return 0;
+}
