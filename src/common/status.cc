@@ -22,6 +22,7 @@ std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kTimeout: return "timeout";
     case StatusCode::kValidationFailed: return "validation-failed";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUntested: return "untested";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kTimeout = 8,
   kValidationFailed = 9,
   kCancelled = 10,
+  kUntested = 11,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "io-error"...).
@@ -87,6 +88,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// A check that was never performed (distinct from a passing check). Used
+  /// by the harness to report "validation not run" explicitly instead of
+  /// defaulting to OK.
+  static Status Untested(std::string msg) {
+    return Status(StatusCode::kUntested, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -105,6 +112,7 @@ class Status {
     return code() == StatusCode::kValidationFailed;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUntested() const { return code() == StatusCode::kUntested; }
 
   /// The error message; empty for OK.
   const std::string& message() const;

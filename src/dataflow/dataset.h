@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
 #include "common/result.h"
@@ -260,6 +261,9 @@ class Context {
   Result<Dataset<std::pair<uint64_t, V>>> Shuffle(
       const Dataset<std::pair<uint64_t, V>>& in) {
     using KV = std::pair<uint64_t, V>;
+    // Injected shuffle failure: a lost map output / fetch failure aborts
+    // the stage (Spark without stage retries).
+    GLY_FAULT_POINT("dataflow.shuffle");
     const uint32_t parts = config_.num_partitions;
     std::vector<std::vector<KV>> partitions(parts);
     uint64_t moved_bytes = 0;
@@ -291,6 +295,9 @@ class Context {
   /// ResourceExhausted at the exact materialization that overflowed.
   template <typename T>
   Result<Dataset<T>> Materialize(std::vector<std::vector<T>> partitions) {
+    // Every transformation funnels through here, so this one site models
+    // an executor loss at any point in the lineage.
+    GLY_FAULT_POINT("dataflow.materialize");
     uint64_t elements = 0;
     for (const auto& p : partitions) elements += p.size();
     uint64_t bytes = static_cast<uint64_t>(

@@ -100,10 +100,18 @@ Result<DatagenRunResult> RunDatagenJob(const DatagenRunConfig& config) {
       return written;
     }));
   }
+  // Drain every writer before acting on failures: the task lambdas
+  // reference this frame's locals, so an early return would dangle.
+  Status write_status = Status::OK();
   for (auto& f : parts) {
-    GLY_ASSIGN_OR_RETURN(uint64_t written, f.get());
-    result.bytes_written += written;
+    Result<uint64_t> written = f.get();
+    if (written.ok()) {
+      result.bytes_written += *written;
+    } else if (write_status.ok()) {
+      write_status = written.status();
+    }
   }
+  GLY_RETURN_NOT_OK(write_status);
   result.write_seconds = write_watch.ElapsedSeconds();
   result.wall_seconds = total.ElapsedSeconds();
   return result;

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace gly::graphdb {
@@ -45,6 +46,8 @@ Result<PageCache::Page*> PageCache::GetPage(uint32_t file_id,
     return &it->second;
   }
   ++stats_.misses;
+  // Injected transient read error / slow disk on the miss path.
+  GLY_FAULT_POINT("graphdb.pagecache.read");
   while (pages_.size() >= capacity_pages_) {
     GLY_RETURN_NOT_OK(EvictOne());
   }
@@ -77,6 +80,7 @@ Status PageCache::EvictOne() {
 }
 
 Status PageCache::WritebackPage(const PageKey& key, Page& page) {
+  GLY_FAULT_POINT("graphdb.pagecache.writeback");
   ssize_t n = ::pwrite(fds_[key.file_id], page.data.data(), kPageSize,
                        static_cast<off_t>(key.page_no * kPageSize));
   if (n != static_cast<ssize_t>(kPageSize)) {

@@ -1,11 +1,50 @@
 #include "harness/core.h"
 
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
 namespace gly::harness {
+
+namespace {
+
+/// Failures worth re-executing: transient by construction (injected
+/// faults, worker crashes, timeouts, I/O hiccups) or possibly so
+/// (resource exhaustion under concurrent load). Spec errors
+/// (InvalidArgument, NotImplemented, ...) re-fail identically, so they
+/// are not retried.
+bool IsRetryable(const Status& status) {
+  return status.IsTimeout() || status.IsInternal() || status.IsIOError() ||
+         status.IsResourceExhausted();
+}
+
+/// State shared with the runner thread of one timed attempt. The thread
+/// holds its own references, so an attempt abandoned on timeout can finish
+/// in the background — touching only this state and the platform it owns —
+/// long after the harness has rebuilt the platform and moved on.
+struct AttemptState {
+  std::shared_ptr<Platform> platform;
+  AlgorithmKind algorithm = AlgorithmKind::kStats;
+  AlgorithmParams params;
+  Result<AlgorithmOutput> run = Status::Internal("attempt never finished");
+  std::promise<void> done;
+};
+
+void SleepSeconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+}  // namespace
 
 Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                                                   const ResultCallback& on_result) {
@@ -24,16 +63,44 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     }
   }
 
+  const uint32_t max_attempts = std::max(1u, spec.max_attempts);
+  std::optional<fault::ScopedFaultPlan> fault_scope;
+  if (spec.fault_plan != nullptr) fault_scope.emplace(spec.fault_plan);
+
+  // Attempts abandoned on timeout; drained (bounded) before returning so
+  // orphan threads do not normally outlive caller-owned graphs.
+  std::vector<std::future<void>> abandoned;
+
   std::vector<BenchmarkResult> results;
   for (const std::string& platform_name : spec.platforms) {
-    GLY_ASSIGN_OR_RETURN(
-        std::unique_ptr<Platform> platform,
-        MakePlatform(platform_name,
-                     spec.platform_config.Scoped(platform_name)));
+    // The platform instance is discarded whenever an attempt times out
+    // (the hung run still owns the old one) and rebuilt lazily here.
+    std::shared_ptr<Platform> platform;
+    auto make_platform = [&]() -> Status {
+      GLY_ASSIGN_OR_RETURN(
+          std::unique_ptr<Platform> fresh,
+          MakePlatform(platform_name,
+                       spec.platform_config.Scoped(platform_name)));
+      platform = std::move(fresh);
+      return Status::OK();
+    };
+    GLY_RETURN_NOT_OK(make_platform());
+
     for (const DatasetSpec& dataset : spec.datasets) {
       // ETL once per (platform, graph); not part of the runtime metric.
+      // Transient load failures (e.g. injected I/O errors) get the same
+      // bounded retry as cells.
       Stopwatch load_watch;
-      Status load_status = platform->LoadGraph(*dataset.graph, dataset.name);
+      Status load_status;
+      for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        load_status = platform->LoadGraph(*dataset.graph, dataset.name);
+        if (load_status.ok() || !IsRetryable(load_status) ||
+            attempt == max_attempts) {
+          break;
+        }
+        SleepSeconds(spec.retry_backoff_s *
+                     static_cast<double>(1ull << std::min(attempt - 1, 20u)));
+      }
       double load_seconds = load_watch.ElapsedSeconds();
 
       for (AlgorithmKind algorithm : spec.algorithms) {
@@ -50,41 +117,112 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           continue;
         }
 
-        SystemMonitor monitor;
-        if (spec.monitor) monitor.Start();
-        Stopwatch run_watch;
-        Result<AlgorithmOutput> run =
-            platform->Run(algorithm, dataset.params);
-        result.runtime_seconds = run_watch.ElapsedSeconds();
-        if (spec.monitor) result.resources = monitor.Stop();
-        result.platform_metrics = platform->LastRunMetrics();
+        const uint64_t faults_before =
+            spec.fault_plan != nullptr ? spec.fault_plan->TotalTriggered() : 0;
 
-        if (!run.ok()) {
-          result.status = run.status();
-          GLY_LOG_WARN << platform_name << "/" << dataset.name << "/"
-                       << AlgorithmKindName(algorithm)
-                       << " failed: " << run.status().ToString();
-        } else {
-          result.status = Status::OK();
-          result.traversed_edges = run->traversed_edges;
-          result.teps = result.runtime_seconds > 0.0
-                            ? static_cast<double>(run->traversed_edges) /
-                                  result.runtime_seconds
-                            : 0.0;
-          if (spec.validate) {
-            result.validation = ValidateOutput(*dataset.graph, algorithm,
-                                               dataset.params, *run);
-            if (!result.validation.ok()) {
-              GLY_LOG_ERROR << platform_name << "/" << dataset.name << "/"
-                            << AlgorithmKindName(algorithm) << " validation: "
-                            << result.validation.ToString();
+        for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+          result.attempts = attempt;
+          result.timed_out = false;
+
+          // A prior attempt was abandoned: rebuild the platform and
+          // re-run ETL before this attempt.
+          if (platform == nullptr) {
+            Status rebuilt = make_platform();
+            if (rebuilt.ok()) {
+              rebuilt = platform->LoadGraph(*dataset.graph, dataset.name);
+            }
+            if (!rebuilt.ok()) {
+              result.status = rebuilt.WithPrefix("reload after timeout");
+              platform.reset();
+              break;
             }
           }
+
+          SystemMonitor monitor;
+          if (spec.monitor) monitor.Start();
+          Stopwatch run_watch;
+          Result<AlgorithmOutput> run = Status::Internal("cell never ran");
+          if (spec.cell_timeout_s > 0.0) {
+            auto state = std::make_shared<AttemptState>();
+            state->platform = platform;
+            state->algorithm = algorithm;
+            state->params = dataset.params;
+            std::future<void> done = state->done.get_future();
+            std::thread([state] {
+              state->run = state->platform->Run(state->algorithm,
+                                                state->params);
+              state->done.set_value();
+            }).detach();
+            if (done.wait_for(std::chrono::duration<double>(
+                    spec.cell_timeout_s)) == std::future_status::ready) {
+              run = std::move(state->run);
+            } else {
+              run = Status::Timeout(StringPrintf(
+                  "cell exceeded %.3fs wall-clock budget",
+                  spec.cell_timeout_s));
+              result.timed_out = true;
+              abandoned.push_back(std::move(done));
+              platform.reset();
+            }
+          } else {
+            run = platform->Run(algorithm, dataset.params);
+          }
+          result.runtime_seconds = run_watch.ElapsedSeconds();
+          if (spec.monitor) result.resources = monitor.Stop();
+          if (platform != nullptr) {
+            result.platform_metrics = platform->LastRunMetrics();
+          }
+
+          if (run.ok()) {
+            result.status = Status::OK();
+            result.traversed_edges = run->traversed_edges;
+            result.teps = result.runtime_seconds > 0.0
+                              ? static_cast<double>(run->traversed_edges) /
+                                    result.runtime_seconds
+                              : 0.0;
+            if (spec.validate) {
+              result.validation = ValidateOutput(*dataset.graph, algorithm,
+                                                 dataset.params, *run);
+              if (!result.validation.ok()) {
+                GLY_LOG_ERROR << platform_name << "/" << dataset.name << "/"
+                              << AlgorithmKindName(algorithm) << " validation: "
+                              << result.validation.ToString();
+              }
+            }
+            break;
+          }
+
+          result.status = run.status();
+          GLY_LOG_WARN << platform_name << "/" << dataset.name << "/"
+                       << AlgorithmKindName(algorithm) << " attempt "
+                       << attempt << "/" << max_attempts
+                       << " failed: " << run.status().ToString();
+          if (attempt == max_attempts || !IsRetryable(result.status)) break;
+          SleepSeconds(spec.retry_backoff_s *
+                       static_cast<double>(1ull << std::min(attempt - 1, 20u)));
         }
+
+        result.injected_faults =
+            spec.fault_plan != nullptr
+                ? spec.fault_plan->TotalTriggered() - faults_before
+                : 0;
         results.push_back(result);
         if (on_result) on_result(result);
       }
-      platform->UnloadGraph();
+      if (platform != nullptr) platform->UnloadGraph();
+    }
+  }
+
+  // Bounded drain: give abandoned attempts a grace window to finish (they
+  // are sleeping in a stalled site or finishing a slow superstep). If one
+  // is genuinely wedged we still return — the matrix never hangs.
+  if (!abandoned.empty()) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            std::max(0.0, spec.abandon_grace_s)));
+    for (std::future<void>& done : abandoned) {
+      done.wait_until(deadline);
     }
   }
   return results;

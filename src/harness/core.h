@@ -6,6 +6,13 @@
 // System Monitor, validates the output, and produces a BenchmarkResult.
 // "By default, Graphalytics runs all the algorithms implemented on all
 // configured graphs" — RunSpec mirrors the paper's run definition.
+//
+// Robustness: a cell that crashes, errors, or hangs must degrade to a
+// *recorded* failure — the paper's "Missing values indicate failures" —
+// never poison the rest of the matrix. RunSpec therefore carries a
+// per-cell wall-clock timeout and a bounded retry policy with exponential
+// backoff, and an optional fault::FaultPlan injects deterministic faults
+// into the platform engines for testing exactly those paths.
 
 #pragma once
 
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault_injection.h"
 #include "common/result.h"
 #include "harness/monitor.h"
 #include "harness/platform.h"
@@ -38,6 +46,29 @@ struct RunSpec {
   std::vector<AlgorithmKind> algorithms;
   bool validate = true;
   bool monitor = true;
+
+  /// Per-cell wall-clock timeout (0 = none). A cell that exceeds it is
+  /// recorded as kTimeout; the hung attempt is abandoned on a background
+  /// thread and the platform instance is rebuilt before any retry.
+  double cell_timeout_s = 0.0;
+
+  /// Bounded retry: total attempts per cell (>= 1). Only transient
+  /// failures (timeout, internal/crash, I/O, resource exhaustion) are
+  /// retried; the LDBC spec's "validated re-execution".
+  uint32_t max_attempts = 1;
+
+  /// Base delay before the first retry; doubles each further retry
+  /// (exponential backoff). 0 = retry immediately.
+  double retry_backoff_s = 0.0;
+
+  /// How long RunBenchmark waits, after the matrix completes, for attempts
+  /// that were abandoned on timeout to finish in the background (bounds
+  /// the "never hangs" guarantee).
+  double abandon_grace_s = 5.0;
+
+  /// Optional deterministic fault plan, installed (scoped) for the whole
+  /// run. Faults triggered during a cell are counted in its result.
+  fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// Outcome of one (platform, graph, algorithm) cell.
@@ -46,11 +77,17 @@ struct BenchmarkResult {
   std::string graph;
   AlgorithmKind algorithm = AlgorithmKind::kStats;
   Status status;                 ///< OK, ResourceExhausted (failure), ...
-  Status validation;             ///< OK / ValidationFailed / untested
+  /// Validation outcome. Defaults to kUntested ("validation not run"), so
+  /// a passing check (OK) is distinguishable from one that never ran
+  /// (spec.validate == false, or the cell failed before producing output).
+  Status validation = Status::Untested("validation not run");
   double runtime_seconds = 0.0;  ///< "job submission to result availability"
   double load_seconds = 0.0;     ///< ETL (reported separately, not runtime)
   uint64_t traversed_edges = 0;
   double teps = 0.0;             ///< traversed edges per second
+  uint32_t attempts = 0;         ///< execution attempts consumed (>= 1)
+  bool timed_out = false;        ///< final attempt hit cell_timeout_s
+  uint64_t injected_faults = 0;  ///< faults the plan triggered in this cell
   ResourceSummary resources;
   std::map<std::string, std::string> platform_metrics;
 };

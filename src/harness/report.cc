@@ -108,11 +108,42 @@ std::string RenderFullReport(const Config& configuration,
   out << "-- configuration --\n" << configuration.ToString() << '\n';
   out << "-- runtime matrix (algorithm x graph/platform) --\n";
   out << RenderRuntimeTable(results) << '\n';
+
+  // Robustness summary: how many cells needed retries, timed out, or saw
+  // injected faults (the paper's "missing values", made auditable).
+  uint64_t failed_cells = 0;
+  uint64_t retried_cells = 0;
+  uint64_t timed_out_cells = 0;
+  uint64_t total_attempts = 0;
+  uint64_t injected_faults = 0;
+  for (const BenchmarkResult& r : results) {
+    if (!r.status.ok()) ++failed_cells;
+    if (r.attempts > 1) ++retried_cells;
+    if (r.timed_out) ++timed_out_cells;
+    total_attempts += r.attempts;
+    injected_faults += r.injected_faults;
+  }
+  out << "-- robustness --\n";
+  out << StringPrintf(
+      "cells: %zu  failed: %llu  retried: %llu  timed out: %llu  "
+      "attempts: %llu  injected faults: %llu\n\n",
+      results.size(), (unsigned long long)failed_cells,
+      (unsigned long long)retried_cells, (unsigned long long)timed_out_cells,
+      (unsigned long long)total_attempts, (unsigned long long)injected_faults);
+
   out << "-- details --\n";
   for (const BenchmarkResult& r : results) {
     out << StringPrintf("%s / %s / %s\n", r.platform.c_str(), r.graph.c_str(),
                         AlgorithmKindName(r.algorithm).c_str());
     out << "  status:      " << r.status.ToString() << '\n';
+    if (r.attempts > 1 || r.timed_out || r.injected_faults > 0) {
+      out << StringPrintf("  attempts:    %u%s\n", r.attempts,
+                          r.timed_out ? "  (timed out)" : "");
+      if (r.injected_faults > 0) {
+        out << StringPrintf("  faults:      %llu injected\n",
+                            (unsigned long long)r.injected_faults);
+      }
+    }
     if (r.status.ok()) {
       out << "  runtime:     " << FormatSeconds(r.runtime_seconds) << '\n';
       out << "  load (ETL):  " << FormatSeconds(r.load_seconds) << '\n';
@@ -139,6 +170,7 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
   CsvWriter csv(&file);
   csv.WriteHeader({"platform", "graph", "algorithm", "status", "validation",
                    "runtime_s", "load_s", "traversed_edges", "teps",
+                   "attempts", "timed_out", "injected_faults",
                    "peak_rss_bytes", "cpu_utilization"});
   for (const BenchmarkResult& r : results) {
     csv.Field(r.platform)
@@ -150,6 +182,9 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
         .Field(r.load_seconds)
         .Field(r.traversed_edges)
         .Field(r.teps)
+        .Field(static_cast<uint64_t>(r.attempts))
+        .Field(static_cast<uint64_t>(r.timed_out ? 1 : 0))
+        .Field(r.injected_faults)
         .Field(r.resources.peak_rss_bytes)
         .Field(r.resources.cpu_utilization);
     csv.EndRow();
@@ -172,6 +207,9 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << StringPrintf("\"load_s\":%.6f,", result.load_seconds)
       << "\"traversed_edges\":" << result.traversed_edges << ','
       << StringPrintf("\"teps\":%.1f,", result.teps)
+      << "\"attempts\":" << result.attempts << ','
+      << "\"timed_out\":" << (result.timed_out ? "true" : "false") << ','
+      << "\"injected_faults\":" << result.injected_faults << ','
       << "\"peak_rss_bytes\":" << result.resources.peak_rss_bytes << ','
       << "\"metrics\":{";
   bool first = true;

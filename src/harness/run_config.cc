@@ -141,6 +141,12 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
   spec.validate = config.GetBoolOr("validate", true);
   spec.monitor = config.GetBoolOr("monitor", true);
 
+  // ------------------------------------------------ robustness policy
+  spec.cell_timeout_s = config.GetDoubleOr("timeout_s", 0.0);
+  spec.max_attempts =
+      static_cast<uint32_t>(config.GetUintOr("max_attempts", 1));
+  spec.retry_backoff_s = config.GetDoubleOr("retry_backoff_s", 0.0);
+
   // --------------------------------------------------------------- run it
   GLY_ASSIGN_OR_RETURN(std::vector<BenchmarkResult> results,
                        RunBenchmark(spec));

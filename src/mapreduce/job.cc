@@ -6,6 +6,7 @@
 #include <queue>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -56,6 +57,7 @@ class SpillBuffer {
 
   Status Spill(JobStats* stats) {
     if (records_.empty()) return Status::OK();
+    GLY_FAULT_POINT("mapreduce.spill.write");
     std::stable_sort(records_.begin(), records_.end(),
                      [](const Record& a, const Record& b) {
                        return a.key < b.key;
@@ -213,6 +215,9 @@ Result<std::vector<std::string>> Job::Run(
   std::vector<std::future<Status>> map_tasks;
   for (uint32_t m = 0; m < mappers; ++m) {
     map_tasks.push_back(pool->Submit([&, m]() -> Status {
+      // Injected task attempt failure (the Hadoop "task attempt died"
+      // mode); the whole job fails, as it would with task retries off.
+      GLY_FAULT_POINT("mapreduce.map.task");
       auto mapper = mapper_factory_();
       std::unique_ptr<Reducer> combiner =
           combiner_factory_ ? combiner_factory_() : nullptr;
@@ -245,9 +250,15 @@ Result<std::vector<std::string>> Job::Run(
       return Status::OK();
     }));
   }
+  // Drain every task before acting on failures: queued lambdas reference
+  // this frame's locals (and this Job), so an early return on the first
+  // failed future would leave still-running tasks with dangling captures.
+  Status map_status = Status::OK();
   for (auto& t : map_tasks) {
-    GLY_RETURN_NOT_OK(t.get());
+    Status s = t.get();
+    if (map_status.ok()) map_status = std::move(s);
   }
+  GLY_RETURN_NOT_OK(map_status);
   stats.map_seconds = map_watch.ElapsedSeconds();
   stats.input_records = input_records.load();
   stats.map_output_records = map_output.load();
@@ -263,6 +274,7 @@ Result<std::vector<std::string>> Job::Run(
   std::vector<std::future<Status>> reduce_tasks;
   for (uint32_t r = 0; r < reducers; ++r) {
     reduce_tasks.push_back(pool->Submit([&, r]() -> Status {
+      GLY_FAULT_POINT("mapreduce.reduce.task");
       // Gather this reducer's run files from every mapper.
       std::vector<MergeSource> sources;
       for (uint32_t m = 0; m < mappers; ++m) {
@@ -326,9 +338,12 @@ Result<std::vector<std::string>> Job::Run(
       return Status::OK();
     }));
   }
+  Status reduce_status = Status::OK();
   for (auto& t : reduce_tasks) {
-    GLY_RETURN_NOT_OK(t.get());
+    Status s = t.get();
+    if (reduce_status.ok()) reduce_status = std::move(s);
   }
+  GLY_RETURN_NOT_OK(reduce_status);
   stats.shuffle_reduce_seconds = reduce_watch.ElapsedSeconds();
   for (const JobStats& rs : reducer_stats) {
     stats.shuffle_bytes += rs.shuffle_bytes;

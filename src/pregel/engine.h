@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
 #include "common/result.h"
@@ -161,6 +162,7 @@ struct SuperstepStats {
   uint32_t superstep = 0;
   uint64_t active_vertices = 0;
   uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;  ///< lost to injected faults
   uint64_t cross_worker_messages = 0;
   uint64_t cross_worker_bytes = 0;
   double compute_seconds = 0.0;
@@ -173,6 +175,7 @@ struct SuperstepStats {
 struct RunStats {
   uint32_t supersteps = 0;
   uint64_t total_messages = 0;
+  uint64_t total_messages_dropped = 0;
   uint64_t total_cross_worker_bytes = 0;
   double total_seconds = 0.0;
   double network_seconds = 0.0;
@@ -287,6 +290,7 @@ class Engine {
   template <typename V, typename M>
   Result<RunOutput<V>> Run(const Graph& graph,
                            VertexProgram<V, M>* program) const {
+    GLY_FAULT_POINT("pregel.run.start");
     const VertexId n = graph.num_vertices();
     const uint32_t workers = std::max(1u, config_.num_workers);
     const uint32_t threads = config_.num_threads != 0
@@ -347,12 +351,17 @@ class Engine {
       std::vector<std::vector<std::pair<VertexId, M>>> outboxes(workers);
       std::vector<std::map<std::string, double>> aggregator_partials(workers);
       std::vector<double> worker_busy(workers, 0.0);
+      std::vector<Status> worker_status(workers);
       std::atomic<uint64_t> active_count{0};
       std::vector<std::future<void>> futures;
       futures.reserve(workers);
       for (uint32_t w = 0; w < workers; ++w) {
         futures.push_back(pool.Submit([&, w] {
           Stopwatch busy;
+          // Injected worker crash: the worker dies before computing its
+          // partition; the engine surfaces the failure after the barrier.
+          worker_status[w] = fault::CheckPoint("pregel.worker.compute");
+          if (!worker_status[w].ok()) return;
           auto& outbox = outboxes[w];
           uint64_t local_active = 0;
           for (VertexId v : worker_vertices[w]) {
@@ -372,6 +381,13 @@ class Engine {
         }));
       }
       for (auto& f : futures) f.get();
+      for (uint32_t w = 0; w < workers; ++w) {
+        if (!worker_status[w].ok()) {
+          return worker_status[w].WithPrefix(
+              "pregel superstep " + std::to_string(step) + " worker " +
+              std::to_string(w));
+        }
+      }
       aggregators.EndSuperstep(aggregator_partials);
       ss.active_vertices = active_count.load();
       ss.compute_seconds = step_watch.ElapsedSeconds();
@@ -393,6 +409,7 @@ class Engine {
       for (auto& v : next_inbox) v.clear();
 
       uint64_t sent = 0;
+      uint64_t dropped = 0;
       uint64_t cross = 0;
       uint64_t cross_bytes = 0;
       uint64_t inbox_bytes = 0;
@@ -421,6 +438,10 @@ class Engine {
           outbox.resize(write);
         }
         for (auto& [target, msg] : outbox) {
+          if (GLY_FAULT_DROP("pregel.message.deliver")) {
+            ++dropped;
+            continue;
+          }
           ++sent;
           uint64_t wire = MessageWireBytes(msg);
           inbox_bytes += wire;
@@ -432,6 +453,7 @@ class Engine {
         }
       }
       ss.messages_sent = sent;
+      ss.messages_dropped = dropped;
       ss.cross_worker_messages = cross;
       ss.cross_worker_bytes = cross_bytes;
 
@@ -455,9 +477,15 @@ class Engine {
       }
       ss.network_seconds = network_s;
 
+      // Injected barrier faults: a crash here kills the superstep after
+      // compute; a stall models the slow-worker scenario the harness
+      // timeout must cut short.
+      GLY_FAULT_POINT("pregel.superstep.barrier");
+
       inbox.swap(next_inbox);
 
       out.stats.total_messages += sent;
+      out.stats.total_messages_dropped += dropped;
       out.stats.total_cross_worker_bytes += ss.cross_worker_bytes;
       out.stats.network_seconds += network_s;
       out.stats.per_superstep.push_back(ss);

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "datagen/rmat.h"
 #include "datagen/social_datagen.h"
@@ -142,6 +144,58 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_src" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Seeded cross-platform differential sweep: platforms are compared against
+// EACH OTHER, not just against the reference. For each generator seed,
+// every pair of platforms must produce bit-identical vertex values (BFS,
+// CONN) and matching STATS — any divergence localizes a platform bug even
+// if the reference validator happened to miss it.
+class DifferentialSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweepTest, PlatformsAgreePairwiseOnSeededRmat) {
+  datagen::RmatConfig config;
+  config.scale = 7;
+  config.edge_factor = 4;
+  config.seed = GetParam();
+  auto edges = datagen::RmatGenerator(config).Generate(nullptr);
+  ASSERT_TRUE(edges.ok());
+  Graph graph = GraphBuilder::Undirected(*edges).ValueOrDie();
+
+  const std::vector<std::string> platforms = {"giraph", "graphx",
+                                              "mapreduce", "neo4j"};
+  AlgorithmParams params;
+  params.bfs.source = 0;
+  for (AlgorithmKind algorithm :
+       {AlgorithmKind::kBfs, AlgorithmKind::kConn, AlgorithmKind::kStats}) {
+    std::vector<AlgorithmOutput> outputs;
+    for (const std::string& name : platforms) {
+      auto platform = harness::MakePlatform(name, Config());
+      ASSERT_TRUE(platform.ok()) << name;
+      ASSERT_TRUE((*platform)->LoadGraph(graph, "diff").ok()) << name;
+      auto out = (*platform)->Run(algorithm, params);
+      ASSERT_TRUE(out.ok()) << name << "/" << AlgorithmKindName(algorithm)
+                            << ": " << out.status().ToString();
+      outputs.push_back(std::move(*out));
+    }
+    for (size_t i = 1; i < outputs.size(); ++i) {
+      SCOPED_TRACE(platforms[0] + " vs " + platforms[i] + " on " +
+                   AlgorithmKindName(algorithm) + ", rmat seed " +
+                   std::to_string(config.seed));
+      EXPECT_EQ(outputs[0].vertex_values, outputs[i].vertex_values);
+      EXPECT_EQ(outputs[0].stats.num_vertices, outputs[i].stats.num_vertices);
+      EXPECT_EQ(outputs[0].stats.num_edges, outputs[i].stats.num_edges);
+      // Clustering coefficient: summation order may differ per platform.
+      EXPECT_NEAR(outputs[0].stats.mean_local_clustering,
+                  outputs[i].stats.mean_local_clustering, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RmatSeeds, DifferentialSweepTest,
+                         ::testing::Values(11u, 23u, 47u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace gly

@@ -166,6 +166,45 @@ TEST(BenchmarkCoreTest, RunsFullMatrixWithValidation) {
   }
 }
 
+TEST(BenchmarkCoreTest, ValidationIsExplicitlyUntestedWhenNotRun) {
+  // validate = false must be distinguishable from "validation passed":
+  // the result carries the dedicated untested state, which is neither OK
+  // nor a validation failure.
+  Graph g = RandomUndirected(80, 200, 59);
+  RunSpec spec;
+  spec.platforms = {"reference"};
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kBfs};
+  spec.monitor = false;
+  spec.validate = false;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.validation.IsUntested());
+  EXPECT_FALSE(r.validation.ok());
+  EXPECT_FALSE(r.validation.IsValidationFailed());
+  // A default-constructed result is untested too, not silently "passed".
+  EXPECT_TRUE(BenchmarkResult{}.validation.IsUntested());
+}
+
+TEST(BenchmarkCoreTest, RecordsSingleAttemptOnCleanRuns) {
+  Graph g = RandomUndirected(80, 200, 60);
+  RunSpec spec;
+  spec.platforms = {"reference"};
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kBfs};
+  spec.monitor = false;
+  spec.max_attempts = 3;  // headroom must not inflate the count
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.injected_faults, 0u);
+  EXPECT_TRUE(r.validation.ok());
+}
+
 TEST(BenchmarkCoreTest, ReportsFailuresAsResults) {
   Graph g = RandomUndirected(2000, 6000, 58);
   RunSpec spec;

@@ -1,0 +1,262 @@
+// Differential robustness tests: every platform runs under injected
+// worker crashes, transient I/O errors, and stalls, and the harness must
+// (a) record every cell's outcome — never hang, never kill the process —
+// and (b) recover to a clean, validated result when the fault is
+// transient or the plan is removed. This is the testable form of the
+// paper's "Missing values indicate failures".
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "harness/core.h"
+#include "harness/validator.h"
+
+namespace gly::harness {
+namespace {
+
+#ifdef GLY_DISABLE_FAULT_POINTS
+
+TEST(RobustnessTest, FaultPointsCompiledOut) {
+  GTEST_SKIP() << "built with GLY_FAULT_POINTS=OFF; engine fault sites are "
+                  "no-ops, so the robustness scenarios cannot run";
+}
+
+#else
+
+Graph RandomUndirected(VertexId n, size_t m, uint64_t seed) {
+  EdgeList edges(n);
+  Rng rng(seed);
+  while (edges.num_edges() < m) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a != b) edges.Add(a, b);
+  }
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+// All fault sites of one platform ("pregel.*" etc.).
+std::string SitePrefix(const std::string& platform) {
+  if (platform == "giraph") return "pregel.*";
+  if (platform == "graphx") return "dataflow.*";
+  if (platform == "mapreduce") return "mapreduce.*";
+  if (platform == "neo4j") return "graphdb.*";
+  return "*";
+}
+
+const std::vector<std::string> kFaultablePlatforms = {"giraph", "graphx",
+                                                      "mapreduce", "neo4j"};
+
+RunSpec BaseSpec(const Graph* graph, const std::string& platform) {
+  RunSpec spec;
+  spec.platforms = {platform};
+  spec.datasets.push_back({"toy", graph, {}});
+  spec.algorithms = {AlgorithmKind::kBfs};
+  spec.monitor = false;
+  return spec;
+}
+
+// ---------------------------------------------------- crashes are recorded
+
+TEST(RobustnessTest, InjectedCrashIsARecordedFailureOnEveryPlatform) {
+  Graph g = RandomUndirected(100, 250, 71);
+  for (const std::string& platform : kFaultablePlatforms) {
+    fault::FaultPlan plan(0xC0FFEE);
+    plan.Add({.site = SitePrefix(platform), .kind = fault::FaultKind::kCrash,
+              .probability = 1.0});
+    RunSpec spec = BaseSpec(&g, platform);
+    spec.fault_plan = &plan;
+    auto results = RunBenchmark(spec);
+    // The harness survives and reports the cell as failed.
+    ASSERT_TRUE(results.ok()) << platform;
+    ASSERT_EQ(results->size(), 1u) << platform;
+    const BenchmarkResult& r = (*results)[0];
+    EXPECT_FALSE(r.status.ok()) << platform;
+    EXPECT_TRUE(r.validation.IsUntested()) << platform;
+    EXPECT_GT(plan.TotalTriggered(), 0u) << platform;
+  }
+}
+
+TEST(RobustnessTest, TransientIOErrorIsRetryableOnEveryPlatform) {
+  Graph g = RandomUndirected(100, 250, 72);
+  for (const std::string& platform : kFaultablePlatforms) {
+    fault::FaultPlan plan(0xBEEF);
+    plan.Add({.site = SitePrefix(platform),
+              .kind = fault::FaultKind::kIOError, .max_triggers = 1});
+    RunSpec spec = BaseSpec(&g, platform);
+    spec.fault_plan = &plan;
+    spec.max_attempts = 3;
+    auto results = RunBenchmark(spec);
+    ASSERT_TRUE(results.ok()) << platform;
+    const BenchmarkResult& r = (*results)[0];
+    // One transient fault, bounded retry: the cell ends up clean and the
+    // fault-free re-execution validates against the reference.
+    EXPECT_TRUE(r.status.ok()) << platform << ": " << r.status.ToString();
+    EXPECT_TRUE(r.validation.ok()) << platform << ": "
+                                   << r.validation.ToString();
+    EXPECT_EQ(plan.TotalTriggered(), 1u) << platform;
+  }
+}
+
+TEST(RobustnessTest, RetryCountsAreRecorded) {
+  // giraph's pregel.run.start is hit exactly once per execution attempt,
+  // so a single transient crash there pins attempts == 2.
+  Graph g = RandomUndirected(100, 250, 73);
+  fault::FaultPlan plan(0xAB);
+  plan.Add({.site = "pregel.run.start", .kind = fault::FaultKind::kCrash,
+            .max_triggers = 1});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  spec.max_attempts = 3;
+  spec.retry_backoff_s = 0.001;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.validation.ok());
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_EQ(r.injected_faults, 1u);
+}
+
+TEST(RobustnessTest, RetriesAreBounded) {
+  // A permanent crash must consume exactly max_attempts, then surface.
+  Graph g = RandomUndirected(100, 250, 74);
+  fault::FaultPlan plan(0xAC);
+  plan.Add({.site = "pregel.run.start", .kind = fault::FaultKind::kCrash});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  spec.max_attempts = 3;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.IsInternal());
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.injected_faults, 3u);
+}
+
+// ----------------------------------------------------------------- timeouts
+
+TEST(RobustnessTest, StalledCellTimesOutAndIsRecorded) {
+  Graph g = RandomUndirected(100, 250, 75);
+  fault::FaultPlan plan(0xAD);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .delay_seconds = 0.6});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  spec.cell_timeout_s = 0.15;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.IsTimeout()) << r.status.ToString();
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_TRUE(r.validation.IsUntested());
+}
+
+TEST(RobustnessTest, TimeoutRetryRecoversWhenStallIsTransient) {
+  Graph g = RandomUndirected(100, 250, 76);
+  fault::FaultPlan plan(0xAE);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .max_triggers = 1,
+            .delay_seconds = 0.6});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  spec.cell_timeout_s = 0.15;
+  spec.max_attempts = 2;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.validation.ok());
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_FALSE(r.timed_out);  // the recorded (final) attempt was clean
+}
+
+// ------------------------------------------------------------ message loss
+
+TEST(RobustnessTest, DroppedMessagesCorruptResultsAndValidationCatchesIt) {
+  // Message loss must not hang or crash the engine; it yields a wrong
+  // answer that the Output Validator flags — the silent-failure mode the
+  // differential harness exists to catch.
+  Graph g = RandomUndirected(100, 250, 77);
+  fault::FaultPlan plan(0xAF);
+  plan.Add({.site = "pregel.message.deliver",
+            .kind = fault::FaultKind::kDrop, .probability = 0.9});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_GT(plan.TriggeredCount("pregel.message.deliver"), 0u);
+  EXPECT_TRUE(r.validation.IsValidationFailed()) << r.validation.ToString();
+}
+
+// ----------------------------------------- the full matrix, faults enabled
+
+TEST(RobustnessTest, FullMatrixUnderFaultsCompletesEveryCellThenRunsClean) {
+  Graph g = RandomUndirected(100, 300, 78);
+  RunSpec spec;
+  spec.platforms = {"giraph", "graphx", "mapreduce", "neo4j", "reference"};
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kStats, AlgorithmKind::kBfs,
+                     AlgorithmKind::kConn};
+  spec.monitor = false;
+  spec.cell_timeout_s = 1.0;
+  spec.max_attempts = 2;
+  spec.retry_backoff_s = 0.001;
+
+  // Fixed seed: crashes sprinkled over every site, plus one guaranteed
+  // stall at the second pregel barrier that must trip the cell timeout.
+  fault::FaultPlan plan(0x5EED);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .skip_hits = 1,
+            .max_triggers = 1, .delay_seconds = 3.0});
+  plan.Add({.site = "*", .kind = fault::FaultKind::kCrash,
+            .probability = 0.01});
+  spec.fault_plan = &plan;
+
+  size_t callbacks = 0;
+  auto faulty = RunBenchmark(spec, [&callbacks](const BenchmarkResult&) {
+    ++callbacks;
+  });
+  // Every cell is reported — status recorded, no hang, no process abort.
+  ASSERT_TRUE(faulty.ok());
+  ASSERT_EQ(faulty->size(), 15u);
+  EXPECT_EQ(callbacks, 15u);
+  for (const BenchmarkResult& r : *faulty) {
+    EXPECT_LE(r.attempts, 2u) << r.platform;
+    if (r.status.ok()) {
+      // Whatever survived the fault storm must still be correct.
+      EXPECT_TRUE(r.validation.ok())
+          << r.platform << "/" << AlgorithmKindName(r.algorithm) << ": "
+          << r.validation.ToString();
+    }
+  }
+  EXPECT_GT(plan.TotalTriggered(), 0u);
+  // The deterministic stall fired (the crash rule may add more triggers at
+  // the same site), so the timeout path ran.
+  EXPECT_GE(plan.TriggeredCount("pregel.superstep.barrier"), 1u);
+
+  // Re-run with faults disabled: the same matrix validates clean.
+  spec.fault_plan = nullptr;
+  auto clean = RunBenchmark(spec);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->size(), 15u);
+  for (const BenchmarkResult& r : *clean) {
+    EXPECT_TRUE(r.status.ok())
+        << r.platform << "/" << AlgorithmKindName(r.algorithm) << ": "
+        << r.status.ToString();
+    EXPECT_TRUE(r.validation.ok())
+        << r.platform << "/" << AlgorithmKindName(r.algorithm) << ": "
+        << r.validation.ToString();
+  }
+}
+
+#endif  // GLY_DISABLE_FAULT_POINTS
+
+}  // namespace
+}  // namespace gly::harness

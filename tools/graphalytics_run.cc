@@ -40,6 +40,13 @@ evo.new_vertices = 16
 report.dir = graphalytics-report
 validate = true
 monitor = true
+
+# Robustness: per-cell wall-clock timeout (0 = none), bounded retry with
+# exponential backoff. A timed-out or crashed cell is recorded as a
+# failure ("missing value") instead of aborting the run.
+timeout_s = 0
+max_attempts = 1
+retry_backoff_s = 0.5
 )";
 
 }  // namespace
@@ -69,14 +76,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fputs(run->report_text.c_str(), stdout);
+
+  // Robustness summary on stderr: which cells were retried or timed out.
+  unsigned long long retried = 0, timed_out = 0, failed = 0;
+  for (const auto& r : run->results) {
+    if (r.attempts > 1) ++retried;
+    if (r.timed_out) ++timed_out;
+    if (!r.status.ok()) ++failed;
+  }
+  if (retried + timed_out + failed > 0) {
+    std::fprintf(stderr,
+                 "robustness: %llu cell(s) failed, %llu retried, "
+                 "%llu timed out (see report details)\n",
+                 failed, retried, timed_out);
+  }
+
   if (!run->report_dir.empty()) {
     std::printf("\nreport written to %s/ (report.txt, results.csv, "
                 "results.jsonl)\n",
                 run->report_dir.c_str());
   }
-  // Exit code reflects validation: any INVALID cell fails the run.
+  // Exit code reflects validation: any INVALID cell fails the run. Cells
+  // whose validation never ran (validate = false, or the cell failed
+  // before producing output) are reported as "untested", not as failures.
   for (const auto& r : run->results) {
-    if (r.status.ok() && !r.validation.ok()) return 3;
+    if (r.validation.IsValidationFailed()) return 3;
   }
   return 0;
 }
