@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point. Two stages:
+#
+#   1. tier-1  — plain build, full test suite (the gate every PR must hold).
+#   2. asan    — GLY_SANITIZE=address build running the `robustness` CTest
+#                label: the fault-injection, checkpoint/recovery, WAL and
+#                resume suites, which exercise crash paths that are the most
+#                valuable to run under a sanitizer.
+#
+# Build directories are separate from the developer's `build/` so a CI run
+# never clobbers an interactive configuration. Override with TIER1_DIR /
+# ASAN_DIR; JOBS controls parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+TIER1_DIR="${TIER1_DIR:-build-ci}"
+ASAN_DIR="${ASAN_DIR:-build-ci-asan}"
+
+echo "==> [1/2] tier-1: configure + build (${TIER1_DIR})"
+cmake -B "${TIER1_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${TIER1_DIR}" -j "${JOBS}"
+
+echo "==> [1/2] tier-1: full test suite"
+ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [2/2] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
+cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGLY_SANITIZE=address
+cmake --build "${ASAN_DIR}" -j "${JOBS}"
+
+echo "==> [2/2] asan: robustness suites (ctest -L robustness)"
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L robustness
+
+echo "==> ci passed"

@@ -1,0 +1,141 @@
+// Checkpoint serialization: atomic, checksummed snapshot files.
+//
+// A checkpoint is a set of named binary sections written as one file:
+//
+//   header:   [magic "GLYCKPT1"][section_count: u32][payload_len: u64]
+//             [crc32c(payload): u32]
+//   payload:  repeat { [name_len: u32][name][data_len: u64][data] }
+//
+// Writes are atomic with respect to crashes: the file is staged at
+// `<path>.tmp`, fsynced, then renamed over `<path>`. A crash mid-write
+// leaves the previous checkpoint untouched; a torn or corrupted file is
+// rejected at load time by the CRC, so recovery either sees a complete
+// valid snapshot or none at all.
+//
+// Used by the Pregel engine (superstep snapshots) and the MapReduce job
+// (map-stage spill manifests). See DESIGN.md "Recovery model".
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gly {
+
+/// Builds and atomically writes one checkpoint file.
+class CheckpointWriter {
+ public:
+  /// Adds a named section and returns its buffer for the caller to fill.
+  /// The pointer stays valid until the writer is destroyed. Section names
+  /// must be unique per checkpoint.
+  std::string* AddSection(const std::string& name);
+
+  /// Serializes all sections to `<path>.tmp`, fsyncs, and renames over
+  /// `path`. Carries the "checkpoint.write" fault site: an injected crash
+  /// fails the write *after* staging but *before* the rename, so the
+  /// previous checkpoint at `path` stays valid.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Loads and validates one checkpoint file.
+class CheckpointReader {
+ public:
+  /// Reads `path`, validating magic, length, and CRC. Any truncation or
+  /// corruption fails with IOError; the caller treats that as "no usable
+  /// checkpoint".
+  static Result<CheckpointReader> Load(const std::string& path);
+
+  bool Has(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+
+  /// View of a section's bytes (valid while the reader is alive).
+  Result<std::string_view> Section(const std::string& name) const;
+
+ private:
+  std::string payload_;
+  std::map<std::string, std::pair<size_t, size_t>> sections_;  // offset, len
+};
+
+/// Best-effort removal of a checkpoint and any stale `.tmp` sibling left
+/// by an interrupted write.
+void RemoveCheckpoint(const std::string& path);
+
+/// Fixed-width little-endian encoder over a byte buffer (section payloads).
+class CheckpointEncoder {
+ public:
+  explicit CheckpointEncoder(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t v) { PutRaw(v); }
+  void PutU64(uint64_t v) { PutRaw(v); }
+  void PutI64(int64_t v) { PutRaw(v); }
+  void PutDouble(double v) { PutRaw(v); }
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    out_->append(s.data(), s.size());
+  }
+  void PutBytes(const void* data, size_t len) {
+    out_->append(static_cast<const char*>(data), len);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void PutRaw(const T& v) {
+    out_->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Matching decoder; every Get returns false on underflow instead of
+/// reading past the end, so torn sections fail closed.
+class CheckpointDecoder {
+ public:
+  explicit CheckpointDecoder(std::string_view in) : in_(in) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v); }
+  bool GetU64(uint64_t* v) { return GetRaw(v); }
+  bool GetI64(int64_t* v) { return GetRaw(v); }
+  bool GetDouble(double* v) { return GetRaw(v); }
+  bool GetString(std::string* s) {
+    uint64_t len = 0;
+    if (!GetU64(&len) || len > in_.size()) return false;
+    s->assign(in_.data(), len);
+    in_.remove_prefix(len);
+    return true;
+  }
+  bool GetBytes(void* out, size_t len) {
+    if (len > in_.size()) return false;
+    std::memcpy(out, in_.data(), len);
+    in_.remove_prefix(len);
+    return true;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  bool GetRaw(T* v) {
+    if (sizeof(T) > in_.size()) return false;
+    std::memcpy(v, in_.data(), sizeof(T));
+    in_.remove_prefix(sizeof(T));
+    return true;
+  }
+
+  bool Done() const { return in_.empty(); }
+  size_t remaining() const { return in_.size(); }
+
+ private:
+  std::string_view in_;
+};
+
+}  // namespace gly

@@ -1,0 +1,20 @@
+#include "common/crc32.h"
+
+namespace gly {
+
+uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      state = (state >> 1) ^ (0x82F63B78u & (0u - (state & 1u)));
+    }
+  }
+  return state;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cFinalize(Crc32cUpdate(kCrc32cInit, data, len));
+}
+
+}  // namespace gly

@@ -27,6 +27,24 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+bool StatusCodeFromString(std::string_view name, StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kIOError,      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+      StatusCode::kNotImplemented, StatusCode::kInternal,
+      StatusCode::kTimeout,      StatusCode::kValidationFailed,
+      StatusCode::kCancelled,    StatusCode::kUntested,
+  };
+  for (StatusCode c : kAll) {
+    if (StatusCodeToString(c) == name) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
+}
+
 Status::Status(StatusCode code, std::string message)
     : state_(std::make_unique<State>(State{code, std::move(message)})) {}
 

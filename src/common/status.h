@@ -37,6 +37,10 @@ enum class StatusCode : int {
 /// Returns the canonical lowercase name of a status code ("ok", "io-error"...).
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Inverse of StatusCodeToString. Returns false if `name` is not a
+/// canonical code name (the caller decides how to degrade).
+bool StatusCodeFromString(std::string_view name, StatusCode* code);
+
 /// Outcome of an operation: OK, or an error code plus message.
 ///
 /// An OK status carries no state (the internal pointer is null), so returning

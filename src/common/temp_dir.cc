@@ -1,27 +1,78 @@
 #include "common/temp_dir.h"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <set>
+
+#include "common/string_util.h"
 
 namespace gly {
 
 namespace fs = std::filesystem;
 
-Result<TempDir> TempDir::Create(const std::string& prefix) {
-  static std::atomic<uint64_t> counter{0};
+namespace {
+
+fs::path TempBase() {
   const char* tmp_env = std::getenv("TMPDIR");
-  fs::path base = tmp_env != nullptr ? fs::path(tmp_env)
-                                     : fs::temp_directory_path();
+  return tmp_env != nullptr ? fs::path(tmp_env) : fs::temp_directory_path();
+}
+
+// True when the directory name is `<prefix>.p<pid>.<seq>` for a process
+// that no longer exists (and is not us).
+bool IsStale(const std::string& name, const std::string& prefix) {
+  const std::string tag = prefix + ".p";
+  if (name.rfind(tag, 0) != 0) return false;
+  size_t pid_end = name.find('.', tag.size());
+  if (pid_end == std::string::npos) return false;
+  auto pid = ParseUint64(name.substr(tag.size(), pid_end - tag.size()));
+  if (!pid.ok() || *pid == 0) return false;
+  if (static_cast<pid_t>(*pid) == ::getpid()) return false;
+  return ::kill(static_cast<pid_t>(*pid), 0) == -1 && errno == ESRCH;
+}
+
+}  // namespace
+
+size_t TempDir::CleanupStale(const std::string& prefix) {
+  size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(TempBase(), ec)) {
+    if (ec) break;
+    if (!entry.is_directory(ec) || ec) continue;
+    if (!IsStale(entry.path().filename().string(), prefix)) continue;
+    std::error_code rm_ec;
+    fs::remove_all(entry.path(), rm_ec);  // best-effort
+    if (!rm_ec) ++removed;
+  }
+  return removed;
+}
+
+Result<TempDir> TempDir::Create(const std::string& prefix) {
+  // Reap leftovers from crashed prior runs, once per prefix per process.
+  {
+    static std::mutex mu;
+    static std::set<std::string>* swept = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(mu);
+    if (swept->insert(prefix).second) CleanupStale(prefix);
+  }
+
+  static std::atomic<uint64_t> counter{0};
+  fs::path base = TempBase();
   for (int attempt = 0; attempt < 100; ++attempt) {
-    uint64_t id = counter.fetch_add(1) ^
-                  (static_cast<uint64_t>(::getpid()) << 32) ^
-                  static_cast<uint64_t>(
-                      std::chrono::steady_clock::now().time_since_epoch().count());
-    fs::path dir = base / (prefix + "." + std::to_string(id));
+    uint64_t seq = counter.fetch_add(1) ^
+                   (static_cast<uint64_t>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch()
+                            .count())
+                    << 20);
+    fs::path dir = base / (prefix + ".p" + std::to_string(::getpid()) + "." +
+                           std::to_string(seq));
     std::error_code ec;
     if (fs::create_directories(dir, ec) && !ec) {
       return TempDir(dir.string());

@@ -10,10 +10,22 @@ namespace gly {
 
 /// Creates a unique directory under the system temp root and removes it
 /// (recursively) on destruction.
+///
+/// Directory names embed the owning process id (`<prefix>.p<pid>.<seq>`),
+/// so directories orphaned by a crashed process are recognizable: Create()
+/// reaps stale same-prefix directories whose owner is gone (once per
+/// prefix per process), and CleanupStale() does it on demand. Checkpoint
+/// and spill directories from killed robustness runs therefore don't
+/// accumulate across repeated test invocations.
 class TempDir {
  public:
-  /// Creates a directory named `<tmp>/<prefix>.<unique>`.
+  /// Creates a directory named `<tmp>/<prefix>.p<pid>.<seq>`, after a
+  /// best-effort sweep of stale directories with the same prefix.
   static Result<TempDir> Create(const std::string& prefix);
+
+  /// Best-effort removal of `<tmp>/<prefix>.p<pid>.*` directories whose
+  /// owning process no longer exists. Returns the number removed.
+  static size_t CleanupStale(const std::string& prefix);
 
   TempDir(TempDir&& other) noexcept;
   TempDir& operator=(TempDir&& other) noexcept;

@@ -15,13 +15,21 @@ void EdgeList::Append(const EdgeList& other) {
   EnsureVertices(other.num_vertices_);
 }
 
-void EdgeList::DeduplicateAndDropLoops() {
+void EdgeList::DropSelfLoops() {
   edges_.erase(
       std::remove_if(edges_.begin(), edges_.end(),
                      [](const Edge& e) { return e.src == e.dst; }),
       edges_.end());
+}
+
+void EdgeList::Deduplicate() {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::DeduplicateAndDropLoops() {
+  DropSelfLoops();
+  Deduplicate();
 }
 
 }  // namespace gly

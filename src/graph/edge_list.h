@@ -29,6 +29,12 @@ class EdgeList {
 
   void Reserve(size_t n) { edges_.reserve(n); }
 
+  /// Removes self-loop edges (in place; preserves order).
+  void DropSelfLoops();
+
+  /// Removes duplicate edges (in place; sorts edges).
+  void Deduplicate();
+
   /// Removes duplicate edges and self-loops (in place; sorts edges).
   void DeduplicateAndDropLoops();
 

@@ -1,7 +1,9 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/macros.h"
@@ -27,8 +29,15 @@ Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
 }
 
 Result<EdgeList> ReadEdgeListText(const std::string& path) {
+  return ReadEdgeListText(path, EdgeListParseOptions{});
+}
+
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListParseOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
+  const uint64_t id_limit =
+      std::min<uint64_t>(options.max_vertex_id, kInvalidVertex - 1);
   EdgeList edges;
   std::string line;
   size_t line_no = 0;
@@ -41,14 +50,28 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
       return Status::InvalidArgument(
           StringPrintf("%s:%zu: expected 'src dst'", path.c_str(), line_no));
     }
-    GLY_ASSIGN_OR_RETURN(uint64_t src, ParseUint64(fields[0]));
-    GLY_ASSIGN_OR_RETURN(uint64_t dst, ParseUint64(fields[1]));
-    if (src > kInvalidVertex - 1 || dst > kInvalidVertex - 1) {
-      return Status::InvalidArgument(
-          StringPrintf("%s:%zu: vertex id too large", path.c_str(), line_no));
+    // Prefix parse failures (non-numeric tokens, uint64 overflow, trailing
+    // garbage) with the offending location.
+    auto src_parsed = ParseUint64(fields[0]);
+    auto dst_parsed = ParseUint64(fields[1]);
+    if (!src_parsed.ok() || !dst_parsed.ok()) {
+      const Status& bad =
+          src_parsed.ok() ? dst_parsed.status() : src_parsed.status();
+      return bad.WithPrefix(StringPrintf("%s:%zu", path.c_str(), line_no));
     }
+    uint64_t src = src_parsed.ValueOrDie();
+    uint64_t dst = dst_parsed.ValueOrDie();
+    if (src > id_limit || dst > id_limit) {
+      return Status::InvalidArgument(StringPrintf(
+          "%s:%zu: vertex id %llu exceeds limit %llu", path.c_str(), line_no,
+          (unsigned long long)std::max(src, dst),
+          (unsigned long long)id_limit));
+    }
+    if (options.drop_self_loops && src == dst) continue;
     edges.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst));
   }
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  if (options.drop_duplicates) edges.Deduplicate();
   return edges;
 }
 
@@ -82,6 +105,17 @@ Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
   if (!in) return Status::IOError("truncated header in " + path);
   if (nv > kInvalidVertex) {
     return Status::InvalidArgument("vertex count too large in " + path);
+  }
+  // Sanity-check the declared edge count against the file size before
+  // allocating: a corrupt header must not turn into a huge allocation.
+  std::error_code ec;
+  uint64_t file_size = std::filesystem::file_size(path, ec);
+  constexpr uint64_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint64_t);
+  if (ec || file_size < kHeaderBytes ||
+      ne > (file_size - kHeaderBytes) / sizeof(Edge)) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s: header declares %llu edges but file has %llu bytes",
+        path.c_str(), (unsigned long long)ne, (unsigned long long)file_size));
   }
   EdgeList edges(static_cast<VertexId>(nv));
   edges.mutable_edges().resize(ne);
@@ -127,7 +161,13 @@ Status ApplyVertexFile(const std::string& path, EdgeList* edges) {
 }
 
 Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix) {
-  GLY_ASSIGN_OR_RETURN(EdgeList edges, ReadEdgeListText(prefix + ".e"));
+  return ReadGraphalyticsDataset(prefix, EdgeListParseOptions{});
+}
+
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
+                                         const EdgeListParseOptions& options) {
+  GLY_ASSIGN_OR_RETURN(EdgeList edges,
+                       ReadEdgeListText(prefix + ".e", options));
   std::ifstream probe(prefix + ".v");
   if (probe) {
     probe.close();

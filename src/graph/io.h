@@ -18,11 +18,26 @@
 
 namespace gly {
 
+/// Policy for text-edge-file parsing. Malformed input — truncated lines,
+/// non-numeric tokens, ids that overflow VertexId — is always rejected
+/// with a `file:line:` prefixed error; the options control cleanup of
+/// well-formed but messy input (real-world edge dumps routinely carry
+/// self-loops and repeated edges).
+struct EdgeListParseOptions {
+  bool drop_self_loops = false;  ///< discard edges with src == dst
+  bool drop_duplicates = false;  ///< discard repeated (src, dst) pairs
+  /// Reject vertex ids above this bound (inclusive). Defaults to the
+  /// representable maximum; lower it to catch runaway ids early.
+  uint64_t max_vertex_id = kInvalidVertex - 1;
+};
+
 /// Writes `edges` as a text edge file (one `src dst` line per edge).
 Status WriteEdgeListText(const EdgeList& edges, const std::string& path);
 
 /// Reads a text edge file.
 Result<EdgeList> ReadEdgeListText(const std::string& path);
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListParseOptions& options);
 
 /// Writes the compact binary format (magic, counts, raw edge array).
 Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
@@ -43,5 +58,7 @@ Status ApplyVertexFile(const std::string& path, EdgeList* edges);
 /// Loads a Graphalytics dataset: `<prefix>.e` (required) plus
 /// `<prefix>.v` (optional).
 Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix);
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
+                                         const EdgeListParseOptions& options);
 
 }  // namespace gly

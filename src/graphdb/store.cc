@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/logging.h"
 #include "common/macros.h"
 
 namespace gly::graphdb {
@@ -73,13 +74,20 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(
 }
 
 Status GraphStore::Recover() {
-  GLY_ASSIGN_OR_RETURN(auto entries, wal_->ReadAll());
-  for (const auto& changes : entries) {
+  GLY_ASSIGN_OR_RETURN(WalRecovery recovery, wal_->Recover());
+  if (recovery.truncated_bytes > 0) {
+    GLY_LOG_WARN << "wal: truncated torn tail of " << recovery.truncated_bytes
+                 << " bytes after " << recovery.entries.size()
+                 << " valid entries";
+  }
+  for (const auto& changes : recovery.entries) {
     for (const WalChange& c : changes) {
       GLY_RETURN_NOT_OK(
           cache_->Write(c.file_id, c.offset, c.bytes.data(), c.bytes.size()));
     }
   }
+  wal_entries_recovered_ = recovery.entries.size();
+  wal_bytes_truncated_ = recovery.truncated_bytes;
   return Status::OK();
 }
 

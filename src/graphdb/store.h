@@ -130,6 +130,11 @@ class GraphStore {
 
   const PageCacheStats& cache_stats() const { return cache_->stats(); }
 
+  /// WAL entries replayed when this store was opened.
+  uint64_t wal_entries_recovered() const { return wal_entries_recovered_; }
+  /// Torn WAL tail bytes truncated when this store was opened.
+  uint64_t wal_bytes_truncated() const { return wal_bytes_truncated_; }
+
   /// Total store bytes (the "graph larger than memory" check).
   uint64_t store_bytes() const;
 
@@ -154,6 +159,8 @@ class GraphStore {
   uint64_t rel_count_ = 0;   // allocation high-water mark (ids not reused)
   uint64_t prop_count_ = 0;
   uint64_t rel_deleted_ = 0;
+  uint64_t wal_entries_recovered_ = 0;
+  uint64_t wal_bytes_truncated_ = 0;
 };
 
 }  // namespace gly::graphdb

@@ -1,26 +1,81 @@
 #include "graphdb/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace gly::graphdb {
 
-uint32_t Crc32c(const void* data, size_t len) {
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < len; ++i) {
-    crc ^= p[i];
-    for (int b = 0; b < 8; ++b) {
-      crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
-    }
+namespace {
+
+// Scans the log at `path`, decoding complete CRC-valid entries into
+// `recovery->entries` and reporting the valid/torn byte split. The length
+// field of each frame is bounded by the remaining file size before any
+// allocation, so a corrupt header cannot trigger a huge allocation.
+Status ScanLog(const std::string& path, WalRecovery* recovery) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
   }
-  return crc ^ 0xFFFFFFFFu;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat(" + path + "): " + std::strerror(errno));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  uint64_t pos = 0;
+  for (;;) {
+    uint32_t header[2];
+    ssize_t n = ::pread(fd, header, sizeof(header), static_cast<off_t>(pos));
+    if (n == 0) break;                        // clean EOF
+    if (n != sizeof(header)) break;           // torn frame header
+    uint32_t len = header[0];
+    uint32_t crc = header[1];
+    if (pos + 8 + len > file_size) break;     // length points past EOF
+    std::vector<char> payload(len);
+    n = ::pread(fd, payload.data(), len, static_cast<off_t>(pos + 8));
+    if (n != static_cast<ssize_t>(len)) break;  // torn payload
+    if (Crc32c(payload.data(), len) != crc) break;  // corrupt tail
+    // Decode changes.
+    std::vector<WalChange> changes;
+    size_t p = 0;
+    bool ok = true;
+    while (p < payload.size()) {
+      if (p + 16 > payload.size()) {
+        ok = false;
+        break;
+      }
+      WalChange c;
+      std::memcpy(&c.file_id, payload.data() + p, 4);
+      std::memcpy(&c.offset, payload.data() + p + 4, 8);
+      uint32_t size;
+      std::memcpy(&size, payload.data() + p + 12, 4);
+      p += 16;
+      if (p + size > payload.size()) {
+        ok = false;
+        break;
+      }
+      c.bytes.assign(payload.data() + p, payload.data() + p + size);
+      p += size;
+      changes.push_back(std::move(c));
+    }
+    if (!ok) break;
+    recovery->entries.push_back(std::move(changes));
+    pos += 8 + len;
+  }
+  ::close(fd);
+  recovery->valid_bytes = pos;
+  recovery->truncated_bytes = file_size - pos;
+  return Status::OK();
 }
+
+}  // namespace
 
 Result<Wal> Wal::Open(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
@@ -51,6 +106,7 @@ Wal::~Wal() {
 }
 
 Status Wal::Append(const std::vector<WalChange>& changes) {
+  GLY_FAULT_POINT("graphdb.wal.append");
   std::string payload;
   for (const WalChange& c : changes) {
     uint32_t size = static_cast<uint32_t>(c.bytes.size());
@@ -78,52 +134,25 @@ Status Wal::Append(const std::vector<WalChange>& changes) {
 }
 
 Result<std::vector<std::vector<WalChange>>> Wal::ReadAll() const {
-  std::vector<std::vector<WalChange>> out;
-  int fd = ::open(path_.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IOError("open(" + path_ + "): " + std::strerror(errno));
-  }
-  uint64_t pos = 0;
-  for (;;) {
-    uint32_t header[2];
-    ssize_t n = ::pread(fd, header, sizeof(header), static_cast<off_t>(pos));
-    if (n == 0) break;                        // clean EOF
-    if (n != sizeof(header)) break;           // torn frame header
-    uint32_t len = header[0];
-    uint32_t crc = header[1];
-    std::vector<char> payload(len);
-    n = ::pread(fd, payload.data(), len, static_cast<off_t>(pos + 8));
-    if (n != static_cast<ssize_t>(len)) break;  // torn payload
-    if (Crc32c(payload.data(), len) != crc) break;  // corrupt tail
-    // Decode changes.
-    std::vector<WalChange> changes;
-    size_t p = 0;
-    bool ok = true;
-    while (p < payload.size()) {
-      if (p + 16 > payload.size()) {
-        ok = false;
-        break;
-      }
-      WalChange c;
-      std::memcpy(&c.file_id, payload.data() + p, 4);
-      std::memcpy(&c.offset, payload.data() + p + 4, 8);
-      uint32_t size;
-      std::memcpy(&size, payload.data() + p + 12, 4);
-      p += 16;
-      if (p + size > payload.size()) {
-        ok = false;
-        break;
-      }
-      c.bytes.assign(payload.data() + p, payload.data() + p + size);
-      p += size;
-      changes.push_back(std::move(c));
+  WalRecovery recovery;
+  GLY_RETURN_NOT_OK(ScanLog(path_, &recovery));
+  return std::move(recovery.entries);
+}
+
+Result<WalRecovery> Wal::Recover() {
+  WalRecovery recovery;
+  GLY_RETURN_NOT_OK(ScanLog(path_, &recovery));
+  if (recovery.truncated_bytes > 0) {
+    // Drop the torn tail so post-recovery appends extend the valid prefix
+    // instead of hiding behind garbage that every future scan stops at.
+    if (::ftruncate(fd_, static_cast<off_t>(recovery.valid_bytes)) != 0) {
+      return Status::IOError("wal truncate failed: " + path_);
     }
-    if (!ok) break;
-    out.push_back(std::move(changes));
-    pos += 8 + len;
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("wal fsync failed: " + path_);
+    }
   }
-  ::close(fd);
-  return out;
+  return recovery;
 }
 
 Status Wal::Truncate() {

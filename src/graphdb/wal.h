@@ -8,6 +8,12 @@
 //
 // Entry framing:  [len: u32][crc: u32][payload: len bytes]
 // Payload:        sequence of [file_id: u32][offset: u64][size: u32][bytes]
+//
+// A crash can leave a torn tail: a partial frame, a frame whose CRC does
+// not match, or a length field pointing past end-of-file. Recover() reads
+// every complete entry and then truncates the log back to the last valid
+// frame boundary, so that entries appended after recovery land contiguous
+// with the valid prefix instead of being orphaned behind garbage.
 
 #pragma once
 
@@ -15,15 +21,25 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/result.h"
 
 namespace gly::graphdb {
+
+using gly::Crc32c;  // historical home of the CRC; now in common/crc32.h
 
 /// One mutation within a WAL entry.
 struct WalChange {
   uint32_t file_id = 0;
   uint64_t offset = 0;
   std::vector<char> bytes;
+};
+
+/// Outcome of crash recovery over the log.
+struct WalRecovery {
+  std::vector<std::vector<WalChange>> entries;  ///< complete, CRC-valid
+  uint64_t valid_bytes = 0;      ///< log prefix covered by `entries`
+  uint64_t truncated_bytes = 0;  ///< torn tail removed (0 = clean log)
 };
 
 /// Append-only write-ahead log.
@@ -42,8 +58,13 @@ class Wal {
   Status Append(const std::vector<WalChange>& changes);
 
   /// Reads every complete entry from the start of the log. Torn tails
-  /// (partial final entry, CRC mismatch) are ignored, as on crash.
+  /// (partial final entry, CRC mismatch) are ignored, as on crash. Does
+  /// not modify the log; prefer Recover() when opening after a crash.
   Result<std::vector<std::vector<WalChange>>> ReadAll() const;
+
+  /// Crash recovery: reads every complete entry, then truncates any torn
+  /// tail back to the last valid frame boundary and fsyncs.
+  Result<WalRecovery> Recover();
 
   /// Truncates the log (after a checkpoint).
   Status Truncate();
@@ -56,8 +77,5 @@ class Wal {
   std::string path_;
   uint64_t entries_ = 0;
 };
-
-/// CRC32 (Castagnoli polynomial, bitwise) over a byte buffer.
-uint32_t Crc32c(const void* data, size_t len);
 
 }  // namespace gly::graphdb

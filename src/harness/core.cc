@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <future>
 #include <optional>
 #include <thread>
@@ -11,6 +13,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "harness/report.h"
 
 namespace gly::harness {
 
@@ -44,6 +47,51 @@ void SleepSeconds(double seconds) {
   }
 }
 
+std::string CellKey(const std::string& platform, const std::string& graph,
+                    AlgorithmKind algorithm) {
+  return platform + "/" + graph + "/" + AlgorithmKindName(algorithm);
+}
+
+/// A journaled cell can replace re-execution only if it finished cleanly:
+/// status OK, and validation either passed or was (matching the spec)
+/// deliberately not run. Anything else re-executes.
+bool ReusableFromJournal(const RunSpec& spec, const BenchmarkResult& cell) {
+  if (!cell.status.ok()) return false;
+  if (cell.validation.ok()) return true;
+  return !spec.validate && cell.validation.IsUntested();
+}
+
+/// Loads the completion journal, keeping the last entry per cell.
+/// Malformed lines (e.g. a torn tail from a killed run) are skipped, not
+/// fatal — resume must work exactly after a crash.
+std::map<std::string, BenchmarkResult> LoadJournal(const std::string& path) {
+  std::map<std::string, BenchmarkResult> cells;
+  std::ifstream file(path);
+  if (!file) return cells;  // no journal yet: nothing to resume
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    Result<BenchmarkResult> parsed = ResultFromJson(line);
+    if (!parsed.ok()) {
+      GLY_LOG_WARN << "journal: skipping malformed line: "
+                   << parsed.status().ToString();
+      continue;
+    }
+    std::string key =
+        CellKey(parsed->platform, parsed->graph, parsed->algorithm);
+    cells.insert_or_assign(key, std::move(parsed).ValueOrDie());
+  }
+  return cells;
+}
+
+/// Reads a numeric platform metric ("recoveries", ...); 0 when absent.
+uint64_t MetricValue(const std::map<std::string, std::string>& metrics,
+                     const std::string& key) {
+  auto it = metrics.find(key);
+  if (it == metrics.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 }  // namespace
 
 Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
@@ -67,11 +115,35 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   std::optional<fault::ScopedFaultPlan> fault_scope;
   if (spec.fault_plan != nullptr) fault_scope.emplace(spec.fault_plan);
 
+  // Completion journal: with `resume`, cells already journaled as finished
+  // are reused; without it the journal restarts from scratch. Newly
+  // executed cells are appended (and flushed) as they complete, so a run
+  // killed mid-matrix leaves a valid journal behind.
+  std::map<std::string, BenchmarkResult> journal_cells;
+  std::ofstream journal;
+  if (!spec.journal_path.empty()) {
+    if (spec.resume) journal_cells = LoadJournal(spec.journal_path);
+    journal.open(spec.journal_path,
+                 spec.resume ? std::ios::app : std::ios::trunc);
+    if (!journal) {
+      return Status::IOError("cannot open journal " + spec.journal_path);
+    }
+  }
+
   // Attempts abandoned on timeout; drained (bounded) before returning so
   // orphan threads do not normally outlive caller-owned graphs.
   std::vector<std::future<void>> abandoned;
 
   std::vector<BenchmarkResult> results;
+  auto emit = [&](BenchmarkResult result) {
+    if (journal.is_open() && !result.resumed) {
+      journal << ResultToJson(result) << '\n';
+      journal.flush();
+    }
+    results.push_back(std::move(result));
+    if (on_result) on_result(results.back());
+  };
+
   for (const std::string& platform_name : spec.platforms) {
     // The platform instance is discarded whenever an attempt times out
     // (the hung run still owns the old one) and rebuilt lazily here.
@@ -87,23 +159,49 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     GLY_RETURN_NOT_OK(make_platform());
 
     for (const DatasetSpec& dataset : spec.datasets) {
+      // Resume: cells whose last journal entry finished cleanly are reused
+      // verbatim (marked `resumed`), and the dataset's ETL is skipped
+      // entirely when nothing on it is left to execute.
+      std::map<AlgorithmKind, const BenchmarkResult*> reusable;
+      bool any_to_run = false;
+      for (AlgorithmKind algorithm : spec.algorithms) {
+        auto it = journal_cells.find(
+            CellKey(platform_name, dataset.name, algorithm));
+        if (it != journal_cells.end() &&
+            ReusableFromJournal(spec, it->second)) {
+          reusable[algorithm] = &it->second;
+        } else {
+          any_to_run = true;
+        }
+      }
+
       // ETL once per (platform, graph); not part of the runtime metric.
       // Transient load failures (e.g. injected I/O errors) get the same
       // bounded retry as cells.
       Stopwatch load_watch;
       Status load_status;
-      for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-        load_status = platform->LoadGraph(*dataset.graph, dataset.name);
-        if (load_status.ok() || !IsRetryable(load_status) ||
-            attempt == max_attempts) {
-          break;
+      if (any_to_run) {
+        for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+          load_status = platform->LoadGraph(*dataset.graph, dataset.name);
+          if (load_status.ok() || !IsRetryable(load_status) ||
+              attempt == max_attempts) {
+            break;
+          }
+          SleepSeconds(spec.retry_backoff_s *
+                       static_cast<double>(1ull << std::min(attempt - 1, 20u)));
         }
-        SleepSeconds(spec.retry_backoff_s *
-                     static_cast<double>(1ull << std::min(attempt - 1, 20u)));
       }
       double load_seconds = load_watch.ElapsedSeconds();
 
       for (AlgorithmKind algorithm : spec.algorithms) {
+        auto reuse = reusable.find(algorithm);
+        if (reuse != reusable.end()) {
+          BenchmarkResult cached = *reuse->second;
+          cached.resumed = true;
+          emit(std::move(cached));
+          continue;
+        }
+
         BenchmarkResult result;
         result.platform = platform_name;
         result.graph = dataset.name;
@@ -112,8 +210,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
 
         if (!load_status.ok()) {
           result.status = load_status.WithPrefix("load");
-          results.push_back(result);
-          if (on_result) on_result(result);
+          emit(result);
           continue;
         }
 
@@ -206,8 +303,14 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
             spec.fault_plan != nullptr
                 ? spec.fault_plan->TotalTriggered() - faults_before
                 : 0;
-        results.push_back(result);
-        if (on_result) on_result(result);
+        // Checkpoint/recovery counters surface through platform metrics
+        // (Pregel rollback-replays and MapReduce map-stage restores).
+        result.recoveries =
+            MetricValue(result.platform_metrics, "recoveries") +
+            MetricValue(result.platform_metrics, "map_stages_recovered");
+        result.supersteps_replayed =
+            MetricValue(result.platform_metrics, "supersteps_replayed");
+        emit(result);
       }
       if (platform != nullptr) platform->UnloadGraph();
     }

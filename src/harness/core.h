@@ -69,6 +69,16 @@ struct RunSpec {
   /// Optional deterministic fault plan, installed (scoped) for the whole
   /// run. Faults triggered during a cell are counted in its result.
   fault::FaultPlan* fault_plan = nullptr;
+
+  /// Completion journal (JSONL, one line per finished cell, flushed as each
+  /// cell completes). Empty = no journaling. With `resume` set, cells whose
+  /// last journal entry succeeded (status ok, and validation ok when the
+  /// spec validates) are reused from the journal instead of re-executed;
+  /// everything else — failed, unvalidated, or never-run cells — runs
+  /// normally and is re-journaled. Without `resume` the journal is
+  /// truncated at the start of the run.
+  std::string journal_path;
+  bool resume = false;
 };
 
 /// Outcome of one (platform, graph, algorithm) cell.
@@ -88,6 +98,11 @@ struct BenchmarkResult {
   uint32_t attempts = 0;         ///< execution attempts consumed (>= 1)
   bool timed_out = false;        ///< final attempt hit cell_timeout_s
   uint64_t injected_faults = 0;  ///< faults the plan triggered in this cell
+  bool resumed = false;          ///< reused from the journal, not re-executed
+  /// Checkpoint recoveries inside the platform during this cell (Pregel
+  /// rollback-replays + MapReduce map stages restored from a manifest).
+  uint64_t recoveries = 0;
+  uint64_t supersteps_replayed = 0;  ///< Pregel supersteps re-executed
   ResourceSummary resources;
   std::map<std::string, std::string> platform_metrics;
 };

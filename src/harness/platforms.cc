@@ -1,5 +1,6 @@
 // Platform adapters binding the four substrates to the harness interface.
 
+#include <optional>
 #include <utility>
 
 #include "common/macros.h"
@@ -38,13 +39,22 @@ Result<CommonOptions> ReadCommon(const Config& config) {
 
 class GiraphLikePlatform final : public Platform {
  public:
-  explicit GiraphLikePlatform(const CommonOptions& opts, const Config& config) {
+  GiraphLikePlatform(const CommonOptions& opts, const Config& config,
+                     std::optional<TempDir> checkpoint_dir)
+      : checkpoint_dir_(std::move(checkpoint_dir)) {
     pregel::EngineConfig engine;
     engine.num_workers = opts.workers;
     engine.num_threads = opts.threads;
     engine.memory_budget_bytes = opts.memory_budget_bytes;
     engine.network_mib_per_s = config.GetDoubleOr("network_mib_per_s", 0.0);
     engine.barrier_latency_s = config.GetDoubleOr("barrier_latency_s", 0.0);
+    engine.checkpoint.interval =
+        static_cast<uint32_t>(config.GetUintOr("checkpoint_interval", 0));
+    engine.checkpoint.directory = config.GetStringOr(
+        "checkpoint_dir",
+        checkpoint_dir_.has_value() ? checkpoint_dir_->path() : "");
+    engine.checkpoint.max_recoveries = static_cast<uint32_t>(
+        config.GetUintOr("checkpoint_max_recoveries", 3));
     engine_ = std::make_unique<pregel::Engine>(engine);
   }
 
@@ -68,6 +78,12 @@ class GiraphLikePlatform final : public Platform {
     metrics_["cross_worker_bytes"] =
         std::to_string(stats.total_cross_worker_bytes);
     metrics_["peak_memory"] = FormatBytes(stats.peak_memory_bytes);
+    if (engine_->config().checkpoint.interval > 0) {
+      metrics_["checkpoints"] = std::to_string(stats.checkpoints_written);
+      metrics_["recoveries"] = std::to_string(stats.recoveries);
+      metrics_["supersteps_replayed"] =
+          std::to_string(stats.supersteps_replayed);
+    }
     return out;
   }
 
@@ -78,6 +94,7 @@ class GiraphLikePlatform final : public Platform {
   }
 
  private:
+  std::optional<TempDir> checkpoint_dir_;
   std::unique_ptr<pregel::Engine> engine_;
   const Graph* graph_ = nullptr;
   std::map<std::string, std::string> metrics_;
@@ -146,6 +163,7 @@ class MapReducePlatform final : public Platform {
         config.GetUintOr("sort_buffer_mb", 8) << 20;
     config_.job.scratch_dir = scratch_.path() + "/spills";
     config_.job.job_startup_s = config.GetDoubleOr("job_startup_s", 0.0);
+    config_.job.checkpoint_map_stage = config.GetBoolOr("checkpointing", false);
     config_.max_iterations =
         static_cast<uint32_t>(config.GetUintOr("max_iterations", 1000));
   }
@@ -166,8 +184,13 @@ class MapReducePlatform final : public Platform {
                               const AlgorithmParams& params) override {
     if (graph_ == nullptr) return Status::InvalidArgument("no graph loaded");
     mapreduce::PlatformConfig run_config = config_;
+    // With map-stage checkpointing, the work dir must be stable across
+    // re-runs of the same cell so crashed jobs find their spill manifests;
+    // without it, every run gets a fresh directory.
     run_config.work_dir =
-        scratch_.path() + "/run-" + std::to_string(run_counter_++);
+        config_.job.checkpoint_map_stage
+            ? scratch_.path() + "/run-" + std::string(AlgorithmKindName(kind))
+            : scratch_.path() + "/run-" + std::to_string(run_counter_++);
     mapreduce::ChainStats stats;
     GLY_ASSIGN_OR_RETURN(AlgorithmOutput out,
                          mapreduce::RunAlgorithm(run_config, *graph_, kind,
@@ -177,6 +200,10 @@ class MapReducePlatform final : public Platform {
     metrics_["spill_bytes"] = std::to_string(stats.total_spill_bytes);
     metrics_["shuffle_bytes"] = std::to_string(stats.total_shuffle_bytes);
     metrics_["output_bytes"] = std::to_string(stats.total_output_bytes);
+    if (config_.job.checkpoint_map_stage) {
+      metrics_["map_stages_recovered"] =
+          std::to_string(stats.map_stages_recovered);
+    }
     return out;
   }
 
@@ -308,7 +335,14 @@ Result<std::unique_ptr<Platform>> MakePlatform(const std::string& name,
   GLY_ASSIGN_OR_RETURN(CommonOptions opts, ReadCommon(config));
   std::string lower = ToLower(name);
   if (lower == "giraph") {
-    return {std::make_unique<GiraphLikePlatform>(opts, config)};
+    std::optional<TempDir> ckpt_dir;
+    if (config.GetUintOr("checkpoint_interval", 0) > 0 &&
+        config.GetStringOr("checkpoint_dir", "").empty()) {
+      GLY_ASSIGN_OR_RETURN(TempDir dir, TempDir::Create("gly-pregel-ckpt"));
+      ckpt_dir = std::move(dir);
+    }
+    return {std::make_unique<GiraphLikePlatform>(opts, config,
+                                                 std::move(ckpt_dir))};
   }
   if (lower == "graphx") {
     return {std::make_unique<GraphXLikePlatform>(opts, config)};

@@ -1,11 +1,13 @@
 #include "harness/report.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace gly::harness {
@@ -33,6 +35,74 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+// Minimal flat-JSON field extraction, matched to ResultToJson's output
+// shape (no whitespace, top-level fields before the "metrics" object).
+
+std::string JsonUnescape(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(
+              std::strtoul(std::string(s.substr(i + 1, 4)).c_str(), nullptr,
+                           16));
+          i += 4;
+        }
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Scans a quoted JSON string starting at `pos` (the opening quote);
+/// returns the index one past the closing quote, or npos.
+size_t ScanJsonString(std::string_view text, size_t pos, std::string* out) {
+  if (pos >= text.size() || text[pos] != '"') return std::string_view::npos;
+  size_t end = pos + 1;
+  while (end < text.size() && text[end] != '"') {
+    end += (text[end] == '\\') ? 2 : 1;
+  }
+  if (end >= text.size()) return std::string_view::npos;
+  *out = JsonUnescape(text.substr(pos + 1, end - pos - 1));
+  return end + 1;
+}
+
+bool ExtractJsonString(std::string_view text, std::string_view key,
+                       std::string* out) {
+  std::string pattern = "\"" + std::string(key) + "\":";
+  size_t pos = text.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  return ScanJsonString(text, pos + pattern.size(), out) !=
+         std::string_view::npos;
+}
+
+bool ExtractJsonNumber(std::string_view text, std::string_view key,
+                       double* out) {
+  std::string pattern = "\"" + std::string(key) + "\":";
+  size_t pos = text.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  *out = std::strtod(std::string(text.substr(pos + pattern.size())).c_str(),
+                     nullptr);
+  return true;
+}
+
+bool ExtractJsonBool(std::string_view text, std::string_view key, bool* out) {
+  std::string pattern = "\"" + std::string(key) + "\":";
+  size_t pos = text.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  *out = text.compare(pos + pattern.size(), 4, "true") == 0;
+  return true;
 }
 
 }  // namespace
@@ -116,20 +186,31 @@ std::string RenderFullReport(const Config& configuration,
   uint64_t timed_out_cells = 0;
   uint64_t total_attempts = 0;
   uint64_t injected_faults = 0;
+  uint64_t resumed_cells = 0;
+  uint64_t recoveries = 0;
+  uint64_t supersteps_replayed = 0;
   for (const BenchmarkResult& r : results) {
     if (!r.status.ok()) ++failed_cells;
     if (r.attempts > 1) ++retried_cells;
     if (r.timed_out) ++timed_out_cells;
     total_attempts += r.attempts;
     injected_faults += r.injected_faults;
+    if (r.resumed) ++resumed_cells;
+    recoveries += r.recoveries;
+    supersteps_replayed += r.supersteps_replayed;
   }
   out << "-- robustness --\n";
   out << StringPrintf(
       "cells: %zu  failed: %llu  retried: %llu  timed out: %llu  "
-      "attempts: %llu  injected faults: %llu\n\n",
+      "attempts: %llu  injected faults: %llu\n",
       results.size(), (unsigned long long)failed_cells,
       (unsigned long long)retried_cells, (unsigned long long)timed_out_cells,
       (unsigned long long)total_attempts, (unsigned long long)injected_faults);
+  out << StringPrintf(
+      "resumed from journal: %llu  recovered from checkpoint: %llu  "
+      "supersteps replayed: %llu\n\n",
+      (unsigned long long)resumed_cells, (unsigned long long)recoveries,
+      (unsigned long long)supersteps_replayed);
 
   out << "-- details --\n";
   for (const BenchmarkResult& r : results) {
@@ -143,6 +224,12 @@ std::string RenderFullReport(const Config& configuration,
         out << StringPrintf("  faults:      %llu injected\n",
                             (unsigned long long)r.injected_faults);
       }
+    }
+    if (r.resumed) out << "  resumed:     from journal (not re-executed)\n";
+    if (r.recoveries > 0) {
+      out << StringPrintf("  recoveries:  %llu  (supersteps replayed: %llu)\n",
+                          (unsigned long long)r.recoveries,
+                          (unsigned long long)r.supersteps_replayed);
     }
     if (r.status.ok()) {
       out << "  runtime:     " << FormatSeconds(r.runtime_seconds) << '\n';
@@ -170,8 +257,9 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
   CsvWriter csv(&file);
   csv.WriteHeader({"platform", "graph", "algorithm", "status", "validation",
                    "runtime_s", "load_s", "traversed_edges", "teps",
-                   "attempts", "timed_out", "injected_faults",
-                   "peak_rss_bytes", "cpu_utilization"});
+                   "attempts", "timed_out", "injected_faults", "resumed",
+                   "recoveries", "supersteps_replayed", "peak_rss_bytes",
+                   "cpu_utilization"});
   for (const BenchmarkResult& r : results) {
     csv.Field(r.platform)
         .Field(r.graph)
@@ -185,6 +273,9 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
         .Field(static_cast<uint64_t>(r.attempts))
         .Field(static_cast<uint64_t>(r.timed_out ? 1 : 0))
         .Field(r.injected_faults)
+        .Field(static_cast<uint64_t>(r.resumed ? 1 : 0))
+        .Field(r.recoveries)
+        .Field(r.supersteps_replayed)
         .Field(r.resources.peak_rss_bytes)
         .Field(r.resources.cpu_utilization);
     csv.EndRow();
@@ -210,6 +301,9 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << "\"attempts\":" << result.attempts << ','
       << "\"timed_out\":" << (result.timed_out ? "true" : "false") << ','
       << "\"injected_faults\":" << result.injected_faults << ','
+      << "\"resumed\":" << (result.resumed ? "true" : "false") << ','
+      << "\"recoveries\":" << result.recoveries << ','
+      << "\"supersteps_replayed\":" << result.supersteps_replayed << ','
       << "\"peak_rss_bytes\":" << result.resources.peak_rss_bytes << ','
       << "\"metrics\":{";
   bool first = true;
@@ -220,6 +314,86 @@ std::string ResultToJson(const BenchmarkResult& result) {
   }
   out << "}}";
   return out.str();
+}
+
+Result<BenchmarkResult> ResultFromJson(const std::string& line) {
+  // Restrict top-level field searches to the text before the metrics
+  // object, whose (string) values could otherwise shadow top-level keys.
+  size_t metrics_pos = line.find("\"metrics\":{");
+  std::string_view head(line.data(), metrics_pos == std::string::npos
+                                         ? line.size()
+                                         : metrics_pos);
+  BenchmarkResult r;
+  std::string algorithm;
+  std::string status_name;
+  std::string validation_name;
+  if (!ExtractJsonString(head, "platform", &r.platform) ||
+      !ExtractJsonString(head, "graph", &r.graph) ||
+      !ExtractJsonString(head, "algorithm", &algorithm) ||
+      !ExtractJsonString(head, "status", &status_name) ||
+      !ExtractJsonString(head, "validation", &validation_name)) {
+    return Status::InvalidArgument("malformed result record: " + line);
+  }
+  GLY_ASSIGN_OR_RETURN(r.algorithm, ParseAlgorithmKind(algorithm));
+  StatusCode code;
+  if (!StatusCodeFromString(status_name, &code)) {
+    return Status::InvalidArgument("unknown status code: " + status_name);
+  }
+  r.status = code == StatusCode::kOk ? Status::OK()
+                                     : Status(code, "from journal");
+  if (!StatusCodeFromString(validation_name, &code)) {
+    return Status::InvalidArgument("unknown status code: " + validation_name);
+  }
+  r.validation = code == StatusCode::kOk ? Status::OK()
+                                         : Status(code, "from journal");
+
+  double value = 0.0;
+  if (ExtractJsonNumber(head, "runtime_s", &value)) r.runtime_seconds = value;
+  if (ExtractJsonNumber(head, "load_s", &value)) r.load_seconds = value;
+  if (ExtractJsonNumber(head, "traversed_edges", &value)) {
+    r.traversed_edges = static_cast<uint64_t>(value);
+  }
+  if (ExtractJsonNumber(head, "teps", &value)) r.teps = value;
+  if (ExtractJsonNumber(head, "attempts", &value)) {
+    r.attempts = static_cast<uint32_t>(value);
+  }
+  ExtractJsonBool(head, "timed_out", &r.timed_out);
+  if (ExtractJsonNumber(head, "injected_faults", &value)) {
+    r.injected_faults = static_cast<uint64_t>(value);
+  }
+  ExtractJsonBool(head, "resumed", &r.resumed);
+  if (ExtractJsonNumber(head, "recoveries", &value)) {
+    r.recoveries = static_cast<uint64_t>(value);
+  }
+  if (ExtractJsonNumber(head, "supersteps_replayed", &value)) {
+    r.supersteps_replayed = static_cast<uint64_t>(value);
+  }
+  if (ExtractJsonNumber(head, "peak_rss_bytes", &value)) {
+    r.resources.peak_rss_bytes = static_cast<uint64_t>(value);
+  }
+
+  if (metrics_pos != std::string::npos) {
+    size_t pos = metrics_pos + std::string_view("\"metrics\":{").size();
+    while (pos < line.size() && line[pos] != '}') {
+      if (line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      std::string key;
+      pos = ScanJsonString(line, pos, &key);
+      if (pos == std::string::npos || pos >= line.size() ||
+          line[pos] != ':') {
+        return Status::InvalidArgument("malformed metrics: " + line);
+      }
+      std::string metric_value;
+      pos = ScanJsonString(line, pos + 1, &metric_value);
+      if (pos == std::string::npos) {
+        return Status::InvalidArgument("malformed metrics: " + line);
+      }
+      r.platform_metrics[key] = metric_value;
+    }
+  }
+  return r;
 }
 
 Status AppendResultsDatabase(const std::vector<BenchmarkResult>& results,

@@ -39,4 +39,9 @@ Status AppendResultsDatabase(const std::vector<BenchmarkResult>& results,
 /// Serializes one result as a single-line JSON object.
 std::string ResultToJson(const BenchmarkResult& result);
 
+/// Parses a journal/database line written by ResultToJson back into a
+/// BenchmarkResult (status and validation carry only the code; messages
+/// are not round-tripped). Returns an error on malformed lines.
+Result<BenchmarkResult> ResultFromJson(const std::string& line);
+
 }  // namespace gly::harness

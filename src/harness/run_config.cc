@@ -51,6 +51,11 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
   }
   if (source == "file") {
     GLY_ASSIGN_OR_RETURN(std::string path, scope.GetString("path"));
+    EdgeListParseOptions parse;
+    parse.drop_self_loops = scope.GetBoolOr("drop_self_loops", false);
+    parse.drop_duplicates = scope.GetBoolOr("drop_duplicates", false);
+    parse.max_vertex_id = scope.GetUintOr("max_vertex_id",
+                                          parse.max_vertex_id);
     EdgeList edges;
     if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
       GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListBinary(path));
@@ -58,9 +63,10 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
       // Graphalytics dataset convention: companion ".v" picked up when
       // present (covers isolated vertices).
       GLY_ASSIGN_OR_RETURN(
-          edges, ReadGraphalyticsDataset(path.substr(0, path.size() - 2)));
+          edges,
+          ReadGraphalyticsDataset(path.substr(0, path.size() - 2), parse));
     } else {
-      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListText(path));
+      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListText(path, parse));
     }
     bool directed = scope.GetBoolOr("directed", false);
     return directed ? GraphBuilder::Directed(edges)
@@ -146,6 +152,22 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
   spec.max_attempts =
       static_cast<uint32_t>(config.GetUintOr("max_attempts", 1));
   spec.retry_backoff_s = config.GetDoubleOr("retry_backoff_s", 0.0);
+
+  // Resumable matrices: journal per-cell completion under the report dir
+  // (or an explicit `journal` path); `resume = true` reuses finished cells.
+  std::string report_dir = config.GetStringOr("report.dir", "");
+  spec.journal_path = config.GetStringOr(
+      "journal", report_dir.empty() ? "" : report_dir + "/journal.jsonl");
+  spec.resume = config.GetBoolOr("resume", false);
+  if (spec.resume && spec.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "resume requires a journal: set report.dir or 'journal'");
+  }
+  if (!spec.journal_path.empty()) {
+    std::error_code ec;
+    fs::path parent = fs::path(spec.journal_path).parent_path();
+    if (!parent.empty()) fs::create_directories(parent, ec);
+  }
 
   // --------------------------------------------------------------- run it
   GLY_ASSIGN_OR_RETURN(std::vector<BenchmarkResult> results,

@@ -34,6 +34,14 @@
 //   report.dir = graphalytics-report
 //   validate = true
 //   monitor = true
+//
+//   # robustness (see DESIGN.md, "Recovery model")
+//   timeout_s = 60                    # per-cell wall clock (0 = none)
+//   max_attempts = 3                  # bounded retry of transient failures
+//   giraph.checkpoint_interval = 4    # Pregel checkpoint every N supersteps
+//   mapreduce.checkpointing = true    # persist map-stage manifests
+//   resume = true                     # reuse finished cells from the journal
+//   journal = run/journal.jsonl       # default: <report.dir>/journal.jsonl
 
 #pragma once
 

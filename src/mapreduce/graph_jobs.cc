@@ -153,6 +153,7 @@ void AccumulateStats(const JobStats& job, ChainStats* chain) {
   chain->total_shuffle_bytes += job.shuffle_bytes;
   chain->total_output_bytes += job.output_bytes;
   chain->total_input_records += job.input_records;
+  if (job.map_stage_recovered) ++chain->map_stages_recovered;
 }
 
 // ------------------------------------------------------- BFS mapper/reducer

@@ -41,6 +41,9 @@ struct ChainStats {
   uint64_t total_output_bytes = 0;
   uint64_t total_input_records = 0;
   double total_seconds = 0.0;
+  /// Jobs whose map phase was skipped by restoring a spill manifest (see
+  /// JobConfig::checkpoint_map_stage).
+  uint32_t map_stages_recovered = 0;
 };
 
 /// Runs `kind` on `graph`. Output semantics match ref/algorithms.h.

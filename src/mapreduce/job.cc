@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <queue>
 #include <thread>
 
+#include "common/checkpoint.h"
+#include "common/crc32.h"
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -167,6 +171,117 @@ struct MergeSource {
   bool done = false;
 };
 
+// ------------------------------------------- map-stage checkpoint manifest
+
+constexpr char kMapManifestName[] = ".map-manifest.ckpt";
+
+// Size + CRC of one input file (0/0 when unreadable).
+void FileDigest(const std::string& path, uint64_t* size, uint32_t* crc) {
+  *size = 0;
+  *crc = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  char buf[64 << 10];
+  uint32_t state = kCrc32cInit;
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    *size += static_cast<uint64_t>(in.gcount());
+    state = Crc32cUpdate(state, buf, static_cast<size_t>(in.gcount()));
+  }
+  *crc = Crc32cFinalize(state);
+}
+
+// A manifest is only reusable by the *same* job: identical inputs (path
+// AND content — state files are rewritten in place between runs, so paths
+// alone would let a stale manifest masquerade as current) and identical
+// partitioning. Anything else must invalidate it.
+std::string ManifestFingerprint(const JobConfig& config,
+                                const std::vector<std::string>& inputs) {
+  std::string fp;
+  CheckpointEncoder enc(&fp);
+  enc.PutU32(std::max(1u, config.num_mappers));
+  enc.PutU32(std::max(1u, config.num_reducers));
+  enc.PutU64(config.sort_buffer_bytes);
+  enc.PutU64(inputs.size());
+  for (const std::string& p : inputs) {
+    uint64_t size = 0;
+    uint32_t crc = 0;
+    FileDigest(p, &size, &crc);
+    enc.PutString(p);
+    enc.PutU64(size);
+    enc.PutU32(crc);
+  }
+  return fp;
+}
+
+Status WriteMapManifest(const std::string& path, const std::string& fingerprint,
+                        const std::vector<std::vector<std::string>>& runs,
+                        const JobStats& stats) {
+  CheckpointWriter writer;
+  *writer.AddSection("fingerprint") = fingerprint;
+  CheckpointEncoder run_enc(writer.AddSection("runs"));
+  run_enc.PutU64(runs.size());
+  for (const auto& slot : runs) {
+    run_enc.PutU64(slot.size());
+    for (const std::string& p : slot) run_enc.PutString(p);
+  }
+  CheckpointEncoder stat_enc(writer.AddSection("stats"));
+  stat_enc.PutU64(stats.input_records);
+  stat_enc.PutU64(stats.map_output_records);
+  stat_enc.PutU64(stats.combined_records);
+  stat_enc.PutU64(stats.spill_bytes);
+  stat_enc.PutU32(stats.spill_files);
+  stat_enc.PutDouble(stats.map_seconds);
+  return writer.WriteTo(path);
+}
+
+// True when a valid same-job manifest was restored into `runs`/`stats` and
+// every referenced run file still exists on disk.
+bool TryRestoreMapManifest(const std::string& path,
+                           const std::string& fingerprint,
+                           size_t expected_slots,
+                           std::vector<std::vector<std::string>>* runs,
+                           JobStats* stats) {
+  auto reader = CheckpointReader::Load(path);
+  if (!reader.ok()) return false;
+  auto fp = reader->Section("fingerprint");
+  if (!fp.ok() || *fp != fingerprint) return false;
+
+  auto runs_raw = reader->Section("runs");
+  if (!runs_raw.ok()) return false;
+  CheckpointDecoder run_dec(*runs_raw);
+  uint64_t slots = 0;
+  if (!run_dec.GetU64(&slots) || slots != expected_slots) return false;
+  std::vector<std::vector<std::string>> restored(slots);
+  for (uint64_t i = 0; i < slots; ++i) {
+    uint64_t count = 0;
+    if (!run_dec.GetU64(&count) || count > run_dec.remaining()) return false;
+    restored[i].resize(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      if (!run_dec.GetString(&restored[i][j])) return false;
+    }
+  }
+  std::error_code ec;
+  for (const auto& slot : restored) {
+    for (const std::string& p : slot) {
+      if (!fs::exists(p, ec) || ec) return false;
+    }
+  }
+
+  auto stats_raw = reader->Section("stats");
+  if (!stats_raw.ok()) return false;
+  CheckpointDecoder stat_dec(*stats_raw);
+  if (!stat_dec.GetU64(&stats->input_records) ||
+      !stat_dec.GetU64(&stats->map_output_records) ||
+      !stat_dec.GetU64(&stats->combined_records) ||
+      !stat_dec.GetU64(&stats->spill_bytes) ||
+      !stat_dec.GetU32(&stats->spill_files) ||
+      !stat_dec.GetDouble(&stats->map_seconds)) {
+    return false;
+  }
+  *runs = std::move(restored);
+  return true;
+}
+
 }  // namespace
 
 Job::Job(JobConfig config, MapperFactory mapper_factory,
@@ -196,75 +311,109 @@ Result<std::vector<std::string>> Job::Run(
         std::chrono::duration<double>(config_.job_startup_s));
   }
 
-  // ------------------------------------------------------------- map phase
-  Stopwatch map_watch;
-  // Split inputs across mappers round-robin by file; files are the natural
-  // split unit since the driver writes one part per previous reducer.
-  std::vector<std::vector<std::string>> splits(mappers);
-  for (size_t i = 0; i < input_paths.size(); ++i) {
-    splits[i % mappers].push_back(input_paths[i]);
+  // Map-stage checkpoint locations. Checkpointed spill runs live under the
+  // output directory rather than the shared scratch, so chained jobs can't
+  // clobber them and a re-run of this job finds them where the manifest
+  // says.
+  const std::string manifest_path =
+      output_dir + "/" + kMapManifestName;
+  const std::string spill_dir = config_.checkpoint_map_stage
+                                    ? output_dir + "/.map-runs"
+                                    : config_.scratch_dir;
+  std::string fingerprint;
+  if (config_.checkpoint_map_stage) {
+    fs::create_directories(spill_dir, ec);
+    fingerprint = ManifestFingerprint(config_, input_paths);
   }
 
-  // Per-mapper stats merged afterwards to avoid locking.
-  std::vector<JobStats> mapper_stats(mappers);
+  // ------------------------------------------------------------- map phase
   std::vector<std::vector<std::string>> mapper_runs(
       static_cast<size_t>(mappers) * reducers);
-  std::atomic<uint64_t> input_records{0};
-  std::atomic<uint64_t> map_output{0};
+  const bool map_recovered =
+      config_.checkpoint_map_stage &&
+      TryRestoreMapManifest(manifest_path, fingerprint, mapper_runs.size(),
+                            &mapper_runs, &stats);
+  stats.map_stage_recovered = map_recovered;
+  if (!map_recovered) {
+    Stopwatch map_watch;
+    // Split inputs across mappers round-robin by file; files are the
+    // natural split unit since the driver writes one part per previous
+    // reducer.
+    std::vector<std::vector<std::string>> splits(mappers);
+    for (size_t i = 0; i < input_paths.size(); ++i) {
+      splits[i % mappers].push_back(input_paths[i]);
+    }
 
-  std::vector<std::future<Status>> map_tasks;
-  for (uint32_t m = 0; m < mappers; ++m) {
-    map_tasks.push_back(pool->Submit([&, m]() -> Status {
-      // Injected task attempt failure (the Hadoop "task attempt died"
-      // mode); the whole job fails, as it would with task retries off.
-      GLY_FAULT_POINT("mapreduce.map.task");
-      auto mapper = mapper_factory_();
-      std::unique_ptr<Reducer> combiner =
-          combiner_factory_ ? combiner_factory_() : nullptr;
-      std::vector<SpillBuffer> buffers;
-      buffers.reserve(reducers);
-      for (uint32_t r = 0; r < reducers; ++r) {
-        buffers.emplace_back(
-            config_.scratch_dir +
-                StringPrintf("/map-%05u-r-%05u", m, r),
-            config_.sort_buffer_bytes, combiner.get(), counters);
-      }
-      PartitionedEmitter emitter(&buffers, &mapper_stats[m], &map_output);
-      for (const std::string& path : splits[m]) {
-        GLY_ASSIGN_OR_RETURN(RecordFileReader reader,
-                             RecordFileReader::Open(path));
-        Record record;
-        for (;;) {
-          GLY_ASSIGN_OR_RETURN(bool more, reader.Next(&record));
-          if (!more) break;
-          input_records.fetch_add(1, std::memory_order_relaxed);
-          mapper->Map(record, &emitter, counters);
+    // Per-mapper stats merged afterwards to avoid locking.
+    std::vector<JobStats> mapper_stats(mappers);
+    std::atomic<uint64_t> input_records{0};
+    std::atomic<uint64_t> map_output{0};
+
+    std::vector<std::future<Status>> map_tasks;
+    for (uint32_t m = 0; m < mappers; ++m) {
+      map_tasks.push_back(pool->Submit([&, m]() -> Status {
+        // Injected task attempt failure (the Hadoop "task attempt died"
+        // mode); the whole job fails, as it would with task retries off.
+        GLY_FAULT_POINT("mapreduce.map.task");
+        auto mapper = mapper_factory_();
+        std::unique_ptr<Reducer> combiner =
+            combiner_factory_ ? combiner_factory_() : nullptr;
+        std::vector<SpillBuffer> buffers;
+        buffers.reserve(reducers);
+        for (uint32_t r = 0; r < reducers; ++r) {
+          buffers.emplace_back(
+              spill_dir + StringPrintf("/map-%05u-r-%05u", m, r),
+              config_.sort_buffer_bytes, combiner.get(), counters);
         }
+        PartitionedEmitter emitter(&buffers, &mapper_stats[m], &map_output);
+        for (const std::string& path : splits[m]) {
+          GLY_ASSIGN_OR_RETURN(RecordFileReader reader,
+                               RecordFileReader::Open(path));
+          Record record;
+          for (;;) {
+            GLY_ASSIGN_OR_RETURN(bool more, reader.Next(&record));
+            if (!more) break;
+            input_records.fetch_add(1, std::memory_order_relaxed);
+            mapper->Map(record, &emitter, counters);
+          }
+        }
+        GLY_RETURN_NOT_OK(emitter.error());
+        for (uint32_t r = 0; r < reducers; ++r) {
+          GLY_RETURN_NOT_OK(buffers[r].Spill(&mapper_stats[m]));
+          mapper_runs[static_cast<size_t>(m) * reducers + r] =
+              buffers[r].run_paths();
+        }
+        return Status::OK();
+      }));
+    }
+    // Drain every task before acting on failures: queued lambdas reference
+    // this frame's locals (and this Job), so an early return on the first
+    // failed future would leave still-running tasks with dangling captures.
+    Status map_status = Status::OK();
+    for (auto& t : map_tasks) {
+      Status s = t.get();
+      if (map_status.ok()) map_status = std::move(s);
+    }
+    GLY_RETURN_NOT_OK(map_status);
+    stats.map_seconds = map_watch.ElapsedSeconds();
+    stats.input_records = input_records.load();
+    stats.map_output_records = map_output.load();
+    for (const JobStats& ms : mapper_stats) {
+      stats.spill_bytes += ms.spill_bytes;
+      stats.spill_files += ms.spill_files;
+      stats.combined_records += ms.combined_records;
+    }
+
+    if (config_.checkpoint_map_stage) {
+      // Best-effort: a failed manifest write only means a future re-run
+      // pays the map phase again.
+      Status manifest =
+          WriteMapManifest(manifest_path, fingerprint, mapper_runs, stats);
+      if (!manifest.ok()) {
+        GLY_LOG_WARN << "mapreduce: map manifest write failed: "
+                     << manifest.ToString();
       }
-      GLY_RETURN_NOT_OK(emitter.error());
-      for (uint32_t r = 0; r < reducers; ++r) {
-        GLY_RETURN_NOT_OK(buffers[r].Spill(&mapper_stats[m]));
-        mapper_runs[static_cast<size_t>(m) * reducers + r] =
-            buffers[r].run_paths();
-      }
-      return Status::OK();
-    }));
-  }
-  // Drain every task before acting on failures: queued lambdas reference
-  // this frame's locals (and this Job), so an early return on the first
-  // failed future would leave still-running tasks with dangling captures.
-  Status map_status = Status::OK();
-  for (auto& t : map_tasks) {
-    Status s = t.get();
-    if (map_status.ok()) map_status = std::move(s);
-  }
-  GLY_RETURN_NOT_OK(map_status);
-  stats.map_seconds = map_watch.ElapsedSeconds();
-  stats.input_records = input_records.load();
-  stats.map_output_records = map_output.load();
-  for (const JobStats& ms : mapper_stats) {
-    stats.spill_bytes += ms.spill_bytes;
-    stats.spill_files += ms.spill_files;
+    }
   }
 
   // -------------------------------------------------- shuffle+reduce phase
@@ -351,10 +500,16 @@ Result<std::vector<std::string>> Job::Run(
     stats.reduce_output_records += rs.reduce_output_records;
   }
 
-  // Clean spills.
-  for (const auto& runs : mapper_runs) {
-    for (const std::string& path : runs) {
-      fs::remove(path, ec);
+  // Clean spills; the job completed, so the manifest (if any) is obsolete.
+  if (config_.checkpoint_map_stage) {
+    fs::remove(manifest_path, ec);
+    fs::remove(manifest_path + ".tmp", ec);
+    fs::remove_all(spill_dir, ec);
+  } else {
+    for (const auto& runs : mapper_runs) {
+      for (const std::string& path : runs) {
+        fs::remove(path, ec);
+      }
     }
   }
 

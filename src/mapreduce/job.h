@@ -94,6 +94,15 @@ struct JobConfig {
   /// an iterative chain. A large part of why "MapReduce can be two orders
   /// of magnitude slower than Giraph and GraphX". 0 disables.
   double job_startup_s = 0.0;
+
+  /// Map-stage checkpointing: after the map phase, persist a manifest of
+  /// the completed spill runs (atomic + checksummed, see common/checkpoint)
+  /// into the output directory, and keep the runs there rather than in the
+  /// shared scratch. A re-run of the same job (same inputs, mappers,
+  /// reducers, output_dir) that previously crashed during shuffle/reduce
+  /// then skips the map phase and re-runs only reduce. The manifest and
+  /// runs are deleted when the job completes.
+  bool checkpoint_map_stage = false;
 };
 
 /// Phase timing and volume statistics of one job.
@@ -108,6 +117,10 @@ struct JobStats {
   double map_seconds = 0.0;
   double shuffle_reduce_seconds = 0.0;
   uint32_t spill_files = 0;
+  /// True when the map phase was skipped by restoring a spill manifest
+  /// left by a crashed prior run (map-phase fields reflect the original
+  /// execution).
+  bool map_stage_recovered = false;
 };
 
 /// Factory types: one Mapper/Reducer instance per parallel task.

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <limits>
 #include <map>
@@ -40,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
@@ -80,6 +82,20 @@ class Aggregators {
   double Get(const std::string& name) const {
     auto it = current_.find(name);
     return it == current_.end() ? 0.0 : it->second;
+  }
+
+  /// Epoch values as of the last barrier (checkpoint serialization).
+  const std::map<std::string, double>& CurrentValues() const {
+    return current_;
+  }
+
+  /// Restores epoch values from a checkpoint; unregistered names are
+  /// dropped (engine-internal, used only on rollback recovery).
+  void RestoreCurrentValues(const std::map<std::string, double>& values) {
+    for (const auto& [name, value] : values) {
+      auto it = current_.find(name);
+      if (it != current_.end()) it->second = value;
+    }
   }
 
   /// Merges worker partials and rolls the epoch (engine-internal).
@@ -128,10 +144,81 @@ uint64_t MessageWireBytes(const std::vector<T>& m) {
   return sizeof(uint32_t) + m.size() * sizeof(T);
 }
 
+/// Whether a vertex-value/message type can round-trip through the
+/// checkpoint serializer: trivially copyable scalars/structs, and vectors
+/// thereof (covers every program shipped in pregel/algorithms.h).
+template <typename T>
+inline constexpr bool kCheckpointSerializable = std::is_trivially_copyable_v<T>;
+template <typename T>
+inline constexpr bool kCheckpointSerializable<std::vector<T>> =
+    kCheckpointSerializable<T>;
+
+namespace detail {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void CkptPutValue(CheckpointEncoder& enc, const T& v) {
+  enc.PutRaw(v);
+}
+
+template <typename T>
+void CkptPutValue(CheckpointEncoder& enc, const std::vector<T>& v) {
+  enc.PutU64(v.size());
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    enc.PutBytes(v.data(), v.size() * sizeof(T));
+  } else {
+    for (const T& x : v) CkptPutValue(enc, x);
+  }
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+bool CkptGetValue(CheckpointDecoder& dec, T* v) {
+  return dec.GetRaw(v);
+}
+
+template <typename T>
+bool CkptGetValue(CheckpointDecoder& dec, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!dec.GetU64(&size)) return false;
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (size > dec.remaining() / sizeof(T)) return false;
+    v->resize(size);
+    return size == 0 || dec.GetBytes(v->data(), size * sizeof(T));
+  } else {
+    if (size > dec.remaining()) return false;  // every element costs >=1 byte
+    v->clear();
+    v->resize(size);
+    for (uint64_t i = 0; i < size; ++i) {
+      if (!CkptGetValue(dec, &(*v)[i])) return false;
+    }
+    return true;
+  }
+}
+
+}  // namespace detail
+
 /// Vertex-to-worker assignment policy.
 enum class PartitioningPolicy {
   kHash,      ///< multiplicative hash (Giraph default)
   kBalanced,  ///< greedy degree-aware balancing (the §2.1 skew mitigation)
+};
+
+/// Superstep checkpointing (rollback recovery). When enabled, the engine
+/// snapshots vertex values, halt flags, pending messages, and aggregator
+/// state every `interval` supersteps (atomic, checksummed — see
+/// common/checkpoint.h). A fault-injected worker crash or barrier failure
+/// then rolls back to the last snapshot and replays from there instead of
+/// failing the run, up to `max_recoveries` times.
+struct CheckpointPolicy {
+  /// Checkpoint every N supersteps; 0 disables checkpointing.
+  uint32_t interval = 0;
+
+  /// Directory for snapshot files (required when interval > 0).
+  std::string directory;
+
+  /// Rollback budget per run; a crash beyond it surfaces as failure.
+  uint32_t max_recoveries = 3;
 };
 
 /// Engine configuration (one simulated Giraph deployment).
@@ -155,6 +242,9 @@ struct EngineConfig {
 
   /// Safety valve.
   uint32_t max_supersteps = 10000;
+
+  /// Superstep checkpoint/rollback policy (disabled by default).
+  CheckpointPolicy checkpoint;
 };
 
 /// Per-superstep statistics (skew/network diagnostics).
@@ -180,6 +270,12 @@ struct RunStats {
   double total_seconds = 0.0;
   double network_seconds = 0.0;
   uint64_t peak_memory_bytes = 0;
+  // Checkpoint/recovery accounting (zero unless a CheckpointPolicy is set).
+  uint32_t checkpoints_written = 0;
+  uint32_t checkpoint_failures = 0;   ///< failed snapshot writes (non-fatal)
+  uint32_t recoveries = 0;            ///< rollbacks to the last checkpoint
+  uint32_t supersteps_replayed = 0;   ///< completed supersteps re-executed
+  double checkpoint_seconds = 0.0;
   std::vector<SuperstepStats> per_superstep;
 };
 
@@ -340,7 +436,158 @@ class Engine {
     Stopwatch total_watch;
     uint64_t live_message_bytes = 0;
 
-    for (uint32_t step = 0; step < config_.max_supersteps; ++step) {
+    // ------------------------------------------------ checkpoint machinery
+    // Snapshots capture the state needed to re-enter superstep `step`:
+    // vertex values, halt flags, the delivered inbox, and aggregator epoch
+    // values. Recovery counters live in locals because a rollback resets
+    // out.stats to the snapshot-time copy.
+    constexpr bool can_checkpoint =
+        kCheckpointSerializable<V> && kCheckpointSerializable<M>;
+    const bool ckpt_enabled = can_checkpoint &&
+                              config_.checkpoint.interval > 0 &&
+                              !config_.checkpoint.directory.empty();
+    const std::string ckpt_path = config_.checkpoint.directory + "/pregel.ckpt";
+    bool have_checkpoint = false;
+    uint32_t checkpoint_step = 0;  // superstep a rollback re-enters
+    RunStats stats_at_checkpoint;
+    uint32_t ckpts_written = 0;
+    uint32_t ckpt_failures = 0;
+    uint32_t recoveries = 0;
+    uint32_t replayed = 0;
+    double ckpt_seconds = 0.0;
+    auto sync_ckpt_stats = [&] {
+      out.stats.checkpoints_written = ckpts_written;
+      out.stats.checkpoint_failures = ckpt_failures;
+      out.stats.recoveries = recoveries;
+      out.stats.supersteps_replayed = replayed;
+      out.stats.checkpoint_seconds = ckpt_seconds;
+    };
+    if (ckpt_enabled) {
+      // A missing directory would otherwise fail every snapshot write and
+      // silently disable recovery for the whole run.
+      std::error_code ec;
+      std::filesystem::create_directories(config_.checkpoint.directory, ec);
+      RemoveCheckpoint(ckpt_path);  // stale prior-run file
+    }
+
+    uint32_t step = 0;
+    auto write_checkpoint = [&] {
+      if constexpr (can_checkpoint) {
+        Stopwatch ckpt_watch;
+        CheckpointWriter writer;
+        CheckpointEncoder meta(writer.AddSection("meta"));
+        meta.PutU32(step);
+        meta.PutU64(n);
+        meta.PutU64(live_message_bytes);
+        CheckpointEncoder values(writer.AddSection("values"));
+        detail::CkptPutValue(values, out.values);
+        CheckpointEncoder halt(writer.AddSection("halted"));
+        detail::CkptPutValue(halt, halted);
+        CheckpointEncoder msgs(writer.AddSection("inbox"));
+        detail::CkptPutValue(msgs, inbox);
+        CheckpointEncoder agg(writer.AddSection("aggregators"));
+        const auto& agg_values = aggregators.CurrentValues();
+        agg.PutU64(agg_values.size());
+        for (const auto& [name, value] : agg_values) {
+          agg.PutString(name);
+          agg.PutDouble(value);
+        }
+        Status written = writer.WriteTo(ckpt_path);
+        ckpt_seconds += ckpt_watch.ElapsedSeconds();
+        if (written.ok()) {
+          ++ckpts_written;
+          have_checkpoint = true;
+          checkpoint_step = step;
+          sync_ckpt_stats();
+          stats_at_checkpoint = out.stats;
+        } else {
+          // Non-fatal: the previous snapshot (if any) is still the valid
+          // recovery point — WriteTo stages and renames atomically.
+          ++ckpt_failures;
+        }
+      }
+    };
+
+    auto restore_checkpoint = [&]() -> Status {
+      if constexpr (can_checkpoint) {
+        GLY_ASSIGN_OR_RETURN(CheckpointReader reader,
+                             CheckpointReader::Load(ckpt_path));
+        GLY_ASSIGN_OR_RETURN(std::string_view meta_raw,
+                             reader.Section("meta"));
+        CheckpointDecoder meta(meta_raw);
+        uint32_t saved_step = 0;
+        uint64_t saved_n = 0;
+        uint64_t saved_live_bytes = 0;
+        if (!meta.GetU32(&saved_step) || !meta.GetU64(&saved_n) ||
+            !meta.GetU64(&saved_live_bytes) || saved_n != n ||
+            saved_step != checkpoint_step) {
+          return Status::Internal("pregel checkpoint metadata mismatch");
+        }
+        GLY_ASSIGN_OR_RETURN(std::string_view values_raw,
+                             reader.Section("values"));
+        CheckpointDecoder values(values_raw);
+        if (!detail::CkptGetValue(values, &out.values) ||
+            out.values.size() != n) {
+          return Status::Internal("pregel checkpoint vertex values corrupt");
+        }
+        GLY_ASSIGN_OR_RETURN(std::string_view halt_raw,
+                             reader.Section("halted"));
+        CheckpointDecoder halt(halt_raw);
+        if (!detail::CkptGetValue(halt, &halted) || halted.size() != n) {
+          return Status::Internal("pregel checkpoint halt flags corrupt");
+        }
+        GLY_ASSIGN_OR_RETURN(std::string_view msgs_raw,
+                             reader.Section("inbox"));
+        CheckpointDecoder msgs(msgs_raw);
+        if (!detail::CkptGetValue(msgs, &inbox) || inbox.size() != n) {
+          return Status::Internal("pregel checkpoint inbox corrupt");
+        }
+        GLY_ASSIGN_OR_RETURN(std::string_view agg_raw,
+                             reader.Section("aggregators"));
+        CheckpointDecoder agg(agg_raw);
+        uint64_t agg_count = 0;
+        if (!agg.GetU64(&agg_count)) {
+          return Status::Internal("pregel checkpoint aggregators corrupt");
+        }
+        std::map<std::string, double> agg_values;
+        for (uint64_t i = 0; i < agg_count; ++i) {
+          std::string name;
+          double value = 0.0;
+          if (!agg.GetString(&name) || !agg.GetDouble(&value)) {
+            return Status::Internal("pregel checkpoint aggregators corrupt");
+          }
+          agg_values[name] = value;
+        }
+        aggregators.RestoreCurrentValues(agg_values);
+        for (auto& v : next_inbox) v.clear();
+        // Swap the message-memory accounting over to the restored inbox.
+        budget.Release(live_message_bytes);
+        live_message_bytes = 0;
+        GLY_RETURN_NOT_OK(
+            budget.Charge(saved_live_bytes, "restored superstep messages"));
+        live_message_bytes = saved_live_bytes;
+        out.stats = stats_at_checkpoint;
+        return Status::OK();
+      } else {
+        return Status::Internal("checkpointing unavailable for this program");
+      }
+    };
+
+    // On superstep failure: roll back to the last snapshot if the policy
+    // allows, returning true and rewinding `step`; otherwise the failure
+    // surfaces to the caller.
+    auto try_recover = [&]() -> bool {
+      if (!ckpt_enabled || !have_checkpoint) return false;
+      if (recoveries >= config_.checkpoint.max_recoveries) return false;
+      if (!restore_checkpoint().ok()) return false;
+      ++recoveries;
+      replayed += step - checkpoint_step;
+      sync_ckpt_stats();
+      step = checkpoint_step;
+      return true;
+    };
+
+    while (step < config_.max_supersteps) {
       SuperstepStats ss;
       ss.superstep = step;
       Stopwatch step_watch;
@@ -381,12 +628,20 @@ class Engine {
         }));
       }
       for (auto& f : futures) f.get();
+      Status step_failure;
       for (uint32_t w = 0; w < workers; ++w) {
         if (!worker_status[w].ok()) {
-          return worker_status[w].WithPrefix(
+          step_failure = worker_status[w].WithPrefix(
               "pregel superstep " + std::to_string(step) + " worker " +
               std::to_string(w));
+          break;
         }
+      }
+      if (!step_failure.ok()) {
+        // A crashed worker left this superstep half-computed; roll the
+        // whole state back to the last snapshot and replay from there.
+        if (try_recover()) continue;
+        return step_failure;
       }
       aggregators.EndSuperstep(aggregator_partials);
       ss.active_vertices = active_count.load();
@@ -478,9 +733,15 @@ class Engine {
       ss.network_seconds = network_s;
 
       // Injected barrier faults: a crash here kills the superstep after
-      // compute; a stall models the slow-worker scenario the harness
-      // timeout must cut short.
-      GLY_FAULT_POINT("pregel.superstep.barrier");
+      // compute (recoverable from a checkpoint, like a worker crash); a
+      // stall models the slow-worker scenario the harness timeout must cut
+      // short.
+      Status barrier = fault::CheckPoint("pregel.superstep.barrier");
+      if (!barrier.ok()) {
+        if (try_recover()) continue;
+        return barrier.WithPrefix("pregel superstep " + std::to_string(step) +
+                                  " barrier");
+      }
 
       inbox.swap(next_inbox);
 
@@ -490,6 +751,7 @@ class Engine {
       out.stats.network_seconds += network_s;
       out.stats.per_superstep.push_back(ss);
       out.stats.supersteps = step + 1;
+      ++step;
 
       // Termination: all halted and no messages in flight.
       if (sent == 0) {
@@ -502,8 +764,16 @@ class Engine {
         }
         if (all_halted) break;
       }
+
+      // Snapshot the post-barrier state (the entry state of superstep
+      // `step`) on the policy's cadence.
+      if (ckpt_enabled && step % config_.checkpoint.interval == 0) {
+        write_checkpoint();
+      }
     }
 
+    sync_ckpt_stats();
+    if (ckpt_enabled) RemoveCheckpoint(ckpt_path);  // run finished cleanly
     out.stats.total_seconds = total_watch.ElapsedSeconds();
     out.stats.peak_memory_bytes = budget.peak();
     out.aggregators = aggregators;

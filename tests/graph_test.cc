@@ -171,6 +171,93 @@ TEST(GraphIoTest, TextRejectsMalformed) {
   EXPECT_FALSE(ReadEdgeListText(dir->File("bad2.e")).ok());
 }
 
+TEST(GraphIoTest, MalformedInputCorpusIsRejectedWithLocation) {
+  // Each corpus entry is one way real edge dumps go wrong; every one must
+  // be rejected with an error naming the file and (1-based) line.
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  struct Case {
+    const char* name;
+    const char* content;
+    const char* bad_line;  // "<line_no>" expected in the error message
+  };
+  const Case corpus[] = {
+      {"truncated.e", "0 1\n2\n", "2"},                // line cut mid-edge
+      {"nonnumeric.e", "0 1\nfoo bar\n", "2"},         // words, not ids
+      {"negative.e", "0 1\n-3 4\n", "2"},              // negative id
+      {"float.e", "0 1\n2.5 3\n", "2"},                // fractional id
+      {"overflow.e", "99999999999999999999 1\n", "1"}, // > uint64
+      {"too_large.e", "0 1\n4294967295 2\n", "2"},     // == kInvalidVertex
+      {"trailing.e", "0 1\n2 3x\n", "2"},              // trailing garbage
+  };
+  for (const Case& c : corpus) {
+    std::ofstream(dir->File(c.name)) << c.content;
+    auto read = ReadEdgeListText(dir->File(c.name));
+    ASSERT_FALSE(read.ok()) << c.name;
+    EXPECT_NE(read.status().message().find(c.name), std::string::npos)
+        << c.name << ": " << read.status().ToString();
+    EXPECT_NE(read.status().message().find(std::string(":") + c.bad_line),
+              std::string::npos)
+        << c.name << ": " << read.status().ToString();
+  }
+}
+
+TEST(GraphIoTest, ParseOptionsDropSelfLoopsAndDuplicates) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("messy.e")) << "0 1\n1 1\n0 1\n2 0\n2 2\n0 1\n";
+
+  // Default: everything kept verbatim.
+  auto verbatim = ReadEdgeListText(dir->File("messy.e"));
+  ASSERT_TRUE(verbatim.ok());
+  EXPECT_EQ(verbatim->num_edges(), 6u);
+
+  EdgeListParseOptions drop_loops;
+  drop_loops.drop_self_loops = true;
+  auto no_loops = ReadEdgeListText(dir->File("messy.e"), drop_loops);
+  ASSERT_TRUE(no_loops.ok());
+  EXPECT_EQ(no_loops->num_edges(), 4u);
+
+  EdgeListParseOptions drop_both;
+  drop_both.drop_self_loops = true;
+  drop_both.drop_duplicates = true;
+  auto clean = ReadEdgeListText(dir->File("messy.e"), drop_both);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->num_edges(), 2u);  // {0 1, 2 0}
+  EXPECT_EQ(clean->num_vertices(), 3u);
+}
+
+TEST(GraphIoTest, ParseOptionsEnforceVertexIdLimit) {
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  std::ofstream(dir->File("wide.e")) << "0 1\n5000 2\n";
+  EdgeListParseOptions bounded;
+  bounded.max_vertex_id = 100;
+  auto read = ReadEdgeListText(dir->File("wide.e"), bounded);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsInvalidArgument());
+  EXPECT_NE(read.status().message().find(":2"), std::string::npos)
+      << read.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsEdgeCountBeyondFileSize) {
+  // A corrupt header must not turn into a multi-gigabyte allocation.
+  auto dir = TempDir::Create("gly-io");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges = TriangleWithTail();
+  ASSERT_TRUE(WriteEdgeListBinary(edges, dir->File("g.bin")).ok());
+  // Corrupt the edge-count field (bytes 16..24) to a huge value.
+  std::fstream f(dir->File("g.bin"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  uint64_t huge = uint64_t{1} << 40;
+  f.seekp(16);
+  f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  f.close();
+  auto read = ReadEdgeListBinary(dir->File("g.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsInvalidArgument()) << read.status().ToString();
+}
+
 TEST(GraphIoTest, BinaryRoundTrip) {
   auto dir = TempDir::Create("gly-io");
   ASSERT_TRUE(dir.ok());

@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+
+#include "common/fault_injection.h"
 
 #include "common/random.h"
 #include "common/temp_dir.h"
@@ -167,6 +170,88 @@ TEST(WalTest, TruncateEmptiesLog) {
   EXPECT_TRUE(entries->empty());
 }
 
+TEST(WalTest, RecoverTruncatesTornTailSoNewAppendsStayVisible) {
+  auto dir = TempDir::Create("gly-db");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("wal.log");
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{0, 1, {'x'}}}).ok());
+    ASSERT_TRUE(wal->Append({{0, 2, {'y'}}}).ok());
+  }
+  // Tear the second entry (a crash mid-append).
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  auto recovery = wal->Recover();
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_EQ(recovery->entries.size(), 1u);
+  EXPECT_GT(recovery->truncated_bytes, 0u);
+  // The torn bytes are physically gone, not just skipped.
+  EXPECT_EQ(std::filesystem::file_size(path), recovery->valid_bytes);
+
+  // This is why truncation matters: an append landing *behind* a merely
+  // ignored torn tail would be unreachable for every future reader.
+  ASSERT_TRUE(wal->Append({{0, 3, {'z'}}}).ok());
+  auto entries = wal->ReadAll();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[1][0].offset, 3u);
+}
+
+TEST(WalTest, BogusFrameLengthIsATornTailNotAnAllocation) {
+  auto dir = TempDir::Create("gly-db");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File("wal.log");
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append({{0, 1, {'x'}}}).ok());
+  }
+  // Append a frame header claiming ~4 GB of payload: the scanner must
+  // treat it as torn (len exceeds the file) instead of allocating.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    uint32_t len = 0xF0000000u;
+    uint32_t crc = 0;
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out << "junk";
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  auto recovery = wal->Recover();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->entries.size(), 1u);
+  EXPECT_EQ(recovery->truncated_bytes, 12u);
+}
+
+#ifndef GLY_DISABLE_FAULT_POINTS
+
+TEST(WalTest, InjectedAppendFailureIsTransient) {
+  auto dir = TempDir::Create("gly-db");
+  ASSERT_TRUE(dir.ok());
+  auto wal = Wal::Open(dir->File("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  fault::FaultPlan plan(0xDB1);
+  plan.Add({.site = "graphdb.wal.append", .kind = fault::FaultKind::kIOError,
+            .max_triggers = 1});
+  {
+    fault::ScopedFaultPlan active(&plan);
+    EXPECT_FALSE(wal->Append({{0, 1, {'x'}}}).ok());
+    ASSERT_TRUE(wal->Append({{0, 2, {'y'}}}).ok());  // transient: next works
+  }
+  auto entries = wal->ReadAll();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);  // the failed append left no frame behind
+  EXPECT_EQ((*entries)[0][0].offset, 2u);
+}
+
+#endif  // GLY_DISABLE_FAULT_POINTS
+
 TEST(Crc32cTest, DetectsCorruption) {
   const char a[] = "hello";
   const char b[] = "hellp";
@@ -287,6 +372,77 @@ TEST(GraphStoreTest, CommittedDataSurvivesReopenWithoutCheckpoint) {
   std::vector<VertexId> nbrs;
   ASSERT_TRUE((*store)->CollectNeighbors(a, true, &nbrs).ok());
   EXPECT_EQ(nbrs, (std::vector<VertexId>{b}));
+}
+
+#ifndef GLY_DISABLE_FAULT_POINTS
+
+TEST(GraphStoreTest, CrashDuringCheckpointWritebackIsRecoverable) {
+  // A checkpoint is flush-then-truncate; a crash inside the page-cache
+  // writeback aborts it *before* the WAL truncate. Reopening must replay
+  // the intact WAL and reproduce the committed state.
+  auto dir = TempDir::Create("gly-db");
+  ASSERT_TRUE(dir.ok());
+  StoreConfig config;
+  config.directory = dir->File("store");
+  VertexId a = 0;
+  VertexId b = 0;
+  {
+    auto store = GraphStore::Open(config);
+    ASSERT_TRUE(store.ok());
+    auto tx = (*store)->Begin();
+    a = *tx.CreateNode();
+    b = *tx.CreateNode();
+    ASSERT_TRUE(tx.CreateRelationship(a, b).ok());
+    ASSERT_TRUE(tx.SetNodeProperty(a, 3, 99).ok());
+    ASSERT_TRUE(tx.Commit().ok());
+
+    fault::FaultPlan plan(0xDB2);
+    plan.Add({.site = "graphdb.pagecache.writeback",
+              .kind = fault::FaultKind::kCrash, .max_triggers = 1});
+    fault::ScopedFaultPlan active(&plan);
+    EXPECT_FALSE((*store)->Checkpoint().ok());
+    EXPECT_EQ(plan.TotalTriggered(), 1u);
+  }
+  auto store = GraphStore::Open(config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GT((*store)->wal_entries_recovered(), 0u);
+  EXPECT_EQ((*store)->node_count(), 2u);
+  EXPECT_EQ((*store)->relationship_count(), 1u);
+  EXPECT_EQ(*(*store)->GetNodeProperty(a, 3), 99);
+  std::vector<VertexId> nbrs;
+  ASSERT_TRUE((*store)->CollectNeighbors(a, true, &nbrs).ok());
+  EXPECT_EQ(nbrs, (std::vector<VertexId>{b}));
+}
+
+#endif  // GLY_DISABLE_FAULT_POINTS
+
+TEST(GraphStoreTest, ReopenAfterTornWalTailSurfacesTruncationCounters) {
+  auto dir = TempDir::Create("gly-db");
+  ASSERT_TRUE(dir.ok());
+  StoreConfig config;
+  config.directory = dir->File("store");
+  VertexId a = 0;
+  {
+    auto store = GraphStore::Open(config);
+    ASSERT_TRUE(store.ok());
+    auto tx = (*store)->Begin();
+    a = *tx.CreateNode();
+    ASSERT_TRUE(tx.SetNodeProperty(a, 1, 7).ok());
+    ASSERT_TRUE(tx.Commit().ok());
+    auto tx2 = (*store)->Begin();
+    ASSERT_TRUE(tx2.CreateNode().ok());
+    ASSERT_TRUE(tx2.Commit().ok());
+  }
+  // Tear into the last committed entry: that transaction is lost, but the
+  // store must reopen cleanly with everything before it.
+  std::string wal_path = config.directory + "/wal.log";
+  auto size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 2);
+
+  auto store = GraphStore::Open(config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GT((*store)->wal_bytes_truncated(), 0u);
+  EXPECT_EQ(*(*store)->GetNodeProperty(a, 1), 7);
 }
 
 TEST(GraphStoreTest, WorksWithTinyPageCache) {

@@ -12,8 +12,12 @@
 
 #include "common/fault_injection.h"
 #include "common/random.h"
+#include "common/temp_dir.h"
 #include "harness/core.h"
+#include "harness/report.h"
 #include "harness/validator.h"
+#include "pregel/algorithms.h"
+#include "pregel/engine.h"
 
 namespace gly::harness {
 namespace {
@@ -195,6 +199,284 @@ TEST(RobustnessTest, DroppedMessagesCorruptResultsAndValidationCatchesIt) {
   EXPECT_TRUE(r.validation.IsValidationFailed()) << r.validation.ToString();
 }
 
+// ------------------------------------------- superstep checkpoint recovery
+
+// A path graph: CONN label propagation needs ~N supersteps to converge,
+// giving faults room to strike long after checkpoints exist.
+Graph PathGraph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.Add(v, v + 1);
+  return GraphBuilder::Undirected(edges).ValueOrDie();
+}
+
+TEST(CheckpointRecoveryTest, PregelReplaysOnlyFromTheLastCheckpoint) {
+  Graph g = PathGraph(60);
+
+  pregel::EngineConfig config;
+  config.num_workers = 2;
+  pregel::RunStats clean_stats;
+  auto baseline = pregel::RunConn(pregel::Engine(config), g, &clean_stats);
+  ASSERT_TRUE(baseline.ok());
+
+  auto dir = TempDir::Create("gly-ckpt-recovery");
+  ASSERT_TRUE(dir.ok());
+  config.checkpoint.interval = 8;
+  config.checkpoint.directory = dir->path();
+
+  // Crash at the superstep-20 barrier: the engine must roll back to the
+  // superstep-16 checkpoint and replay 4 supersteps, not start over.
+  fault::FaultPlan plan(0xD1);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kCrash, .skip_hits = 20,
+            .max_triggers = 1});
+  fault::ScopedFaultPlan active(&plan);
+
+  pregel::RunStats stats;
+  auto recovered = pregel::RunConn(pregel::Engine(config), g, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(plan.TotalTriggered(), 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_GT(stats.checkpoints_written, 0u);
+  EXPECT_EQ(stats.supersteps_replayed, 4u);
+  EXPECT_LT(stats.supersteps_replayed, stats.supersteps);
+  // The recovered run is indistinguishable from the fault-free one.
+  EXPECT_EQ(stats.supersteps, clean_stats.supersteps);
+  EXPECT_EQ(recovered->vertex_values, baseline->vertex_values);
+}
+
+TEST(CheckpointRecoveryTest, FailedCheckpointWriteFallsBackToPreviousOne) {
+  Graph g = PathGraph(60);
+  auto dir = TempDir::Create("gly-ckpt-recovery");
+  ASSERT_TRUE(dir.ok());
+  pregel::EngineConfig config;
+  config.num_workers = 2;
+  config.checkpoint.interval = 4;
+  config.checkpoint.directory = dir->path();
+
+  // The second checkpoint write (superstep 8) crashes mid-write; the crash
+  // at the superstep-10 barrier must fall back to the still-valid
+  // superstep-4 checkpoint — 6 supersteps replayed, correct output.
+  fault::FaultPlan plan(0xD2);
+  plan.Add({.site = "checkpoint.write", .kind = fault::FaultKind::kCrash,
+            .skip_hits = 1, .max_triggers = 1});
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kCrash, .skip_hits = 10,
+            .max_triggers = 1});
+  fault::ScopedFaultPlan active(&plan);
+
+  pregel::RunStats stats;
+  auto out = pregel::RunConn(pregel::Engine(config), g, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.checkpoint_failures, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.supersteps_replayed, 6u);
+
+  pregel::EngineConfig clean;
+  clean.num_workers = 2;
+  auto baseline = pregel::RunConn(pregel::Engine(clean), g, nullptr);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(out->vertex_values, baseline->vertex_values);
+}
+
+TEST(CheckpointRecoveryTest, RecoveriesAreBoundedByPolicy) {
+  // A permanent barrier crash exhausts max_recoveries, then surfaces.
+  Graph g = PathGraph(40);
+  auto dir = TempDir::Create("gly-ckpt-recovery");
+  ASSERT_TRUE(dir.ok());
+  pregel::EngineConfig config;
+  config.num_workers = 2;
+  config.checkpoint.interval = 2;
+  config.checkpoint.directory = dir->path();
+  config.checkpoint.max_recoveries = 2;
+
+  fault::FaultPlan plan(0xD3);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kCrash, .skip_hits = 4});
+  fault::ScopedFaultPlan active(&plan);
+
+  auto out = pregel::RunConn(pregel::Engine(config), g, nullptr);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInternal());
+  // The barrier re-crashed on every replay: the initial crash plus one per
+  // permitted recovery reached the site before the policy gave up.
+  EXPECT_EQ(plan.TriggeredCount("pregel.superstep.barrier"), 3u);
+}
+
+TEST(CheckpointRecoveryTest, HarnessCellRecoversWithoutConsumingARetry) {
+  // The engine absorbs a mid-run worker crash via rollback: the harness
+  // sees one clean attempt, with the recovery surfaced in the metrics.
+  Graph g = RandomUndirected(100, 250, 79);
+  fault::FaultPlan plan(0xD4);
+  plan.Add({.site = "pregel.worker.compute",
+            .kind = fault::FaultKind::kCrash, .skip_hits = 8,
+            .max_triggers = 1});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.algorithms = {AlgorithmKind::kConn};
+  spec.platform_config.SetInt("giraph.checkpoint_interval", 1);
+  spec.fault_plan = &plan;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.validation.ok()) << r.validation.ToString();
+  EXPECT_EQ(r.attempts, 1u);  // recovered inside the engine, not by retry
+  EXPECT_GE(r.recoveries, 1u);
+  EXPECT_EQ(plan.TotalTriggered(), 1u);
+}
+
+TEST(CheckpointRecoveryTest, MapReduceRetrySkipsTheCompletedMapStage) {
+  // A crash in the reduce phase fails the attempt, but the map stage's
+  // manifest survives: the retry restores spills instead of re-mapping.
+  Graph g = RandomUndirected(100, 250, 80);
+  fault::FaultPlan plan(0xD5);
+  plan.Add({.site = "mapreduce.reduce.task",
+            .kind = fault::FaultKind::kCrash, .max_triggers = 1});
+  RunSpec spec = BaseSpec(&g, "mapreduce");
+  spec.platform_config.SetBool("mapreduce.checkpointing", true);
+  spec.fault_plan = &plan;
+  spec.max_attempts = 2;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.validation.ok()) << r.validation.ToString();
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_GE(r.recoveries, 1u) << "map stage was re-executed, not restored";
+}
+
+// ------------------------------------------------------- resumable matrices
+
+TEST(ResumeTest, ResultJsonRoundTrips) {
+  BenchmarkResult r;
+  r.platform = "giraph";
+  r.graph = "toy \"quoted\"\nname";
+  r.algorithm = AlgorithmKind::kBfs;
+  r.validation = Status::OK();
+  r.runtime_seconds = 1.5;
+  r.load_seconds = 0.25;
+  r.traversed_edges = 1234;
+  r.teps = 822.7;
+  r.attempts = 2;
+  r.injected_faults = 3;
+  r.recoveries = 1;
+  r.supersteps_replayed = 4;
+  r.resources.peak_rss_bytes = 1 << 20;
+  r.platform_metrics["supersteps"] = "17";
+  r.platform_metrics["odd\"key"] = "value with spaces";
+
+  auto parsed = ResultFromJson(ResultToJson(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->platform, r.platform);
+  EXPECT_EQ(parsed->graph, r.graph);
+  EXPECT_EQ(parsed->algorithm, r.algorithm);
+  EXPECT_TRUE(parsed->status.ok());
+  EXPECT_TRUE(parsed->validation.ok());
+  EXPECT_EQ(parsed->runtime_seconds, r.runtime_seconds);
+  EXPECT_EQ(parsed->load_seconds, r.load_seconds);
+  EXPECT_EQ(parsed->traversed_edges, r.traversed_edges);
+  EXPECT_EQ(parsed->teps, r.teps);
+  EXPECT_EQ(parsed->attempts, r.attempts);
+  EXPECT_EQ(parsed->injected_faults, r.injected_faults);
+  EXPECT_EQ(parsed->recoveries, r.recoveries);
+  EXPECT_EQ(parsed->supersteps_replayed, r.supersteps_replayed);
+  EXPECT_EQ(parsed->resources.peak_rss_bytes, r.resources.peak_rss_bytes);
+  EXPECT_EQ(parsed->platform_metrics, r.platform_metrics);
+
+  // Failure codes round-trip too (messages intentionally don't).
+  r.status = Status::Timeout("cell exceeded budget");
+  r.validation = Status::Untested("validation not run");
+  parsed = ResultFromJson(ResultToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->status.IsTimeout());
+  EXPECT_TRUE(parsed->validation.IsUntested());
+
+  EXPECT_FALSE(ResultFromJson("not json at all").ok());
+  EXPECT_FALSE(ResultFromJson("{\"platform\":\"x\"}").ok());
+}
+
+TEST(ResumeTest, ResumeReExecutesOnlyUnfinishedCells) {
+  Graph g = RandomUndirected(100, 300, 81);
+  auto dir = TempDir::Create("gly-resume");
+  ASSERT_TRUE(dir.ok());
+
+  RunSpec spec;
+  spec.platforms = {"giraph", "reference"};
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kBfs, AlgorithmKind::kConn};
+  spec.monitor = false;
+  spec.journal_path = dir->File("journal.jsonl");
+
+  // Run 1 ("killed" matrix): giraph crashes permanently, so its two cells
+  // journal as failures; the reference cells journal as validated.
+  fault::FaultPlan plan(0xE1);
+  plan.Add({.site = "pregel.run.start", .kind = fault::FaultKind::kCrash});
+  spec.fault_plan = &plan;
+  auto first = RunBenchmark(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 4u);
+
+  // Run 2: fault gone, resume on. Only the failed giraph cells execute.
+  spec.fault_plan = nullptr;
+  spec.resume = true;
+  size_t executed = 0;
+  auto second = RunBenchmark(spec, [&executed](const BenchmarkResult& r) {
+    if (!r.resumed) ++executed;
+  });
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 4u);
+  EXPECT_EQ(executed, 2u);
+  for (const BenchmarkResult& r : *second) {
+    EXPECT_TRUE(r.status.ok()) << r.platform;
+    EXPECT_TRUE(r.validation.ok()) << r.platform;
+    EXPECT_EQ(r.resumed, r.platform == "reference") << r.platform;
+  }
+
+  // Run 3: everything is journaled clean now — nothing re-executes.
+  executed = 0;
+  auto third = RunBenchmark(spec, [&executed](const BenchmarkResult& r) {
+    if (!r.resumed) ++executed;
+  });
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(executed, 0u);
+  for (const BenchmarkResult& r : *third) {
+    EXPECT_TRUE(r.resumed) << r.platform;
+    EXPECT_TRUE(r.status.ok()) << r.platform;
+  }
+
+  // Without resume, the journal restarts and the full matrix re-executes.
+  spec.resume = false;
+  auto fourth = RunBenchmark(spec);
+  ASSERT_TRUE(fourth.ok());
+  for (const BenchmarkResult& r : *fourth) EXPECT_FALSE(r.resumed);
+}
+
+TEST(ResumeTest, FailedValidationIsNotReused) {
+  // A cell that ran but validated INVALID (here: message loss corrupted
+  // the answer) must be re-executed on resume, not trusted.
+  Graph g = RandomUndirected(100, 250, 82);
+  auto dir = TempDir::Create("gly-resume");
+  ASSERT_TRUE(dir.ok());
+
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.journal_path = dir->File("journal.jsonl");
+  fault::FaultPlan plan(0xE2);
+  plan.Add({.site = "pregel.message.deliver",
+            .kind = fault::FaultKind::kDrop, .probability = 0.9});
+  spec.fault_plan = &plan;
+  auto first = RunBenchmark(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)[0].status.ok());
+  ASSERT_TRUE((*first)[0].validation.IsValidationFailed());
+
+  spec.fault_plan = nullptr;
+  spec.resume = true;
+  auto second = RunBenchmark(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE((*second)[0].resumed);
+  EXPECT_TRUE((*second)[0].status.ok());
+  EXPECT_TRUE((*second)[0].validation.ok());
+}
+
 // ----------------------------------------- the full matrix, faults enabled
 
 TEST(RobustnessTest, FullMatrixUnderFaultsCompletesEveryCellThenRunsClean) {
@@ -208,6 +490,10 @@ TEST(RobustnessTest, FullMatrixUnderFaultsCompletesEveryCellThenRunsClean) {
   spec.cell_timeout_s = 1.0;
   spec.max_attempts = 2;
   spec.retry_backoff_s = 0.001;
+  // Recovery machinery on: Pregel checkpoints and MapReduce manifests may
+  // absorb some injected crashes before the retry policy even sees them.
+  spec.platform_config.SetInt("giraph.checkpoint_interval", 2);
+  spec.platform_config.SetBool("mapreduce.checkpointing", true);
 
   // Fixed seed: crashes sprinkled over every site, plus one guaranteed
   // stall at the second pregel barrier that must trip the cell timeout.

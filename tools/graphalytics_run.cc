@@ -5,7 +5,12 @@
 // the benchmark report is available in the local file system." (§2.3)
 //
 //   $ graphalytics_run benchmark.properties
+//   $ graphalytics_run --resume benchmark.properties      # continue a run
 //   $ graphalytics_run --example > benchmark.properties   # starter config
+//
+// --resume re-reads the completion journal (<report.dir>/journal.jsonl by
+// default) and re-executes only the cells that did not finish cleanly —
+// the rest are reported from the journal, marked "resumed".
 //
 // See harness/run_config.h for the full properties dialect.
 
@@ -47,28 +52,53 @@ monitor = true
 timeout_s = 0
 max_attempts = 1
 retry_backoff_s = 0.5
+
+# Recovery (see DESIGN.md, "Recovery model"):
+#  - giraph.checkpoint_interval = 4   # Pregel checkpoint every 4 supersteps
+#  - mapreduce.checkpointing = true   # persist map-stage spill manifests
+#  - resume = true                    # or pass --resume on the command line
+# Per-cell completion is journaled to <report.dir>/journal.jsonl (override
+# with `journal = path`); with resume, finished cells are not re-executed.
 )";
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--resume] <benchmark.properties>\n"
+               "       %s --example   # print a starter configuration\n"
+               "  --resume  reuse cells already journaled as finished\n",
+               argv0, argv0);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--example") == 0) {
-    std::fputs(kExampleConfig, stdout);
-    return 0;
+  bool resume = false;
+  const char* config_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--example") == 0) {
+      std::fputs(kExampleConfig, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (config_path == nullptr) {
+      config_path = argv[i];
+    } else {
+      PrintUsage(argv[0]);
+      return 2;
+    }
   }
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <benchmark.properties>\n"
-                 "       %s --example   # print a starter configuration\n",
-                 argv[0], argv[0]);
+  if (config_path == nullptr) {
+    PrintUsage(argv[0]);
     return 2;
   }
-  auto config = gly::Config::LoadFile(argv[1]);
+  auto config = gly::Config::LoadFile(config_path);
   if (!config.ok()) {
     std::fprintf(stderr, "config error: %s\n",
                  config.status().ToString().c_str());
     return 1;
   }
+  if (resume) config->SetBool("resume", true);
   auto run = gly::harness::RunFromConfig(*config);
   if (!run.ok()) {
     std::fprintf(stderr, "benchmark error: %s\n",
@@ -77,18 +107,28 @@ int main(int argc, char** argv) {
   }
   std::fputs(run->report_text.c_str(), stdout);
 
-  // Robustness summary on stderr: which cells were retried or timed out.
-  unsigned long long retried = 0, timed_out = 0, failed = 0;
+  // Robustness summary on stderr: which cells were retried, timed out,
+  // resumed from the journal, or recovered from a checkpoint.
+  unsigned long long retried = 0, timed_out = 0, failed = 0, resumed = 0;
+  unsigned long long recoveries = 0;
   for (const auto& r : run->results) {
     if (r.attempts > 1) ++retried;
     if (r.timed_out) ++timed_out;
     if (!r.status.ok()) ++failed;
+    if (r.resumed) ++resumed;
+    recoveries += r.recoveries;
   }
   if (retried + timed_out + failed > 0) {
     std::fprintf(stderr,
                  "robustness: %llu cell(s) failed, %llu retried, "
                  "%llu timed out (see report details)\n",
                  failed, retried, timed_out);
+  }
+  if (resumed + recoveries > 0) {
+    std::fprintf(stderr,
+                 "recovery: %llu cell(s) resumed from journal, "
+                 "%llu checkpoint recoveries\n",
+                 resumed, recoveries);
   }
 
   if (!run->report_dir.empty()) {
