@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "columnstore/column.h"
 #include "common/random.h"
 
@@ -108,4 +111,30 @@ BENCHMARK(BM_RawVectorScan)->Arg(kN)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: maps the repo-wide `--json <path>` flag onto
+// google-benchmark's native JSON reporter so every bench binary shares one
+// machine-readable output convention.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      break;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,8 +15,10 @@
 #include "bench/bench_util.h"
 #include "pregel/algorithms.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("ablation_network");
   bench::Banner("Ablation A2", "Excessive network utilization",
                 "combiners cut cross-worker traffic; benefit grows as "
                 "bandwidth shrinks");
@@ -52,7 +54,21 @@ int main() {
                     without.total_cross_worker_bytes),
                 without.total_seconds,
                 without.total_seconds / with.total_seconds);
+    const std::string suffix = StringPrintf("@%.0fmib", mib_per_s);
+    auto record = [&](const char* kernel, const pregel::RunStats& stats) {
+      bench::KernelRecord rec;
+      rec.kernel = kernel + suffix;
+      rec.graph = "g500-13";
+      rec.scale = 13;
+      rec.median_seconds = stats.total_seconds;
+      rec.p95_seconds = stats.total_seconds;
+      rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+      emitter.Add(rec);
+    };
+    record("bfs_combiner", with);
+    record("bfs_nocombiner", without);
   }
   std::printf("\n(bandwidth 0 = unconstrained network)\n");
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -1,5 +1,8 @@
 // Shared helpers for the experiment benches: dataset construction (the
-// three Figure 4/5 graphs at reproducible reduced scale) and banner output.
+// three Figure 4/5 graphs at reproducible reduced scale), banner output,
+// and the machine-readable performance record layer (--json) consumed by
+// scripts/bench_compare.py. See DESIGN.md §8 "Performance methodology" for
+// the record schema and the regression-gate contract.
 //
 // Scale note: the paper's testbed is an 11-machine cluster processing
 // Graph500 scale-23 (~134M edges); these benches run on one box, so every
@@ -8,16 +11,217 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "datagen/rmat.h"
 #include "datagen/social_datagen.h"
 #include "graph/graph.h"
+#include "harness/monitor.h"
 
 namespace gly::bench {
+
+// ------------------------------------------------------------ CLI options
+
+/// Flags every bench binary understands. Unknown flags abort with usage so
+/// a typo never silently produces an un-gated run.
+struct BenchOptions {
+  std::string json_path;       ///< --json <path>: write KernelRecords there
+  uint32_t repeats = 5;        ///< --repeats <n>: timed measure runs
+  uint32_t kernel_scale = 18;  ///< --kernel-scale <n>: R-MAT scale for duels
+  bool kernels_only = false;   ///< --kernels-only: skip the platform matrix
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  auto need_value = [&](int i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json_path = need_value(i, "--json");
+      ++i;
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      opts.repeats = static_cast<uint32_t>(std::atoi(need_value(i, "--repeats")));
+      if (opts.repeats == 0) opts.repeats = 1;
+      ++i;
+    } else if (std::strcmp(argv[i], "--kernel-scale") == 0) {
+      opts.kernel_scale =
+          static_cast<uint32_t>(std::atoi(need_value(i, "--kernel-scale")));
+      ++i;
+    } else if (std::strcmp(argv[i], "--kernels-only") == 0) {
+      opts.kernels_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--json <path>] "
+                   "[--repeats <n>] [--kernel-scale <n>] [--kernels-only]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// ------------------------------------------------------- JSON perf records
+
+/// One measured kernel: the unit bench_compare.py diffs between runs.
+/// (kernel, graph) is the record key; times are wall seconds with the
+/// build / warmup / measure phases reported separately (building a graph
+/// or a baseline structure must never pollute the gated median).
+struct KernelRecord {
+  std::string kernel;
+  std::string graph;
+  uint32_t scale = 0;
+  uint32_t repeats = 1;
+  double build_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double median_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double kteps = 0.0;  ///< traversed kilo-edges per median second (0 if n/a)
+  uint64_t peak_rss_bytes = 0;
+};
+
+inline double MedianOf(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t mid = xs.size() / 2;
+  return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+inline double P95Of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  // Nearest-rank percentile: deterministic and defined for tiny samples.
+  const size_t rank = (xs.size() * 95 + 99) / 100;  // ceil(n * 0.95)
+  return xs[std::min(rank == 0 ? 0 : rank - 1, xs.size() - 1)];
+}
+
+/// Collects KernelRecords and writes them as one JSON document:
+///   {"schema_version": 1, "bench": "<binary>", "records": [{...}, ...]}
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(KernelRecord record) { records_.push_back(std::move(record)); }
+  bool empty() const { return records_.empty(); }
+
+  /// Writes the document; returns false (and prints) on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"schema_version\": 1,\n  \"bench\": \""
+        << Escaped(bench_name_) << "\",\n  \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const KernelRecord& r = records_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"kernel\": \"" << Escaped(r.kernel) << "\", \"graph\": \""
+          << Escaped(r.graph) << "\", \"scale\": " << r.scale
+          << ", \"repeats\": " << r.repeats
+          << StringPrintf(", \"build_seconds\": %.6f", r.build_seconds)
+          << StringPrintf(", \"warmup_seconds\": %.6f", r.warmup_seconds)
+          << StringPrintf(", \"median_seconds\": %.6f", r.median_seconds)
+          << StringPrintf(", \"p95_seconds\": %.6f", r.p95_seconds)
+          << StringPrintf(", \"kteps\": %.3f", r.kteps)
+          << ", \"peak_rss_bytes\": " << r.peak_rss_bytes << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "write to %s failed\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %zu perf records to %s\n", records_.size(),
+                path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<KernelRecord> records_;
+};
+
+/// Measures one kernel with separated phases: `build_seconds` is whatever
+/// setup time the caller already paid (graph/dataset construction), one
+/// untimed-for-the-gate warmup run primes caches/allocators, then
+/// `repeats` timed runs produce the gated median/p95. `run` executes the
+/// kernel once and returns the number of edges it traversed (0 if TEPS is
+/// meaningless for the kernel).
+template <typename Fn>
+KernelRecord MeasureKernel(const std::string& kernel, const std::string& graph,
+                           uint32_t scale, uint32_t repeats,
+                           double build_seconds, Fn&& run) {
+  KernelRecord rec;
+  rec.kernel = kernel;
+  rec.graph = graph;
+  rec.scale = scale;
+  rec.repeats = repeats == 0 ? 1 : repeats;
+  rec.build_seconds = build_seconds;
+
+  Stopwatch warmup_watch;
+  uint64_t traversed = run();
+  rec.warmup_seconds = warmup_watch.ElapsedSeconds();
+
+  std::vector<double> times;
+  times.reserve(rec.repeats);
+  for (uint32_t i = 0; i < rec.repeats; ++i) {
+    Stopwatch watch;
+    traversed = run();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  rec.median_seconds = MedianOf(times);
+  rec.p95_seconds = P95Of(times);
+  if (traversed > 0 && rec.median_seconds > 0.0) {
+    rec.kteps = static_cast<double>(traversed) / rec.median_seconds / 1e3;
+  }
+  rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+  return rec;
+}
+
+/// Maps harness matrix rows (BenchmarkResult) into KernelRecords, one per
+/// successful cell, keyed "<platform>/<ALGO>". Single-shot harness cells
+/// have no repeat distribution: median == p95 == the cell runtime.
+template <typename Results>
+void AddHarnessRecords(JsonEmitter* emitter, const Results& results) {
+  for (const auto& r : results) {
+    if (!r.status.ok()) continue;
+    KernelRecord rec;
+    rec.kernel = r.platform + "/" + AlgorithmKindName(r.algorithm);
+    rec.graph = r.graph;
+    rec.repeats = 1;
+    rec.median_seconds = r.runtime_seconds;
+    rec.p95_seconds = r.runtime_seconds;
+    rec.kteps = r.teps / 1e3;
+    rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+    emitter->Add(rec);
+  }
+}
 
 /// Prints the standard experiment banner.
 inline void Banner(const std::string& id, const std::string& title,

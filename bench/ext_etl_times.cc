@@ -15,9 +15,11 @@
 #include "common/stopwatch.h"
 #include "harness/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::harness;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("ext_etl_times");
   bench::Banner("Extension", "ETL time per platform",
                 "'Comparing ETL times of different platforms is left as "
                 "future work' (§3.3)");
@@ -47,6 +49,13 @@ int main() {
         std::printf(" %15s", "FAILED");
       } else {
         std::printf(" %15s", FormatSeconds(seconds).c_str());
+        bench::KernelRecord rec;
+        rec.kernel = "etl/" + name;
+        rec.graph = "snb-" + std::to_string(kSizes[i]);
+        rec.median_seconds = seconds;
+        rec.p95_seconds = seconds;
+        rec.peak_rss_bytes = SystemMonitor::CurrentRssBytes();
+        emitter.Add(rec);
       }
       (*platform)->UnloadGraph();
     }
@@ -56,5 +65,6 @@ int main() {
               "near-instantly; MapReduce pays the dataset upload; the graph "
               "database pays record construction + WAL/page flushes, growing "
               "with graph size.\n");
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -15,9 +15,11 @@
 #include "harness/core.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::harness;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("ext_pagerank");
   bench::Banner("Extension", "PageRank on all platforms",
                 "workload growth path: new algorithm, same harness");
 
@@ -47,5 +49,7 @@ int main() {
                 FormatSeconds(r.runtime_seconds).c_str(), r.teps / 1e3,
                 r.validation.ok() ? "yes" : "NO");
   }
+  bench::AddHarnessRecords(&emitter, *results);
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -45,12 +45,23 @@ void PrintSeries(const char* title, const gly::Histogram& observed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("fig1_degree_distributions");
   bench::Banner("Figure 1", "Datagen degree distributions vs models",
                 "Datagen reliably reproduces Zeta(1.7) and Geometric(0.12)");
 
   const uint64_t kPersons = 50000;
+  auto record = [&](const char* kernel, double seconds) {
+    bench::KernelRecord rec;
+    rec.kernel = kernel;
+    rec.graph = "datagen-" + std::to_string(kPersons);
+    rec.median_seconds = seconds;
+    rec.p95_seconds = seconds;
+    rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+    emitter.Add(rec);
+  };
 
   // Zeta plugin.
   {
@@ -59,7 +70,9 @@ int main() {
     config.degree_spec = "zeta:alpha=1.7,max=2000";
     config.window_size = 256;
     config.seed = 11;
+    Stopwatch watch;
     auto result = datagen::SocialDatagen(config).Generate(nullptr);
+    record("datagen_zeta", watch.ElapsedSeconds());
     result.status().Check();
     Graph g = GraphBuilder::Undirected(result->edges).ValueOrDie();
     Histogram degrees = DegreeHistogram(g);
@@ -79,7 +92,9 @@ int main() {
     config.degree_spec = "geometric:p=0.12";
     config.window_size = 256;
     config.seed = 12;
+    Stopwatch watch;
     auto result = datagen::SocialDatagen(config).Generate(nullptr);
+    record("datagen_geometric", watch.ElapsedSeconds());
     result.status().Check();
     Graph g = GraphBuilder::Undirected(result->edges).ValueOrDie();
     Histogram degrees = DegreeHistogram(g);
@@ -116,5 +131,6 @@ int main() {
                       static_cast<double>(sampled.total_count()));
     }
   }
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

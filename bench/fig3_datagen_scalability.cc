@@ -19,9 +19,11 @@
 #include "common/temp_dir.h"
 #include "datagen/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::datagen;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("fig3_datagen_scalability");
   bench::Banner("Figure 3", "Scalability of Datagen (single vs cluster)",
                 "single node faster when CPU-bound; cluster wins once "
                 "I/O-bound");
@@ -72,8 +74,20 @@ int main() {
                 "", "", single->generate_seconds, single->write_seconds,
                 cluster->generate_seconds, cluster->write_seconds,
                 cluster->overhead_seconds);
+    auto record = [&](const char* kernel, double seconds) {
+      bench::KernelRecord rec;
+      rec.kernel = kernel;
+      rec.graph = "snb-" + std::to_string(persons);
+      rec.median_seconds = seconds;
+      rec.p95_seconds = seconds;
+      rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+      emitter.Add(rec);
+    };
+    record("datagen_single", single->wall_seconds);
+    record("datagen_cluster", cluster->wall_seconds);
   }
   std::printf("\nExpected shape (paper Fig. 3): 'single' rows first, then a "
               "crossover to 'cluster'\nas the write phase dominates.\n");
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -20,15 +20,154 @@
 #include <fstream>
 
 #include "bench/bench_util.h"
+#include "dataflow/algorithms.h"
 #include "harness/core.h"
 #include "harness/report.h"
+#include "pregel/algorithms.h"
 
-int main() {
+namespace {
+
+// Traversal-kernel duel: each optimized kernel races the naive/classic
+// variant it replaced on one Graph500 graph at `--kernel-scale`. These
+// records are the bench_compare.py regression-gate baseline
+// (BENCH_kernels.json); the dir-opt-vs-naive pair is also the ISSUE
+// acceptance check (>= 2x at scale >= 18).
+void RunKernelDuel(const gly::bench::BenchOptions& opts,
+                   gly::bench::JsonEmitter* emitter) {
+  using namespace gly;
+  const uint32_t scale = opts.kernel_scale;
+  const std::string graph_name = "g500-" + std::to_string(scale);
+  std::printf("\nkernel duel on %s (%u repeats)\n", graph_name.c_str(),
+              opts.repeats);
+
+  Stopwatch build_watch;
+  Graph g = bench::MakeGraph500(scale, /*edge_factor=*/16);
+  const double build_s = build_watch.ElapsedSeconds();
+  std::printf("  built %s: %u vertices, %llu edges in %.2fs\n",
+              graph_name.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), build_s);
+
+  // R-MAT leaves some vertex ids edge-less; an isolated source would turn
+  // the duel into an empty traversal. Use the max-degree vertex (Graph500
+  // samples sources from connected vertices for the same reason).
+  VertexId source = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutNeighbors(v).size() > g.OutNeighbors(source).size()) source = v;
+  }
+  std::printf("  bfs source: vertex %u (degree %zu)\n", source,
+              g.OutNeighbors(source).size());
+
+  BfsParams naive_params;
+  naive_params.source = source;
+  naive_params.strategy = BfsStrategy::kTopDown;
+  BfsParams diropt_params;  // default: direction-optimizing
+  diropt_params.source = source;
+
+  auto add = [&](gly::bench::KernelRecord rec) {
+    std::printf("  %-22s median %8.4fs  p95 %8.4fs  %10.0f kTEPS\n",
+                rec.kernel.c_str(), rec.median_seconds, rec.p95_seconds,
+                rec.kteps);
+    emitter->Add(std::move(rec));
+  };
+
+  // Reference kernels: same thread count (one), so the duel isolates the
+  // direction optimization itself.
+  gly::bench::KernelRecord naive_rec =
+      bench::MeasureKernel("bfs_ref_naive", graph_name, scale, opts.repeats,
+                           build_s, [&] {
+                             return ref::Bfs(g, naive_params).traversed_edges;
+                           });
+  gly::bench::KernelRecord diropt_rec =
+      bench::MeasureKernel("bfs_ref_diropt", graph_name, scale, opts.repeats,
+                           build_s, [&] {
+                             return ref::BfsDirOpt(g, diropt_params)
+                                 .traversed_edges;
+                           });
+  const double naive_median = naive_rec.median_seconds;
+  const double diropt_median = diropt_rec.median_seconds;
+  add(std::move(naive_rec));
+  add(std::move(diropt_rec));
+
+  // Pregel: classic fixed partitions + sparse inboxes vs the dense-frontier
+  // fast path with work-stealing chunks.
+  pregel::EngineConfig classic;
+  classic.num_workers = 8;
+  classic.dense_frontier_threshold = 0.0;
+  classic.steal_chunk_vertices = 0;
+  pregel::EngineConfig fast;
+  fast.num_workers = 8;
+  add(bench::MeasureKernel("bfs_pregel_classic", graph_name, scale,
+                           opts.repeats, build_s, [&] {
+                             auto out = pregel::RunBfs(pregel::Engine(classic),
+                                                       g, diropt_params);
+                             out.status().Check();
+                             return out->traversed_edges;
+                           }));
+  add(bench::MeasureKernel("bfs_pregel_dense", graph_name, scale, opts.repeats,
+                           build_s, [&] {
+                             auto out = pregel::RunBfs(pregel::Engine(fast), g,
+                                                       diropt_params);
+                             out.status().Check();
+                             return out->traversed_edges;
+                           }));
+
+  // Dataflow: the legacy Pregel-by-joins plan vs the direction-optimizing
+  // frontier kernel.
+  dataflow::ContextConfig ctx;
+  ctx.num_partitions = 8;
+  AlgorithmParams joins_params;
+  joins_params.bfs = naive_params;  // top_down routes to the joins plan
+  AlgorithmParams dataflow_diropt;
+  dataflow_diropt.bfs = diropt_params;
+  add(bench::MeasureKernel(
+      "bfs_dataflow_joins", graph_name, scale, opts.repeats, build_s, [&] {
+        auto out =
+            dataflow::RunAlgorithm(ctx, g, AlgorithmKind::kBfs, joins_params);
+        out.status().Check();
+        return out->traversed_edges;
+      }));
+  add(bench::MeasureKernel(
+      "bfs_dataflow_diropt", graph_name, scale, opts.repeats, build_s, [&] {
+        auto out = dataflow::RunAlgorithm(ctx, g, AlgorithmKind::kBfs,
+                                          dataflow_diropt);
+        out.status().Check();
+        return out->traversed_edges;
+      }));
+
+  // Non-BFS reference kernels keep the gate's coverage wider than the
+  // tentpole: a regression in CSR iteration or the frontier module shows
+  // up here even if both BFS duel entries shift together.
+  add(bench::MeasureKernel("conn_ref", graph_name, scale, opts.repeats,
+                           build_s,
+                           [&] { return ref::Conn(g).traversed_edges; }));
+  PrParams pr_params{/*iterations=*/10, /*damping=*/0.85};
+  add(bench::MeasureKernel("pr_ref", graph_name, scale, opts.repeats, build_s,
+                           [&] {
+                             return ref::Pr(g, pr_params).traversed_edges;
+                           }));
+
+  if (diropt_median > 0.0) {
+    std::printf("\n  dir-opt speedup over naive top-down: %.2fx "
+                "(acceptance: >= 2x at scale >= 18)\n\n",
+                naive_median / diropt_median);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::harness;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("fig4_runtimes");
   bench::Banner("Figure 4", "Runtimes: 5 algorithms x 4 platforms x 3 graphs",
                 "MapReduce ~100x slower but never fails; GraphX fails where "
                 "Giraph doesn't; Neo4j fastest where it fits");
+  if (opts.kernels_only) {
+    RunKernelDuel(opts, &emitter);
+    if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
+    return 0;
+  }
 
   // Datasets (reduced scale; see EXPERIMENTS.md).
   Graph g500 = bench::MakeGraph500(/*scale=*/12, /*edge_factor=*/16);
@@ -137,5 +276,9 @@ int main() {
   s = AppendResultsDatabase(*results, config, "results_database.jsonl");
   s.Check();
   std::printf("\nwrote fig4_results.csv and results_database.jsonl\n");
+
+  bench::AddHarnessRecords(&emitter, *results);
+  RunKernelDuel(opts, &emitter);
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

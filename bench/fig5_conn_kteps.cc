@@ -16,9 +16,11 @@
 #include "harness/core.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::harness;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("fig5_conn_kteps");
   bench::Banner("Figure 5", "kTEPS for CONN across platforms and graphs",
                 "structure drives TEPS: Giraph SNB >> Giraph Patents "
                 "(paper: 6272 vs 364 kTEPS)");
@@ -66,5 +68,7 @@ int main() {
                 "(paper: 6272/364 = 17x; want > 1)\n",
                 snb_teps / patents_teps);
   }
+  bench::AddHarnessRecords(&emitter, *results);
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

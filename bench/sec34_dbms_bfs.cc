@@ -21,9 +21,11 @@
 #include "columnstore/edge_table.h"
 #include "columnstore/transitive.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::columnstore;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("sec34_dbms_bfs");
   bench::Banner("Section 3.4", "Transitive BFS on the column store",
                 "Virtuoso: 2.28e6 lookups, 2.89e8 endpoints, 41.3 MTEPS, "
                 "profile 33/10/57%");
@@ -75,5 +77,14 @@ int main() {
                profile->hash_fraction > profile->exchange_fraction)
                   ? "OK"
                   : "DIFFERENT (see EXPERIMENTS.md)");
+  bench::KernelRecord rec;
+  rec.kernel = "transitive_bfs_columnstore";
+  rec.graph = "snb-120000";
+  rec.median_seconds = profile->seconds;
+  rec.p95_seconds = profile->seconds;
+  rec.kteps = profile->mteps * 1e3;
+  rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+  emitter.Add(rec);
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

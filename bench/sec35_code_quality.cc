@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_util.h"
+
 #ifndef GLY_SOURCE_DIR
 #define GLY_SOURCE_DIR "."
 #endif
@@ -18,7 +20,10 @@
 #define GLY_BINARY_DIR "."
 #endif
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace gly;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("sec35_code_quality");
   std::printf("==============================================================\n");
   std::printf("Section 3.5 — Code quality of the reference implementations\n");
   std::printf("paper: reference implementations ship with code-quality "
@@ -26,11 +31,20 @@ int main() {
   std::printf("==============================================================\n");
   std::string tool = std::string(GLY_BINARY_DIR) + "/tools/code_quality_report";
   std::string cmd = tool + " " + GLY_SOURCE_DIR;
+  Stopwatch watch;
   int rc = std::system(cmd.c_str());
   if (rc != 0) {
     std::printf("tool invocation failed (%d); falling back to in-place "
                 "scan note\n", rc);
     return 1;
   }
+  bench::KernelRecord rec;
+  rec.kernel = "code_quality_report";
+  rec.graph = "repo";
+  rec.median_seconds = watch.ElapsedSeconds();
+  rec.p95_seconds = rec.median_seconds;
+  rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+  emitter.Add(rec);
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -50,8 +50,10 @@ const Dataset kDatasets[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gly;
+  bench::BenchOptions opts = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter emitter("table1_real_graphs");
   bench::Banner("Table 1", "Characteristics of real graphs (stand-ins)",
                 "five SNAP graphs span heterogeneous CC/assortativity space");
   std::printf("stand-ins are scaled; targets are the paper's CC and "
@@ -70,7 +72,17 @@ int main() {
     targets.target_assortativity = ds.paper_assortativity;
     targets.degree_spec = ds.degree_spec;
     targets.seed = 1000 + (&ds - kDatasets);
+    Stopwatch watch;
     auto result = datagen::GenerateWithTargets(targets, &pool);
+    {
+      bench::KernelRecord rec;
+      rec.kernel = std::string("structure_targets/") + ds.name;
+      rec.graph = ds.name;
+      rec.median_seconds = watch.ElapsedSeconds();
+      rec.p95_seconds = rec.median_seconds;
+      rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
+      emitter.Add(rec);
+    }
     result.status().Check();
     std::printf("%-12s %9llu %9zu | %8.4f %8.4f | %8.4f %8.4f | %8.4f %8.4f\n",
                 ds.name, static_cast<unsigned long long>(ds.nodes),
@@ -99,5 +111,6 @@ int main() {
     std::printf("  %-12s best fit: %-28s (KS %.3f)\n", ds.name,
                 fits[0].model_description.c_str(), fits[0].ks_statistic);
   }
+  if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Diff a bench --json run against a committed baseline; fail on regression.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.10] [--min-seconds 0.01] [--key kernel,graph]
+
+Both inputs are documents produced by the bench binaries' --json flag
+(schema_version 1: {"schema_version", "bench", "records": [...]}; see
+DESIGN.md §8 "Performance methodology"). Records are keyed by
+(kernel, graph). For every key present in BOTH files, the current
+median_seconds is compared against the baseline:
+
+    regression  :=  current_median > baseline_median * (1 + threshold)
+
+subject to a noise floor: pairs whose baseline AND current medians are
+below --min-seconds are reported but never gated (micro-times on shared CI
+boxes are dominated by scheduler jitter).
+
+Exit status: 0 when no gated regression, 1 when at least one kernel
+regressed beyond the threshold, 2 on malformed input. Keys present in only
+one file are listed as added/removed but do not fail the gate — adding a
+kernel must not require regenerating the baseline atomically.
+
+Environment: BENCH_THRESHOLD overrides --threshold (CI knob).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or "records" not in doc:
+        print(f"bench_compare: {path} is not a bench --json document",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema_version") != 1:
+        print(f"bench_compare: {path}: unsupported schema_version "
+              f"{doc.get('schema_version')!r}", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for rec in doc["records"]:
+        try:
+            key = (rec["kernel"], rec["graph"])
+            median = float(rec["median_seconds"])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"bench_compare: {path}: malformed record {rec!r}: {exc}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if key in records:
+            print(f"bench_compare: {path}: duplicate record key {key}",
+                  file=sys.stderr)
+            sys.exit(2)
+        records[key] = (median, rec)
+    return doc.get("bench", "?"), records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench medians against a committed baseline.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get("BENCH_THRESHOLD", 0.10)),
+                        help="allowed median growth fraction (default 0.10; "
+                             "env BENCH_THRESHOLD overrides)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="noise floor: pairs under this median on both "
+                             "sides never gate (default 0.01)")
+    args = parser.parse_args()
+
+    base_bench, base = load_records(args.baseline)
+    cur_bench, cur = load_records(args.current)
+    if base_bench != cur_bench:
+        print(f"bench_compare: comparing different benches "
+              f"({base_bench!r} vs {cur_bench!r})", file=sys.stderr)
+        sys.exit(2)
+
+    shared = sorted(set(base) & set(cur))
+    added = sorted(set(cur) - set(base))
+    removed = sorted(set(base) - set(cur))
+
+    regressions = []
+    print(f"{'kernel':<24} {'graph':<12} {'baseline':>10} {'current':>10} "
+          f"{'delta':>8}  verdict")
+    print("-" * 78)
+    for key in shared:
+        b, _ = base[key]
+        c, _ = cur[key]
+        delta = (c - b) / b if b > 0 else float("inf") if c > 0 else 0.0
+        noise = b < args.min_seconds and c < args.min_seconds
+        regressed = (not noise) and c > b * (1.0 + args.threshold)
+        if regressed:
+            verdict = f"REGRESSED (> +{args.threshold:.0%})"
+            regressions.append((key, b, c, delta))
+        elif noise:
+            verdict = "below noise floor"
+        else:
+            verdict = "ok"
+        print(f"{key[0]:<24} {key[1]:<12} {b:>9.4f}s {c:>9.4f}s "
+              f"{delta:>+7.1%}  {verdict}")
+    for key in added:
+        print(f"{key[0]:<24} {key[1]:<12} {'-':>10} "
+              f"{cur[key][0]:>9.4f}s {'':>8}  new (not gated)")
+    for key in removed:
+        print(f"{key[0]:<24} {key[1]:<12} {base[key][0]:>9.4f}s {'-':>10} "
+              f"{'':>8}  missing from current (not gated)")
+
+    if not shared:
+        print("bench_compare: no shared record keys — nothing to gate",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed beyond "
+              f"+{args.threshold:.0%}:")
+        for (kernel, graph), b, c, delta in regressions:
+            print(f"  {kernel} on {graph}: {b:.4f}s -> {c:.4f}s ({delta:+.1%})")
+        sys.exit(1)
+    print(f"\nno regressions beyond +{args.threshold:.0%} "
+          f"({len(shared)} kernels compared)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point. Two stages:
+# CI entry point. Three stages:
 #
-#   1. tier-1  — plain build, full test suite (the gate every PR must hold).
-#   2. asan    — GLY_SANITIZE=address build running the `robustness` CTest
-#                label: the fault-injection, checkpoint/recovery, WAL and
-#                resume suites, which exercise crash paths that are the most
-#                valuable to run under a sanitizer.
+#   1. tier-1      — plain build, full test suite (the gate every PR must
+#                    hold).
+#   2. asan        — GLY_SANITIZE=address build running the `robustness` and
+#                    `conformance` CTest labels: fault-injection,
+#                    checkpoint/recovery, WAL/resume, and the cross-engine
+#                    kernel-conformance suites — the paths most valuable to
+#                    run under a sanitizer.
+#   3. bench-smoke — fig4_runtimes kernel duel at smoke scale, gated by
+#                    scripts/bench_compare.py against the committed
+#                    BENCH_kernels.json baseline (>10% median regression
+#                    fails; see DESIGN.md §8). BENCH_THRESHOLD overrides the
+#                    gate for noisy boxes; regenerate the baseline with the
+#                    same fig4_runtimes invocation after intentional perf
+#                    changes.
 #
 # Build directories are separate from the developer's `build/` so a CI run
 # never clobbers an interactive configuration. Override with TIER1_DIR /
@@ -17,20 +26,30 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 TIER1_DIR="${TIER1_DIR:-build-ci}"
 ASAN_DIR="${ASAN_DIR:-build-ci-asan}"
+BENCH_SCALE="${BENCH_SCALE:-12}"
+BENCH_REPEATS="${BENCH_REPEATS:-3}"
 
-echo "==> [1/2] tier-1: configure + build (${TIER1_DIR})"
+echo "==> [1/3] tier-1: configure + build (${TIER1_DIR})"
 cmake -B "${TIER1_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${TIER1_DIR}" -j "${JOBS}"
 
-echo "==> [1/2] tier-1: full test suite"
+echo "==> [1/3] tier-1: full test suite"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [2/2] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
+echo "==> [2/3] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=address
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
 
-echo "==> [2/2] asan: robustness suites (ctest -L robustness)"
-ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L robustness
+echo "==> [2/3] asan: robustness + conformance suites"
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -L 'robustness|conformance'
+
+echo "==> [3/3] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
+"${TIER1_DIR}/bench/fig4_runtimes" --kernels-only \
+    --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
+    --json "${TIER1_DIR}/bench_kernels_current.json"
+python3 scripts/bench_compare.py BENCH_kernels.json \
+    "${TIER1_DIR}/bench_kernels_current.json"
 
 echo "==> ci passed"

@@ -1,8 +1,10 @@
 #include "dataflow/algorithms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 
+#include "common/bitset.h"
 #include "dataflow/graph.h"
 
 namespace gly::dataflow {
@@ -16,8 +18,11 @@ struct BfsValue {
   bool changed = false;
 };
 
-Result<AlgorithmOutput> RunBfs(Context* ctx, const Graph& graph,
-                               const BfsParams& params) {
+// Naive path: the GraphX Pregel operator — every level joins the full
+// vertex dataset (the platform's cost signature). Selected by
+// BfsStrategy::kTopDown; the frontier kernel below is the default.
+Result<AlgorithmOutput> RunBfsPregelJoins(Context* ctx, const Graph& graph,
+                                          const BfsParams& params) {
   GLY_ASSIGN_OR_RETURN(
       auto pg, PropertyGraph<BfsValue>::FromGraph(
                    ctx, graph, [&params](VertexId v) {
@@ -47,6 +52,110 @@ Result<AlgorithmOutput> RunBfs(Context* ctx, const Graph& graph,
   }
   out.traversed_edges = pstats.messages;
   return out;
+}
+
+// Direction-optimizing path (GraphX's aggregateMessages with a chosen edge
+// direction): each level materializes the frontier as a dataset and
+// expands it top-down (FlatMap over frontier vertices) or bottom-up
+// (FlatMap over undiscovered vertices probing potential parents),
+// switched by the shared alpha/beta policy. The distance array and the
+// visited bitmap are driver-side broadcast state; every per-level
+// collection still funnels through Materialize, so the engine's memory
+// budget and JVM-churn cost model keep applying.
+Result<AlgorithmOutput> RunBfsDirOpt(Context* ctx, const Graph& graph,
+                                     const BfsParams& params) {
+  AlgorithmOutput out;
+  const VertexId n = graph.num_vertices();
+  out.vertex_values.assign(n, kUnreachable);
+  if (params.source >= n) return out;
+
+  AtomicBitset visited(n);
+  visited.Set(params.source);
+  out.vertex_values[params.source] = 0;
+  std::vector<VertexId> frontier{params.source};
+
+  BfsDirectionPolicy policy(params, n);
+  uint64_t frontier_degree = graph.OutDegree(params.source);
+  uint64_t unexplored_degree =
+      graph.num_adjacency_entries() - frontier_degree;
+  std::atomic<uint64_t> traversed{0};
+  int64_t depth = 0;
+  const int64_t* dist = out.vertex_values.data();
+  while (!frontier.empty()) {
+    const bool bottom_up = policy.UseBottomUp(frontier.size(),
+                                              frontier_degree,
+                                              unexplored_degree);
+    std::vector<VertexId> discovered;
+    if (!bottom_up) {
+      GLY_ASSIGN_OR_RETURN(Dataset<VertexId> frontier_ds,
+                           ctx->Parallelize(frontier));
+      GLY_ASSIGN_OR_RETURN(
+          Dataset<VertexId> discovered_ds,
+          (ctx->template FlatMap<VertexId>(
+              frontier_ds, [&graph, &visited, &traversed](VertexId v) {
+                std::vector<VertexId> won;
+                uint64_t probes = 0;
+                for (VertexId w : graph.OutNeighbors(v)) {
+                  ++probes;
+                  if (visited.TestAndSet(w)) won.push_back(w);
+                }
+                traversed.fetch_add(probes, std::memory_order_relaxed);
+                return won;
+              })));
+      discovered = discovered_ds.Collect();
+    } else {
+      std::vector<VertexId> unexplored;
+      unexplored.reserve(n - visited.Count());
+      for (VertexId v = 0; v < n; ++v) {
+        if (!visited.Test(v)) unexplored.push_back(v);
+      }
+      GLY_ASSIGN_OR_RETURN(Dataset<VertexId> unexplored_ds,
+                           ctx->Parallelize(unexplored));
+      GLY_ASSIGN_OR_RETURN(
+          Dataset<VertexId> discovered_ds,
+          (ctx->template FlatMap<VertexId>(
+              unexplored_ds,
+              [&graph, &traversed, dist, depth](VertexId v) {
+                std::vector<VertexId> won;
+                auto parents = graph.undirected() ? graph.OutNeighbors(v)
+                                                  : graph.InNeighbors(v);
+                uint64_t probes = 0;
+                for (VertexId u : parents) {
+                  ++probes;
+                  if (dist[u] == depth) {
+                    won.push_back(v);
+                    break;
+                  }
+                }
+                traversed.fetch_add(probes, std::memory_order_relaxed);
+                return won;
+              })));
+      discovered = discovered_ds.Collect();
+      for (VertexId v : discovered) visited.Set(v);
+    }
+    // Distances are written on the driver between levels, so the parallel
+    // phases above only ever read a stable snapshot.
+    std::sort(discovered.begin(), discovered.end());
+    uint64_t next_degree = 0;
+    for (VertexId v : discovered) {
+      out.vertex_values[v] = depth + 1;
+      next_degree += graph.OutDegree(v);
+    }
+    unexplored_degree -= next_degree;
+    frontier_degree = next_degree;
+    frontier = std::move(discovered);
+    ++depth;
+  }
+  out.traversed_edges = traversed.load();
+  return out;
+}
+
+Result<AlgorithmOutput> RunBfs(Context* ctx, const Graph& graph,
+                               const BfsParams& params) {
+  if (params.strategy == BfsStrategy::kTopDown) {
+    return RunBfsPregelJoins(ctx, graph, params);
+  }
+  return RunBfsDirOpt(ctx, graph, params);
 }
 
 // ------------------------------------------------------------------ CONN

@@ -1,0 +1,91 @@
+#include "graph/frontier.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace gly {
+
+Frontier::Frontier(VertexId num_vertices, uint64_t dense_threshold)
+    : num_vertices_(num_vertices), dense_threshold_(dense_threshold) {
+  if (dense_threshold_ == 0) {
+    dense_threshold_ = static_cast<uint64_t>(
+        std::ceil(kDefaultDenseFraction * static_cast<double>(num_vertices)));
+    if (dense_threshold_ == 0) dense_threshold_ = 1;
+  }
+}
+
+void Frontier::Clear() {
+  rep_ = Rep::kSparse;
+  size_ = 0;
+  sparse_.clear();
+  bits_ = AtomicBitset();
+}
+
+void Frontier::Add(VertexId v) {
+  if (rep_ == Rep::kSparse) {
+    sparse_.push_back(v);
+    ++size_;
+    if (size_ > dense_threshold_) Densify();
+    return;
+  }
+  if (bits_.TestAndSet(v)) ++size_;
+}
+
+bool Frontier::AddConcurrent(VertexId v) {
+  // Requires Rep::kDense; the bitmap arbitrates duplicates and the size
+  // counter is bumped only by the winning thread.
+  if (!bits_.TestAndSet(v)) return false;
+  std::atomic_ref<uint64_t>(size_).fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Frontier::Contains(VertexId v) const {
+  if (rep_ == Rep::kDense) return bits_.Test(v);
+  return std::find(sparse_.begin(), sparse_.end(), v) != sparse_.end();
+}
+
+void Frontier::Densify() {
+  if (rep_ == Rep::kDense) return;
+  bits_ = AtomicBitset(num_vertices_);
+  for (VertexId v : sparse_) bits_.Set(v);
+  size_ = bits_.Count();  // sparse queues may hold duplicates
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+  rep_ = Rep::kDense;
+}
+
+void Frontier::Sparsify() {
+  if (rep_ == Rep::kSparse) return;
+  sparse_.clear();
+  sparse_.reserve(size_);
+  bits_.ForEachSet(
+      [this](size_t v) { sparse_.push_back(static_cast<VertexId>(v)); });
+  size_ = sparse_.size();
+  bits_ = AtomicBitset();
+  rep_ = Rep::kSparse;
+}
+
+std::vector<VertexId> Frontier::ToSortedVertices() const {
+  std::vector<VertexId> out;
+  out.reserve(size_);
+  ForEach([&out](VertexId v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Frontier::RecountDense() {
+  if (rep_ == Rep::kDense) size_ = bits_.Count();
+}
+
+void Frontier::swap(Frontier& other) {
+  std::swap(num_vertices_, other.num_vertices_);
+  std::swap(dense_threshold_, other.dense_threshold_);
+  std::swap(rep_, other.rep_);
+  std::swap(size_, other.size_);
+  sparse_.swap(other.sparse_);
+  std::swap(bits_, other.bits_);
+}
+
+}  // namespace gly

@@ -1,0 +1,101 @@
+// Frontier: the active-vertex set of a traversal superstep, held either as
+// a sparse queue (vector of vertex ids) or a dense bitmap (AtomicBitset),
+// with automatic switching between the two.
+//
+// The paper's §2.1 access-locality choke point is exactly the tension this
+// module resolves: a sparse queue is cache-friendly while the frontier is
+// small, but once the frontier covers a sizeable fraction of the graph a
+// dense bitmap is both smaller (1 bit/vertex) and the representation the
+// bottom-up BFS step needs for O(1) membership tests. `Add` densifies
+// automatically past `dense_threshold` vertices; `Sparsify`/`Densify`
+// convert explicitly; round-tripping through either representation
+// preserves the vertex set exactly (tests/frontier_test.cc).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "graph/types.h"
+
+namespace gly {
+
+class Frontier {
+ public:
+  enum class Rep { kSparse, kDense };
+
+  /// Sparse vertices held before switching dense, as a fraction of the
+  /// vertex count (GAP uses a similar fill-factor heuristic).
+  static constexpr double kDefaultDenseFraction = 1.0 / 16.0;
+
+  Frontier() = default;
+
+  /// `dense_threshold`: sparse size above which Add() switches to the
+  /// dense representation; 0 picks kDefaultDenseFraction * num_vertices.
+  explicit Frontier(VertexId num_vertices, uint64_t dense_threshold = 0);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  Rep rep() const { return rep_; }
+  uint64_t dense_threshold() const { return dense_threshold_; }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Empties the frontier (reverts to sparse).
+  void Clear();
+
+  /// Adds a vertex the caller knows is not yet present (single-threaded;
+  /// deduplication is the traversal's visited-set job). May densify.
+  void Add(VertexId v);
+
+  /// Thread-safe insert; requires the dense representation (call
+  /// Densify() before a parallel fill phase). Returns true iff `v` was
+  /// newly added.
+  bool AddConcurrent(VertexId v);
+
+  /// Membership test: O(1) dense, O(size) sparse.
+  bool Contains(VertexId v) const;
+
+  /// Conversions (no-ops when already in the target representation).
+  /// Sparsify emits vertices in ascending order.
+  void Densify();
+  void Sparsify();
+
+  /// The sparse queue (requires Rep::kSparse). Insertion order.
+  const std::vector<VertexId>& sparse_vertices() const { return sparse_; }
+
+  /// The dense bitmap (requires Rep::kDense).
+  const AtomicBitset& bits() const { return bits_; }
+
+  /// The vertex set in ascending order, from either representation.
+  std::vector<VertexId> ToSortedVertices() const;
+
+  /// Calls `fn(v)` per vertex: insertion order when sparse, ascending
+  /// when dense.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (rep_ == Rep::kSparse) {
+      for (VertexId v : sparse_) fn(v);
+    } else {
+      bits_.ForEachSet([&fn](size_t v) { fn(static_cast<VertexId>(v)); });
+    }
+  }
+
+  /// Recomputes size() after a parallel AddConcurrent fill that bypassed
+  /// the counter via bits() writes. AddConcurrent maintains the count
+  /// itself; this is for callers that wrote the bitmap directly.
+  void RecountDense();
+
+  void swap(Frontier& other);
+
+ private:
+  VertexId num_vertices_ = 0;
+  uint64_t dense_threshold_ = 0;
+  Rep rep_ = Rep::kSparse;
+  uint64_t size_ = 0;  // maintained by Add/AddConcurrent/conversions
+  std::vector<VertexId> sparse_;
+  AtomicBitset bits_;
+};
+
+}  // namespace gly

@@ -55,6 +55,12 @@ class GiraphLikePlatform final : public Platform {
         checkpoint_dir_.has_value() ? checkpoint_dir_->path() : "");
     engine.checkpoint.max_recoveries = static_cast<uint32_t>(
         config.GetUintOr("checkpoint_max_recoveries", 3));
+    // Traversal-kernel knobs: 0 disables the dense-frontier fast path /
+    // work-stealing chunks respectively (the pre-optimization engine).
+    engine.dense_frontier_threshold = config.GetDoubleOr(
+        "dense_frontier_threshold", engine.dense_frontier_threshold);
+    engine.steal_chunk_vertices = static_cast<uint32_t>(config.GetUintOr(
+        "steal_chunk_vertices", engine.steal_chunk_vertices));
     engine_ = std::make_unique<pregel::Engine>(engine);
   }
 
@@ -78,6 +84,9 @@ class GiraphLikePlatform final : public Platform {
     metrics_["cross_worker_bytes"] =
         std::to_string(stats.total_cross_worker_bytes);
     metrics_["peak_memory"] = FormatBytes(stats.peak_memory_bytes);
+    if (stats.dense_supersteps > 0) {
+      metrics_["dense_supersteps"] = std::to_string(stats.dense_supersteps);
+    }
     if (engine_->config().checkpoint.interval > 0) {
       metrics_["checkpoints"] = std::to_string(stats.checkpoints_written);
       metrics_["recoveries"] = std::to_string(stats.recoveries);

@@ -100,6 +100,14 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
       static_cast<uint32_t>(config.GetUintOr("evo.new_vertices", 16));
   base_params.evo.p_forward = config.GetDoubleOr("evo.p_forward", 0.3);
   base_params.evo.seed = config.GetUintOr("evo.seed", 99);
+  {
+    auto strategy =
+        ParseBfsStrategy(config.GetStringOr("bfs.strategy", "diropt"));
+    if (!strategy.ok()) return strategy.status().WithPrefix("bfs.strategy");
+    base_params.bfs.strategy = *strategy;
+  }
+  base_params.bfs.alpha = config.GetDoubleOr("bfs.alpha", base_params.bfs.alpha);
+  base_params.bfs.beta = config.GetDoubleOr("bfs.beta", base_params.bfs.beta);
 
   std::vector<Graph> graphs;
   graphs.reserve(graph_names.size());

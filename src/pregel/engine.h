@@ -243,6 +243,21 @@ struct EngineConfig {
   /// Safety valve.
   uint32_t max_supersteps = 10000;
 
+  /// Dense-frontier fast path: when a superstep's active vertices exceed
+  /// this fraction of the graph and the program has a combiner, outgoing
+  /// messages are combined into one dense slot per destination vertex at
+  /// delivery time instead of materializing per-vertex message vectors —
+  /// the §2.1 access-locality optimization for near-full frontiers.
+  /// 0 disables the fast path.
+  double dense_frontier_threshold = 0.05;
+
+  /// Compute-phase scheduling: vertex ranges of this many vertices are
+  /// pulled from a shared queue by the pool threads (work stealing), so a
+  /// hub-heavy partition no longer serializes the superstep (the §2.1
+  /// skew choke point). 0 restores one fixed task per logical worker.
+  /// Message order, and therefore results, are identical either way.
+  uint32_t steal_chunk_vertices = 4096;
+
   /// Superstep checkpoint/rollback policy (disabled by default).
   CheckpointPolicy checkpoint;
 };
@@ -259,6 +274,8 @@ struct SuperstepStats {
   double network_seconds = 0.0;
   /// max worker busy-time / mean worker busy-time (execution skew).
   double worker_imbalance = 1.0;
+  /// Messages were delivered through the dense-frontier fast path.
+  bool dense_delivery = false;
 };
 
 /// Whole-run statistics.
@@ -276,6 +293,8 @@ struct RunStats {
   uint32_t recoveries = 0;            ///< rollbacks to the last checkpoint
   uint32_t supersteps_replayed = 0;   ///< completed supersteps re-executed
   double checkpoint_seconds = 0.0;
+  /// Supersteps whose messages took the dense-frontier fast path.
+  uint32_t dense_supersteps = 0;
   std::vector<SuperstepStats> per_superstep;
 };
 
@@ -423,14 +442,54 @@ class Engine {
     Aggregators aggregators;
     program->RegisterAggregators(&aggregators);
 
-    // Inboxes: per-vertex message vectors, double-buffered.
+    // Inboxes, double-buffered, in one of two representations per
+    // superstep: sparse (per-vertex message vectors — the general case)
+    // or dense (one combined slot + presence flag per vertex — the
+    // fast path for near-full frontiers of combinable programs, which
+    // skips materializing per-vertex vectors entirely).
     std::vector<std::vector<M>> inbox(n);
     std::vector<std::vector<M>> next_inbox(n);
+    bool inbox_dense = false;
+    bool next_dense = false;
+    std::vector<M> inbox_slots;
+    std::vector<M> next_slots;
+    std::vector<uint8_t> inbox_has;
+    std::vector<uint8_t> next_has;
+    // The delivered inbox in canonical sparse form (checkpointing).
+    auto inbox_as_sparse = [&]() -> std::vector<std::vector<M>> {
+      if (!inbox_dense) return inbox;
+      std::vector<std::vector<M>> sparse(n);
+      for (VertexId v = 0; v < n; ++v) {
+        if (inbox_has[v]) sparse[v].push_back(inbox_slots[v]);
+      }
+      return sparse;
+    };
 
     // Per-worker vertex lists.
     std::vector<std::vector<VertexId>> worker_vertices(workers);
     for (VertexId v = 0; v < n; ++v) {
       worker_vertices[partitioner.PartitionOf(v)].push_back(v);
+    }
+
+    // Work-stealing schedule: each worker's vertex list split into ranges
+    // small enough for idle threads to steal. Ranges are merged back in
+    // list order after compute, so message order — and every result bit —
+    // matches the fixed-partition path.
+    struct ChunkRange {
+      uint32_t worker;
+      uint32_t begin;
+      uint32_t end;
+    };
+    std::vector<ChunkRange> chunk_ranges;
+    if (config_.steal_chunk_vertices > 0) {
+      const uint32_t chunk = config_.steal_chunk_vertices;
+      for (uint32_t w = 0; w < workers; ++w) {
+        const uint32_t count =
+            static_cast<uint32_t>(worker_vertices[w].size());
+        for (uint32_t b = 0; b < count; b += chunk) {
+          chunk_ranges.push_back({w, b, std::min(b + chunk, count)});
+        }
+      }
     }
 
     Stopwatch total_watch;
@@ -484,7 +543,7 @@ class Engine {
         CheckpointEncoder halt(writer.AddSection("halted"));
         detail::CkptPutValue(halt, halted);
         CheckpointEncoder msgs(writer.AddSection("inbox"));
-        detail::CkptPutValue(msgs, inbox);
+        detail::CkptPutValue(msgs, inbox_as_sparse());
         CheckpointEncoder agg(writer.AddSection("aggregators"));
         const auto& agg_values = aggregators.CurrentValues();
         agg.PutU64(agg_values.size());
@@ -560,6 +619,11 @@ class Engine {
         }
         aggregators.RestoreCurrentValues(agg_values);
         for (auto& v : next_inbox) v.clear();
+        // Snapshots always hold the canonical sparse form.
+        inbox_dense = false;
+        next_dense = false;
+        std::fill(inbox_has.begin(), inbox_has.end(), 0);
+        std::fill(next_has.begin(), next_has.end(), 0);
         // Swap the message-memory accounting over to the restored inbox.
         budget.Release(live_message_bytes);
         live_message_bytes = 0;
@@ -587,6 +651,38 @@ class Engine {
       return true;
     };
 
+    // Computes one ascending slice of a worker's vertex list into the given
+    // outbox/partials. Shared by the fixed-partition and work-stealing
+    // dispatchers so both produce bit-identical per-vertex effects; reads
+    // whichever inbox representation the previous barrier delivered.
+    auto run_range = [&](uint32_t w, uint32_t begin, uint32_t end,
+                         std::vector<std::pair<VertexId, M>>* outbox,
+                         std::map<std::string, double>* partials) -> uint64_t {
+      uint64_t local_active = 0;
+      std::vector<M> dense_scratch;
+      for (uint32_t i = begin; i < end; ++i) {
+        const VertexId v = worker_vertices[w][i];
+        const bool has_messages =
+            inbox_dense ? inbox_has[v] != 0 : !inbox[v].empty();
+        if (halted[v] && !has_messages && step > 0) continue;
+        halted[v] = 0;
+        ++local_active;
+        bool halt_flag = false;
+        typename VertexProgram<V, M>::Context ctx(
+            &graph, v, step, &out.values[v], outbox, &halt_flag,
+            &aggregators, partials);
+        if (inbox_dense) {
+          dense_scratch.clear();
+          if (inbox_has[v]) dense_scratch.push_back(inbox_slots[v]);
+          program->Compute(ctx, dense_scratch);
+        } else {
+          program->Compute(ctx, inbox[v]);
+        }
+        if (halt_flag) halted[v] = 1;
+      }
+      return local_active;
+    };
+
     while (step < config_.max_supersteps) {
       SuperstepStats ss;
       ss.superstep = step;
@@ -600,34 +696,74 @@ class Engine {
       std::vector<double> worker_busy(workers, 0.0);
       std::vector<Status> worker_status(workers);
       std::atomic<uint64_t> active_count{0};
-      std::vector<std::future<void>> futures;
-      futures.reserve(workers);
-      for (uint32_t w = 0; w < workers; ++w) {
-        futures.push_back(pool.Submit([&, w] {
-          Stopwatch busy;
-          // Injected worker crash: the worker dies before computing its
-          // partition; the engine surfaces the failure after the barrier.
+      if (!chunk_ranges.empty()) {
+        // Work-stealing dispatch: any pool thread grabs the next undone
+        // chunk, so a hub-heavy partition spreads across threads instead of
+        // serializing the superstep. Injected worker crashes keep their
+        // once-per-worker-per-superstep cadence: statuses are drawn up
+        // front and a crashed worker's chunks are skipped, leaving the
+        // superstep half-computed exactly like the fixed path.
+        for (uint32_t w = 0; w < workers; ++w) {
           worker_status[w] = fault::CheckPoint("pregel.worker.compute");
-          if (!worker_status[w].ok()) return;
-          auto& outbox = outboxes[w];
-          uint64_t local_active = 0;
-          for (VertexId v : worker_vertices[w]) {
-            const bool has_messages = !inbox[v].empty();
-            if (halted[v] && !has_messages && step > 0) continue;
-            halted[v] = 0;
-            ++local_active;
-            bool halt_flag = false;
-            typename VertexProgram<V, M>::Context ctx(
-                &graph, v, step, &out.values[v], &outbox, &halt_flag,
-                &aggregators, &aggregator_partials[w]);
-            program->Compute(ctx, inbox[v]);
-            if (halt_flag) halted[v] = 1;
+        }
+        const size_t num_chunks = chunk_ranges.size();
+        std::vector<std::vector<std::pair<VertexId, M>>> chunk_outboxes(
+            num_chunks);
+        std::vector<std::map<std::string, double>> chunk_partials(num_chunks);
+        std::vector<double> chunk_busy(num_chunks, 0.0);
+        std::atomic<size_t> cursor{0};
+        std::vector<std::future<void>> futures;
+        futures.reserve(workers);
+        for (uint32_t t = 0; t < workers; ++t) {
+          futures.push_back(pool.Submit([&] {
+            for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+                 i < num_chunks;
+                 i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+              const ChunkRange& c = chunk_ranges[i];
+              if (!worker_status[c.worker].ok()) continue;
+              Stopwatch busy;
+              const uint64_t active =
+                  run_range(c.worker, c.begin, c.end, &chunk_outboxes[i],
+                            &chunk_partials[i]);
+              chunk_busy[i] = busy.ElapsedSeconds();
+              active_count.fetch_add(active, std::memory_order_relaxed);
+            }
+          }));
+        }
+        for (auto& f : futures) f.get();
+        // Merge in chunk-index order: a worker's chunks are consecutive and
+        // ascend over its vertex list, so concatenation reproduces the
+        // fixed-partition outbox — and thus message order — exactly.
+        for (size_t i = 0; i < num_chunks; ++i) {
+          const ChunkRange& c = chunk_ranges[i];
+          auto& dst = outboxes[c.worker];
+          dst.insert(dst.end(),
+                     std::make_move_iterator(chunk_outboxes[i].begin()),
+                     std::make_move_iterator(chunk_outboxes[i].end()));
+          for (const auto& [name, value] : chunk_partials[i]) {
+            aggregators.Combine(&aggregator_partials[c.worker], name, value);
           }
-          active_count.fetch_add(local_active, std::memory_order_relaxed);
-          worker_busy[w] = busy.ElapsedSeconds();
-        }));
+          worker_busy[c.worker] += chunk_busy[i];
+        }
+      } else {
+        std::vector<std::future<void>> futures;
+        futures.reserve(workers);
+        for (uint32_t w = 0; w < workers; ++w) {
+          futures.push_back(pool.Submit([&, w] {
+            Stopwatch busy;
+            // Injected worker crash: the worker dies before computing its
+            // partition; the engine surfaces the failure after the barrier.
+            worker_status[w] = fault::CheckPoint("pregel.worker.compute");
+            if (!worker_status[w].ok()) return;
+            const uint64_t active = run_range(
+                w, 0, static_cast<uint32_t>(worker_vertices[w].size()),
+                &outboxes[w], &aggregator_partials[w]);
+            active_count.fetch_add(active, std::memory_order_relaxed);
+            worker_busy[w] = busy.ElapsedSeconds();
+          }));
+        }
+        for (auto& f : futures) f.get();
       }
-      for (auto& f : futures) f.get();
       Status step_failure;
       for (uint32_t w = 0; w < workers; ++w) {
         if (!worker_status[w].ok()) {
@@ -662,6 +798,22 @@ class Engine {
       budget.Release(live_message_bytes);
       live_message_bytes = 0;
       for (auto& v : next_inbox) v.clear();
+
+      // Dense-frontier fast path: once the active set passes the threshold
+      // (and the program is combinable), deliver into one combined slot +
+      // presence flag per vertex instead of materializing per-vertex
+      // message vectors. Messages are folded left-to-right in the same
+      // worker order the sparse inbox would present them, so results —
+      // including floating-point ones — are bit-identical.
+      const bool deliver_dense =
+          combiner.has_value() && config_.dense_frontier_threshold > 0.0 &&
+          n > 0 &&
+          static_cast<double>(active_count.load()) >=
+              config_.dense_frontier_threshold * static_cast<double>(n);
+      if (deliver_dense) {
+        next_slots.resize(n);
+        next_has.assign(n, 0);
+      }
 
       uint64_t sent = 0;
       uint64_t dropped = 0;
@@ -699,14 +851,33 @@ class Engine {
           }
           ++sent;
           uint64_t wire = MessageWireBytes(msg);
-          inbox_bytes += wire;
+          if (!deliver_dense) inbox_bytes += wire;
           if (partitioner.PartitionOf(target) != w) {
             ++cross;
             cross_bytes += wire + sizeof(VertexId);
           }
-          next_inbox[target].push_back(std::move(msg));
+          if (deliver_dense) {
+            if (next_has[target]) {
+              next_slots[target] = (*combiner)(next_slots[target], msg);
+            } else {
+              next_slots[target] = std::move(msg);
+              next_has[target] = 1;
+            }
+          } else {
+            next_inbox[target].push_back(std::move(msg));
+          }
         }
       }
+      if (deliver_dense) {
+        // Live bytes are the combined slots actually occupied — the memory
+        // the fast path holds instead of the per-message vectors.
+        for (VertexId v = 0; v < n; ++v) {
+          if (next_has[v]) inbox_bytes += MessageWireBytes(next_slots[v]);
+        }
+      }
+      next_dense = deliver_dense;
+      ss.dense_delivery = deliver_dense;
+      if (deliver_dense) ++out.stats.dense_supersteps;
       ss.messages_sent = sent;
       ss.messages_dropped = dropped;
       ss.cross_worker_messages = cross;
@@ -744,6 +915,10 @@ class Engine {
       }
 
       inbox.swap(next_inbox);
+      inbox_slots.swap(next_slots);
+      inbox_has.swap(next_has);
+      inbox_dense = next_dense;
+      next_dense = false;
 
       out.stats.total_messages += sent;
       out.stats.total_messages_dropped += dropped;

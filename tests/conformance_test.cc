@@ -9,10 +9,13 @@
 #include <tuple>
 #include <vector>
 
+#include "columnstore/edge_table.h"
+#include "columnstore/transitive.h"
 #include "datagen/rmat.h"
 #include "datagen/social_datagen.h"
 #include "harness/platform.h"
 #include "harness/validator.h"
+#include "ref/algorithms.h"
 
 namespace gly {
 namespace {
@@ -196,6 +199,177 @@ INSTANTIATE_TEST_SUITE_P(RmatSeeds, DifferentialSweepTest,
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// ------------------------------------------------------------------------
+// Kernel conformance: the direction-optimizing / dense-frontier /
+// work-stealing fast paths must be invisible in every output. Each engine
+// runs BFS, CONN, and PR on R-MAT graphs at scales 8/12/14 plus a
+// social-datagen graph, once with the optimized kernels enabled (the
+// defaults) and once with every optimization forced off, and is compared
+// per-vertex against the reference implementation — exactly for the
+// integer-valued kernels, within a tight tolerance for PageRank, whose
+// summation order legitimately differs across engines.
+
+enum class KernelGraph { kRmat8, kRmat12, kRmat14, kSocial };
+
+std::string KernelGraphName(KernelGraph which) {
+  switch (which) {
+    case KernelGraph::kRmat8: return "rmat8";
+    case KernelGraph::kRmat12: return "rmat12";
+    case KernelGraph::kRmat14: return "rmat14";
+    case KernelGraph::kSocial: return "social2k";
+  }
+  return "?";
+}
+
+Graph MakeRmatGraph(uint32_t scale, uint32_t edge_factor) {
+  datagen::RmatConfig config;
+  config.scale = scale;
+  config.edge_factor = edge_factor;
+  config.seed = 1;
+  auto edges = datagen::RmatGenerator(config).Generate(nullptr);
+  edges.status().Check();
+  return GraphBuilder::Undirected(*edges).ValueOrDie();
+}
+
+const Graph& KernelGraphFor(KernelGraph which) {
+  static const Graph rmat8 = MakeRmatGraph(8, 6);
+  static const Graph rmat12 = MakeRmatGraph(12, 8);
+  static const Graph rmat14 = MakeRmatGraph(14, 8);
+  static const Graph social = [] {
+    datagen::SocialDatagenConfig config;
+    config.num_persons = 2000;
+    config.degree_spec = "geometric:p=0.25";
+    config.window_size = 128;
+    config.seed = 21;
+    auto result = datagen::SocialDatagen(config).Generate(nullptr);
+    return GraphBuilder::Undirected(result->edges).ValueOrDie();
+  }();
+  switch (which) {
+    case KernelGraph::kRmat8: return rmat8;
+    case KernelGraph::kRmat12: return rmat12;
+    case KernelGraph::kRmat14: return rmat14;
+    case KernelGraph::kSocial: return social;
+  }
+  return rmat8;
+}
+
+// R-MAT leaves some vertex ids edge-less; BFS from the max-degree vertex
+// traverses the giant component, which is what makes the dense-frontier
+// path actually fire in the optimized configuration.
+VertexId MaxDegreeVertex(const Graph& graph) {
+  VertexId best = 0;
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    if (graph.Degree(v) > graph.Degree(best)) best = v;
+  }
+  return best;
+}
+
+using KernelParam = std::tuple<std::string /*platform*/, AlgorithmKind,
+                               KernelGraph, bool /*optimized*/>;
+
+class KernelConformanceTest : public ::testing::TestWithParam<KernelParam> {};
+
+TEST_P(KernelConformanceTest, MatchesReferencePerVertex) {
+  const auto& [platform_name, algorithm, which, optimized] = GetParam();
+  const Graph& graph = KernelGraphFor(which);
+
+  AlgorithmParams params;
+  params.bfs.source = MaxDegreeVertex(graph);
+  params.bfs.strategy =
+      optimized ? BfsStrategy::kDirectionOptimizing : BfsStrategy::kTopDown;
+  params.pr = PrParams{10, 0.85};
+
+  Config config;
+  if (!optimized) {
+    // Force the classic paths: sparse message delivery and fixed
+    // per-worker partitions (no work stealing).
+    config.SetDouble("dense_frontier_threshold", 0.0);
+    config.SetInt("steal_chunk_vertices", 0);
+  }
+
+  auto platform = harness::MakePlatform(platform_name, config);
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*platform)->LoadGraph(graph, KernelGraphName(which)).ok());
+  auto out = (*platform)->Run(algorithm, params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // ref::Run's BFS is always the naive queue implementation — the gold
+  // standard stays independent of the kernels under test.
+  AlgorithmOutput expected = ref::Run(graph, algorithm, params);
+  if (algorithm == AlgorithmKind::kPr) {
+    ASSERT_EQ(out->vertex_scores.size(), expected.vertex_scores.size());
+    for (size_t v = 0; v < expected.vertex_scores.size(); ++v) {
+      ASSERT_NEAR(out->vertex_scores[v], expected.vertex_scores[v], 1e-9)
+          << "vertex " << v;
+    }
+  } else {
+    EXPECT_EQ(out->vertex_values, expected.vertex_values);
+  }
+  Status validation = harness::ValidateOutput(graph, algorithm, params, *out);
+  EXPECT_TRUE(validation.ok()) << validation.ToString();
+}
+
+std::string KernelParamName(
+    const ::testing::TestParamInfo<KernelParam>& info) {
+  const auto& [platform, algorithm, which, optimized] = info.param;
+  return platform + "_" + AlgorithmKindName(algorithm) + "_" +
+         KernelGraphName(which) + (optimized ? "_opt" : "_classic");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelConformanceTest,
+    ::testing::Combine(
+        ::testing::Values("giraph", "graphx", "mapreduce", "neo4j"),
+        ::testing::Values(AlgorithmKind::kBfs, AlgorithmKind::kConn,
+                          AlgorithmKind::kPr),
+        ::testing::Values(KernelGraph::kRmat8, KernelGraph::kRmat12,
+                          KernelGraph::kRmat14, KernelGraph::kSocial),
+        ::testing::Bool()),
+    KernelParamName);
+
+// The column-store engine exposes reachability (not per-vertex levels), so
+// its conformance check compares the transitive count against the set of
+// vertices the direction-optimizing BFS reaches — tying the §3.4 operator
+// and the new traversal kernel to the same ground truth.
+class ColumnstoreReachabilityTest
+    : public ::testing::TestWithParam<KernelGraph> {};
+
+TEST_P(ColumnstoreReachabilityTest, TransitiveCountMatchesDirOptBfs) {
+  const Graph& graph = KernelGraphFor(GetParam());
+  const VertexId source = MaxDegreeVertex(graph);
+
+  // Re-materialize the undirected adjacency as a directed edge table (both
+  // directions present), so the columnstore walks the same topology.
+  EdgeList edges(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) edges.Add(v, w);
+  }
+  auto table = columnstore::EdgeTable::Build(edges);
+  ASSERT_TRUE(table.ok());
+
+  BfsParams params;
+  params.source = source;
+  AlgorithmOutput levels = ref::BfsDirOpt(graph, params);
+  uint64_t reachable = 0;
+  for (int64_t d : levels.vertex_values) {
+    if (d != kUnreachable && d > 0) ++reachable;
+  }
+
+  columnstore::TransitiveConfig config;
+  config.num_partitions = 4;
+  auto profile = columnstore::TransitiveCount(*table, source, config);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->distinct_reached, reachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ColumnstoreReachabilityTest,
+    ::testing::Values(KernelGraph::kRmat8, KernelGraph::kRmat12,
+                      KernelGraph::kRmat14, KernelGraph::kSocial),
+    [](const ::testing::TestParamInfo<KernelGraph>& info) {
+      return KernelGraphName(info.param);
+    });
 
 }  // namespace
 }  // namespace gly

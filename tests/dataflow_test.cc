@@ -167,6 +167,28 @@ TEST(DataflowAlgorithmsTest, BfsMatchesReference) {
       harness::ValidateOutput(g, AlgorithmKind::kBfs, params, *out).ok());
 }
 
+TEST(DataflowAlgorithmsTest, BfsDirOptMatchesJoinsPlan) {
+  // The frontier-based direction-optimizing plan and the legacy
+  // Pregel-by-joins plan must emit identical levels and traversal counts
+  // that both satisfy the validator, from several sources.
+  Graph g = RandomUndirected(300, 1200, 35);
+  for (VertexId source : {VertexId{0}, VertexId{42}, VertexId{299}}) {
+    AlgorithmParams joins;
+    joins.bfs.source = source;
+    joins.bfs.strategy = BfsStrategy::kTopDown;  // routes to the joins plan
+    AlgorithmParams diropt;
+    diropt.bfs.source = source;
+    diropt.bfs.strategy = BfsStrategy::kDirectionOptimizing;
+    auto a = RunAlgorithm(SmallContext(), g, AlgorithmKind::kBfs, joins);
+    auto b = RunAlgorithm(SmallContext(), g, AlgorithmKind::kBfs, diropt);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->vertex_values, b->vertex_values) << "source " << source;
+    EXPECT_TRUE(
+        harness::ValidateOutput(g, AlgorithmKind::kBfs, diropt, *b).ok());
+  }
+}
+
 TEST(DataflowAlgorithmsTest, ConnMatchesReference) {
   Graph g = RandomUndirected(200, 350, 32);
   auto out = RunAlgorithm(SmallContext(), g, AlgorithmKind::kConn, {});

@@ -292,6 +292,88 @@ TEST(PregelAlgorithmsTest, CombinerReducesMessages) {
   EXPECT_LT(with.total_cross_worker_bytes, without.total_cross_worker_bytes);
 }
 
+TEST(PregelEngineTest, DenseDeliveryMatchesSparseBitIdentically) {
+  // The dense-frontier fast path folds combined messages engine-side; its
+  // outputs must be indistinguishable from classic sparse delivery — for
+  // BFS/CONN (integers) and PR (floats, where fold order matters).
+  datagen::RmatConfig rmat;
+  rmat.scale = 10;
+  rmat.edge_factor = 8;
+  auto edges = datagen::RmatGenerator(rmat).Generate(nullptr);
+  ASSERT_TRUE(edges.ok());
+  Graph g = GraphBuilder::Undirected(*edges).ValueOrDie();
+
+  EngineConfig classic;
+  classic.num_workers = 4;
+  classic.num_threads = 4;
+  classic.dense_frontier_threshold = 0.0;  // force sparse delivery
+  classic.steal_chunk_vertices = 0;
+  EngineConfig dense = classic;
+  dense.dense_frontier_threshold = 0.01;  // densify almost immediately
+
+  AlgorithmParams params;
+  params.pr = PrParams{8, 0.85};
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kBfs, AlgorithmKind::kConn, AlgorithmKind::kPr}) {
+    RunStats classic_stats;
+    RunStats dense_stats;
+    auto a = RunAlgorithm(Engine(classic), g, kind, params, &classic_stats);
+    auto b = RunAlgorithm(Engine(dense), g, kind, params, &dense_stats);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->vertex_values, b->vertex_values) << AlgorithmKindName(kind);
+    // Bit-identical, not approximately equal: the engine folds combined
+    // messages in exactly the sparse push order.
+    EXPECT_EQ(a->vertex_scores, b->vertex_scores) << AlgorithmKindName(kind);
+    EXPECT_EQ(classic_stats.dense_supersteps, 0u);
+    EXPECT_GT(dense_stats.dense_supersteps, 0u) << AlgorithmKindName(kind);
+  }
+}
+
+TEST(PregelEngineTest, DenseDeliveryRequiresACombiner) {
+  // CD registers no combiner (the adoption rule needs the full message
+  // multiset), so even an aggressive threshold must keep it sparse.
+  Graph g = RandomUndirected(300, 900, 21);
+  EngineConfig config;
+  config.num_workers = 4;
+  config.num_threads = 4;
+  config.dense_frontier_threshold = 0.01;
+  RunStats stats;
+  AlgorithmParams params;
+  params.cd = CdParams{5, 0.05};
+  auto out = RunAlgorithm(Engine(config), g, AlgorithmKind::kCd, params,
+                          &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.dense_supersteps, 0u);
+}
+
+TEST(PregelEngineTest, WorkStealingMatchesFixedPartitions) {
+  // Chunked work-stealing must reproduce the fixed-partition outputs and
+  // aggregator values exactly, for any chunk size.
+  Graph g = RandomUndirected(500, 2000, 22);
+  EngineConfig fixed;
+  fixed.num_workers = 8;
+  fixed.num_threads = 4;
+  fixed.steal_chunk_vertices = 0;
+  AlgorithmParams params;
+  params.pr = PrParams{8, 0.85};
+  for (uint32_t chunk : {1u, 16u, 4096u}) {
+    EngineConfig stealing = fixed;
+    stealing.steal_chunk_vertices = chunk;
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kBfs, AlgorithmKind::kConn, AlgorithmKind::kPr}) {
+      auto a = RunAlgorithm(Engine(fixed), g, kind, params);
+      auto b = RunAlgorithm(Engine(stealing), g, kind, params);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->vertex_values, b->vertex_values)
+          << AlgorithmKindName(kind) << " chunk " << chunk;
+      EXPECT_EQ(a->vertex_scores, b->vertex_scores)
+          << AlgorithmKindName(kind) << " chunk " << chunk;
+    }
+  }
+}
+
 TEST(PregelAlgorithmsTest, SkewTraceShowsConvergingTail) {
   // CONN on a long path: later supersteps touch fewer active vertices —
   // the "skewed execution intensity" choke point signature.

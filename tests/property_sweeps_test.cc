@@ -10,12 +10,14 @@
 #include "columnstore/column.h"
 #include "common/random.h"
 #include "common/temp_dir.h"
+#include "dataflow/algorithms.h"
 #include "datagen/degree_plugin.h"
 #include "datagen/social_datagen.h"
 #include "graph/graph.h"
 #include "mapreduce/job.h"
 #include "mapreduce/record.h"
 #include "pregel/algorithms.h"
+#include "ref/algorithms.h"
 
 namespace gly {
 namespace {
@@ -311,6 +313,158 @@ INSTANTIATE_TEST_SUITE_P(Windows, DatagenWindowSweep,
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "w" + std::to_string(info.param);
                          });
+
+// -------------------------------------------- BFS strategy/alpha/beta sweep
+//
+// The direction-optimizing kernel must produce the naive queue BFS's exact
+// levels for EVERY point of the (strategy, alpha, beta) grid — including
+// the degenerate corners (alpha/beta near zero or huge, which pin the
+// kernel to always-top-down or always-bottom-up) — on graphs engineered to
+// stress the switch: isolated vertices, self-loops (dropped by the
+// builder), and a giant hub whose first expansion floods the frontier.
+
+enum class BfsAdversary { kGiantHub, kIsolated, kSelfLoops, kTwoComponents };
+
+std::string AdversaryName(BfsAdversary which) {
+  switch (which) {
+    case BfsAdversary::kGiantHub: return "gianthub";
+    case BfsAdversary::kIsolated: return "isolated";
+    case BfsAdversary::kSelfLoops: return "selfloops";
+    case BfsAdversary::kTwoComponents: return "twocomponents";
+  }
+  return "?";
+}
+
+const Graph& AdversaryGraph(BfsAdversary which) {
+  static const Graph giant_hub = [] {
+    // Hub 0 touches 2000 leaves; a 50-vertex chain hangs off leaf 1 so the
+    // sweep exercises both the flood level and a long sparse tail.
+    EdgeList edges;
+    for (VertexId v = 1; v <= 2000; ++v) edges.Add(0, v);
+    for (VertexId v = 2000; v < 2050; ++v) edges.Add(v, v + 1);
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  static const Graph isolated = [] {
+    // A small random core inside a vertex space 8x larger: most ids are
+    // isolated, including the maximum vertex id.
+    EdgeList edges(1600);
+    Rng rng(41);
+    for (int i = 0; i < 600; ++i) {
+      VertexId a = static_cast<VertexId>(rng.NextBounded(200));
+      VertexId b = static_cast<VertexId>(rng.NextBounded(200));
+      if (a != b) edges.Add(a, b);
+    }
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  static const Graph self_loops = [] {
+    EdgeList edges;
+    Rng rng(43);
+    for (VertexId v = 0; v < 120; ++v) edges.Add(v, v);  // loop on every id
+    for (int i = 0; i < 400; ++i) {
+      VertexId a = static_cast<VertexId>(rng.NextBounded(120));
+      VertexId b = static_cast<VertexId>(rng.NextBounded(120));
+      edges.Add(a, b);  // loops allowed here too
+    }
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  static const Graph two_components = [] {
+    // Two dense blobs with no bridge: bottom-up probing must never leak
+    // distances into the unreached component.
+    EdgeList edges;
+    Rng rng(47);
+    for (int c = 0; c < 2; ++c) {
+      for (int i = 0; i < 700; ++i) {
+        VertexId a = static_cast<VertexId>(c * 150 + rng.NextBounded(150));
+        VertexId b = static_cast<VertexId>(c * 150 + rng.NextBounded(150));
+        if (a != b) edges.Add(a, b);
+      }
+    }
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  switch (which) {
+    case BfsAdversary::kGiantHub: return giant_hub;
+    case BfsAdversary::kIsolated: return isolated;
+    case BfsAdversary::kSelfLoops: return self_loops;
+    case BfsAdversary::kTwoComponents: return two_components;
+  }
+  return giant_hub;
+}
+
+struct BfsGridPoint {
+  BfsStrategy strategy;
+  double alpha;
+  double beta;
+  const char* name;
+};
+
+class BfsStrategySweep
+    : public ::testing::TestWithParam<std::tuple<BfsAdversary, BfsGridPoint>> {
+};
+
+TEST_P(BfsStrategySweep, DirOptMatchesNaiveBfsEverywhere) {
+  const auto& [adversary, point] = GetParam();
+  const Graph& graph = AdversaryGraph(adversary);
+
+  // Sweep sources: the (likely hub) vertex 0, a mid-id vertex, and the
+  // maximum id — isolated sources must yield an all-unreachable output.
+  const std::vector<VertexId> sources = {
+      0, graph.num_vertices() / 2, graph.num_vertices() - 1};
+  for (VertexId source : sources) {
+    BfsParams params;
+    params.source = source;
+    params.strategy = point.strategy;
+    params.alpha = point.alpha;
+    params.beta = point.beta;
+    AlgorithmOutput expected = ref::Bfs(graph, BfsParams{source});
+    AlgorithmOutput got = ref::BfsDirOpt(graph, params);
+    ASSERT_EQ(got.vertex_values, expected.vertex_values)
+        << AdversaryName(adversary) << " " << point.name << " src " << source;
+
+    // The dataflow engine routes through the same frontier kernel; its
+    // grid behaviour must be identical.
+    dataflow::ContextConfig ctx;
+    ctx.num_partitions = 4;
+    AlgorithmParams engine_params;
+    engine_params.bfs = params;
+    auto engine_out =
+        dataflow::RunAlgorithm(ctx, graph, AlgorithmKind::kBfs, engine_params);
+    ASSERT_TRUE(engine_out.ok());
+    ASSERT_EQ(engine_out->vertex_values, expected.vertex_values)
+        << "dataflow " << AdversaryName(adversary) << " " << point.name
+        << " src " << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BfsStrategySweep,
+    ::testing::Combine(
+        ::testing::Values(BfsAdversary::kGiantHub, BfsAdversary::kIsolated,
+                          BfsAdversary::kSelfLoops,
+                          BfsAdversary::kTwoComponents),
+        ::testing::Values(
+            BfsGridPoint{BfsStrategy::kTopDown, 15.0, 18.0, "topdown"},
+            BfsGridPoint{BfsStrategy::kBottomUp, 15.0, 18.0, "bottomup"},
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 15.0, 18.0,
+                         "diropt_default"},
+            // alpha tiny: the frontier never looks big enough -> top-down.
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 1e-6, 18.0,
+                         "diropt_alpha_tiny"},
+            // alpha huge: switches bottom-up on the first level.
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 1e9, 18.0,
+                         "diropt_alpha_huge"},
+            // beta tiny: snaps back top-down immediately after switching.
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 1e9, 1e-6,
+                         "diropt_beta_tiny"},
+            // beta huge: once bottom-up, stays bottom-up to the end.
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 1e9, 1e9,
+                         "diropt_beta_huge"},
+            BfsGridPoint{BfsStrategy::kDirectionOptimizing, 1.0, 1.0,
+                         "diropt_ones"})),
+    [](const ::testing::TestParamInfo<std::tuple<BfsAdversary, BfsGridPoint>>&
+           info) {
+      return AdversaryName(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param).name;
+    });
 
 }  // namespace
 }  // namespace gly
