@@ -38,6 +38,10 @@ struct BenchOptions {
   uint32_t repeats = 5;        ///< --repeats <n>: timed measure runs
   uint32_t kernel_scale = 18;  ///< --kernel-scale <n>: R-MAT scale for duels
   bool kernels_only = false;   ///< --kernels-only: skip the platform matrix
+  /// --threads <n>: worker count for parallel kernels (0 = all hardware
+  /// threads). Recorded per KernelRecord so bench_compare.py can refuse to
+  /// diff runs measured at different parallelism.
+  uint32_t threads = 0;
 };
 
 inline BenchOptions ParseArgs(int argc, char** argv) {
@@ -63,10 +67,15 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--kernels-only") == 0) {
       opts.kernels_only = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads =
+          static_cast<uint32_t>(std::atoi(need_value(i, "--threads")));
+      ++i;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--json <path>] "
-                   "[--repeats <n>] [--kernel-scale <n>] [--kernels-only]\n",
+                   "[--repeats <n>] [--kernel-scale <n>] [--kernels-only] "
+                   "[--threads <n>]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -85,6 +94,10 @@ struct KernelRecord {
   std::string graph;
   uint32_t scale = 0;
   uint32_t repeats = 1;
+  /// Worker threads the kernel ran with (0 = unspecified/serial-only).
+  /// bench_compare.py skips (with a warning) pairs whose thread counts
+  /// differ — a 4-thread baseline must not gate an 8-thread run.
+  uint32_t threads = 0;
   double build_seconds = 0.0;
   double warmup_seconds = 0.0;
   double median_seconds = 0.0;
@@ -132,7 +145,7 @@ class JsonEmitter {
       out << (i == 0 ? "\n" : ",\n");
       out << "    {\"kernel\": \"" << Escaped(r.kernel) << "\", \"graph\": \""
           << Escaped(r.graph) << "\", \"scale\": " << r.scale
-          << ", \"repeats\": " << r.repeats
+          << ", \"repeats\": " << r.repeats << ", \"threads\": " << r.threads
           << StringPrintf(", \"build_seconds\": %.6f", r.build_seconds)
           << StringPrintf(", \"warmup_seconds\": %.6f", r.warmup_seconds)
           << StringPrintf(", \"median_seconds\": %.6f", r.median_seconds)

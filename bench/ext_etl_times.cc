@@ -7,64 +7,212 @@
 // graph size, the harness's untimed LoadGraph phase is measured — the
 // HDFS-upload analog for MapReduce, the record-store bulk import for the
 // graph database, pointer adoption for the in-memory engines.
+//
+// It also measures the harness's own ETL pipeline (DESIGN.md §8, "ETL
+// performance"): text-edge-file parsing and CSR construction, serial
+// reference path vs the chunked parallel path, on an R-MAT graph at
+// --kernel-scale. The parallel path is bit-identical to the serial one
+// (asserted here on every run), so the duel is a pure performance
+// comparison; the four records (etl_parse|etl_build × serial|parallel) are
+// what scripts/bench_compare.py gates via BENCH_etl.json.
 
 #include <cstdio>
+#include <filesystem>
 
 #include "bench/bench_util.h"
 #include "common/config.h"
 #include "common/stopwatch.h"
+#include "common/threadpool.h"
+#include "graph/io.h"
 #include "harness/platform.h"
+
+namespace {
+
+// Cheap bit-identity spot check: counts must match exactly and every
+// sampled adjacency row must be byte-equal. (The exhaustive check lives in
+// tests/etl_parity_test.cc; this guards the bench itself from measuring a
+// divergent pipeline.)
+bool SameGraph(const gly::Graph& a, const gly::Graph& b) {
+  if (a.num_vertices() != b.num_vertices() ||
+      a.num_edges() != b.num_edges() ||
+      a.num_adjacency_entries() != b.num_adjacency_entries()) {
+    return false;
+  }
+  const gly::VertexId n = a.num_vertices();
+  const gly::VertexId step = n > 4096 ? n / 4096 : 1;
+  for (gly::VertexId v = 0; v < n; v += step) {
+    auto oa = a.OutNeighbors(v), ob = b.OutNeighbors(v);
+    auto ia = a.InNeighbors(v), ib = b.InNeighbors(v);
+    if (oa.size() != ob.size() || ia.size() != ib.size() ||
+        !std::equal(oa.begin(), oa.end(), ob.begin()) ||
+        !std::equal(ia.begin(), ia.end(), ib.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gly;
   using namespace gly::harness;
+  namespace fs = std::filesystem;
   bench::BenchOptions opts = bench::ParseArgs(argc, argv);
   bench::JsonEmitter emitter("ext_etl_times");
-  bench::Banner("Extension", "ETL time per platform",
+  bench::Banner("Extension", "ETL time per platform + parallel ETL pipeline",
                 "'Comparing ETL times of different platforms is left as "
                 "future work' (§3.3)");
 
-  std::printf("%-12s", "platform");
-  const uint64_t kSizes[] = {5000, 20000, 80000};
-  for (uint64_t n : kSizes) {
-    std::printf(" %14lluP", static_cast<unsigned long long>(n));
-  }
-  std::printf("\n%s\n", std::string(60, '-').c_str());
+  const uint32_t threads =
+      opts.threads == 0 ? static_cast<uint32_t>(HardwareThreads())
+                        : opts.threads;
+  const uint32_t scale = opts.kernel_scale;
+  const std::string graph_name = "rmat" + std::to_string(scale);
 
-  // Pre-generate the graphs (generation is not ETL).
-  std::vector<Graph> graphs;
-  for (uint64_t n : kSizes) {
-    graphs.push_back(bench::MakeSnbStandin(n, /*seed=*/77));
+  // ------------------------------------------------ parse + build duel
+  // Dataset: an R-MAT edge file on disk, like a Graphalytics ".e" dump.
+  // Generation and the file write are setup, not ETL (build_seconds).
+  Stopwatch setup_watch;
+  datagen::RmatConfig rmat;
+  rmat.scale = scale;
+  rmat.edge_factor = 16;
+  rmat.seed = 1;
+  ThreadPool pool(threads);
+  auto gen = datagen::RmatGenerator(rmat).Generate(&pool);
+  gen.status().Check();
+  fs::path edge_path =
+      fs::temp_directory_path() / ("gly_etl_" + graph_name + ".e");
+  WriteEdgeListText(*gen, edge_path.string()).Check();
+  const double setup_seconds = setup_watch.ElapsedSeconds();
+  std::printf("dataset: %s (%llu edges, %s on disk), %u threads\n\n",
+              graph_name.c_str(),
+              static_cast<unsigned long long>(gen->num_edges()),
+              FormatBytes(fs::file_size(edge_path)).c_str(), threads);
+
+  const EdgeListParseOptions parse_opts;
+  EtlOptions par_etl;
+  par_etl.pool = &pool;
+
+  EdgeList serial_edges, parallel_edges;
+  bench::KernelRecord parse_serial = bench::MeasureKernel(
+      "etl_parse/serial", graph_name, scale, opts.repeats, setup_seconds,
+      [&] {
+        auto r = ReadEdgeListText(edge_path.string(), parse_opts);
+        r.status().Check();
+        serial_edges = std::move(r).ValueOrDie();
+        return serial_edges.num_edges();
+      });
+  parse_serial.threads = 1;
+  bench::KernelRecord parse_parallel = bench::MeasureKernel(
+      "etl_parse/parallel", graph_name, scale, opts.repeats, setup_seconds,
+      [&] {
+        auto r = ReadEdgeListText(edge_path.string(), parse_opts, par_etl);
+        r.status().Check();
+        parallel_edges = std::move(r).ValueOrDie();
+        return parallel_edges.num_edges();
+      });
+  parse_parallel.threads = threads;
+  if (serial_edges.edges() != parallel_edges.edges() ||
+      serial_edges.num_vertices() != parallel_edges.num_vertices()) {
+    std::fprintf(stderr, "FATAL: parallel parse diverged from serial\n");
+    return 1;
   }
 
-  for (const std::string& name : RegisteredPlatforms()) {
-    std::printf("%-12s", name.c_str());
-    auto platform = MakePlatform(name, Config());
-    platform.status().Check();
-    for (size_t i = 0; i < graphs.size(); ++i) {
-      Stopwatch watch;
-      Status s = (*platform)->LoadGraph(graphs[i], "etl" + std::to_string(i));
-      double seconds = watch.ElapsedSeconds();
-      if (!s.ok()) {
-        std::printf(" %15s", "FAILED");
-      } else {
-        std::printf(" %15s", FormatSeconds(seconds).c_str());
-        bench::KernelRecord rec;
-        rec.kernel = "etl/" + name;
-        rec.graph = "snb-" + std::to_string(kSizes[i]);
-        rec.median_seconds = seconds;
-        rec.p95_seconds = seconds;
-        rec.peak_rss_bytes = SystemMonitor::CurrentRssBytes();
-        emitter.Add(rec);
-      }
-      (*platform)->UnloadGraph();
+  CsrBuildOptions par_build;
+  par_build.pool = &pool;
+  Graph serial_graph, parallel_graph;
+  bench::KernelRecord build_serial = bench::MeasureKernel(
+      "etl_build/serial", graph_name, scale, opts.repeats, setup_seconds,
+      [&] {
+        auto g = GraphBuilder::Undirected(serial_edges);
+        g.status().Check();
+        serial_graph = std::move(g).ValueOrDie();
+        return serial_graph.num_adjacency_entries();
+      });
+  build_serial.threads = 1;
+  bench::KernelRecord build_parallel = bench::MeasureKernel(
+      "etl_build/parallel", graph_name, scale, opts.repeats, setup_seconds,
+      [&] {
+        auto g = GraphBuilder::Undirected(serial_edges, par_build);
+        g.status().Check();
+        parallel_graph = std::move(g).ValueOrDie();
+        return parallel_graph.num_adjacency_entries();
+      });
+  build_parallel.threads = threads;
+  if (!SameGraph(serial_graph, parallel_graph)) {
+    std::fprintf(stderr, "FATAL: parallel CSR build diverged from serial\n");
+    return 1;
+  }
+
+  std::error_code ec;
+  fs::remove(edge_path, ec);
+
+  auto ratio = [](const bench::KernelRecord& s, const bench::KernelRecord& p) {
+    return p.median_seconds > 0.0 ? s.median_seconds / p.median_seconds : 0.0;
+  };
+  std::printf("%-20s %12s %12s %9s\n", "phase", "serial", "parallel",
+              "speedup");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  std::printf("%-20s %12s %12s %8.2fx\n", "etl_parse",
+              FormatSeconds(parse_serial.median_seconds).c_str(),
+              FormatSeconds(parse_parallel.median_seconds).c_str(),
+              ratio(parse_serial, parse_parallel));
+  std::printf("%-20s %12s %12s %8.2fx\n", "etl_build",
+              FormatSeconds(build_serial.median_seconds).c_str(),
+              FormatSeconds(build_parallel.median_seconds).c_str(),
+              ratio(build_serial, build_parallel));
+  std::printf("parity: parallel parse and build bit-identical to serial\n\n");
+  emitter.Add(parse_serial);
+  emitter.Add(parse_parallel);
+  emitter.Add(build_serial);
+  emitter.Add(build_parallel);
+
+  // ------------------------------------------ platform LoadGraph matrix
+  if (!opts.kernels_only) {
+    std::printf("%-12s", "platform");
+    const uint64_t kSizes[] = {5000, 20000, 80000};
+    for (uint64_t n : kSizes) {
+      std::printf(" %14lluP", static_cast<unsigned long long>(n));
     }
-    std::printf("\n");
+    std::printf("\n%s\n", std::string(60, '-').c_str());
+
+    // Pre-generate the graphs (generation is not ETL).
+    std::vector<Graph> graphs;
+    for (uint64_t n : kSizes) {
+      graphs.push_back(bench::MakeSnbStandin(n, /*seed=*/77));
+    }
+
+    for (const std::string& name : RegisteredPlatforms()) {
+      std::printf("%-12s", name.c_str());
+      auto platform = MakePlatform(name, Config());
+      platform.status().Check();
+      for (size_t i = 0; i < graphs.size(); ++i) {
+        Stopwatch watch;
+        Status s =
+            (*platform)->LoadGraph(graphs[i], "etl" + std::to_string(i));
+        double seconds = watch.ElapsedSeconds();
+        if (!s.ok()) {
+          std::printf(" %15s", "FAILED");
+        } else {
+          std::printf(" %15s", FormatSeconds(seconds).c_str());
+          bench::KernelRecord rec;
+          rec.kernel = "etl/" + name;
+          rec.graph = "snb-" + std::to_string(kSizes[i]);
+          rec.median_seconds = seconds;
+          rec.p95_seconds = seconds;
+          rec.peak_rss_bytes = SystemMonitor::CurrentRssBytes();
+          emitter.Add(rec);
+        }
+        (*platform)->UnloadGraph();
+      }
+      std::printf("\n");
+    }
+    std::printf("\nexpected shape: in-memory platforms adopt the graph "
+                "near-instantly; MapReduce pays the dataset upload; the graph "
+                "database pays record construction + WAL/page flushes, "
+                "growing with graph size.\n");
   }
-  std::printf("\nexpected shape: in-memory platforms adopt the graph "
-              "near-instantly; MapReduce pays the dataset upload; the graph "
-              "database pays record construction + WAL/page flushes, growing "
-              "with graph size.\n");
   if (!opts.json_path.empty() && !emitter.WriteTo(opts.json_path)) return 1;
   return 0;
 }

@@ -17,6 +17,11 @@ subject to a noise floor: pairs whose baseline AND current medians are
 below --min-seconds are reported but never gated (micro-times on shared CI
 boxes are dominated by scheduler jitter).
 
+Records may carry a "threads" field (worker count the kernel ran with;
+absent or 0 = unspecified). A pair whose baseline and current thread counts
+differ is skipped with a warning, not gated — a 4-thread baseline median
+says nothing about an 8-thread run.
+
 Exit status: 0 when no gated regression, 1 when at least one kernel
 regressed beyond the threshold, 2 on malformed input. Keys present in only
 one file are listed as added/removed but do not fail the gate — adding a
@@ -89,12 +94,23 @@ def main():
     removed = sorted(set(base) - set(cur))
 
     regressions = []
+    gated = 0
     print(f"{'kernel':<24} {'graph':<12} {'baseline':>10} {'current':>10} "
           f"{'delta':>8}  verdict")
     print("-" * 78)
     for key in shared:
-        b, _ = base[key]
-        c, _ = cur[key]
+        b, brec = base[key]
+        c, crec = cur[key]
+        b_threads = int(brec.get("threads", 0) or 0)
+        c_threads = int(crec.get("threads", 0) or 0)
+        if b_threads != c_threads:
+            print(f"{key[0]:<24} {key[1]:<12} {b:>9.4f}s {c:>9.4f}s "
+                  f"{'':>8}  skipped (thread mismatch)")
+            print(f"bench_compare: warning: {key[0]} on {key[1]}: baseline "
+                  f"ran with {b_threads} thread(s), current with "
+                  f"{c_threads} — pair skipped, not gated", file=sys.stderr)
+            continue
+        gated += 1
         delta = (c - b) / b if b > 0 else float("inf") if c > 0 else 0.0
         noise = b < args.min_seconds and c < args.min_seconds
         regressed = (not noise) and c > b * (1.0 + args.threshold)
@@ -125,8 +141,11 @@ def main():
         for (kernel, graph), b, c, delta in regressions:
             print(f"  {kernel} on {graph}: {b:.4f}s -> {c:.4f}s ({delta:+.1%})")
         sys.exit(1)
+    skipped = len(shared) - gated
     print(f"\nno regressions beyond +{args.threshold:.0%} "
-          f"({len(shared)} kernels compared)")
+          f"({gated} kernels compared"
+          + (f", {skipped} skipped on thread mismatch" if skipped else "")
+          + ")")
     sys.exit(0)
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Three stages:
+# CI entry point. Four stages:
 #
 #   1. tier-1      — plain build, full test suite (the gate every PR must
 #                    hold).
@@ -8,17 +8,25 @@
 #                    checkpoint/recovery, WAL/resume, and the cross-engine
 #                    kernel-conformance suites — the paths most valuable to
 #                    run under a sanitizer.
-#   3. bench-smoke — fig4_runtimes kernel duel at smoke scale, gated by
-#                    scripts/bench_compare.py against the committed
-#                    BENCH_kernels.json baseline (>10% median regression
-#                    fails; see DESIGN.md §8). BENCH_THRESHOLD overrides the
-#                    gate for noisy boxes; regenerate the baseline with the
-#                    same fig4_runtimes invocation after intentional perf
-#                    changes.
+#   3. tsan        — GLY_SANITIZE=thread build running the `ingest` CTest
+#                    label: the parallel ETL pipeline (chunked parsing,
+#                    parallel CSR build, reordering) under the race
+#                    detector, where its bugs would actually show.
+#   4. bench-smoke — fig4_runtimes kernel duel plus the ext_etl_times
+#                    parse/build duel at smoke scale, each gated by
+#                    scripts/bench_compare.py against its committed baseline
+#                    (BENCH_kernels.json / BENCH_etl.json; >10% median
+#                    regression fails; see DESIGN.md §8). BENCH_THRESHOLD
+#                    overrides the gate for noisy boxes; regenerate a
+#                    baseline with the same bench invocation after
+#                    intentional perf changes. The ETL duel pins
+#                    --threads ${ETL_THREADS} so the baseline's thread count
+#                    matches across boxes (bench_compare skips, rather than
+#                    gates, thread-mismatched pairs).
 #
 # Build directories are separate from the developer's `build/` so a CI run
 # never clobbers an interactive configuration. Override with TIER1_DIR /
-# ASAN_DIR; JOBS controls parallelism (default: nproc).
+# ASAN_DIR / TSAN_DIR; JOBS controls parallelism (default: nproc).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,30 +34,48 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 TIER1_DIR="${TIER1_DIR:-build-ci}"
 ASAN_DIR="${ASAN_DIR:-build-ci-asan}"
+TSAN_DIR="${TSAN_DIR:-build-ci-tsan}"
 BENCH_SCALE="${BENCH_SCALE:-12}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
+ETL_THREADS="${ETL_THREADS:-4}"
 
-echo "==> [1/3] tier-1: configure + build (${TIER1_DIR})"
+echo "==> [1/4] tier-1: configure + build (${TIER1_DIR})"
 cmake -B "${TIER1_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${TIER1_DIR}" -j "${JOBS}"
 
-echo "==> [1/3] tier-1: full test suite"
+echo "==> [1/4] tier-1: full test suite"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [2/3] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
+echo "==> [2/4] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=address
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
 
-echo "==> [2/3] asan: robustness + conformance suites"
+echo "==> [2/4] asan: robustness + conformance suites"
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -L 'robustness|conformance'
 
-echo "==> [3/3] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
+echo "==> [3/4] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
+cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGLY_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}"
+
+echo "==> [3/4] tsan: ingest suite (parallel ETL under the race detector)"
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L ingest
+
+echo "==> [4/4] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
 "${TIER1_DIR}/bench/fig4_runtimes" --kernels-only \
     --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
     --json "${TIER1_DIR}/bench_kernels_current.json"
 python3 scripts/bench_compare.py BENCH_kernels.json \
     "${TIER1_DIR}/bench_kernels_current.json"
+
+echo "==> [4/4] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} threads"
+"${TIER1_DIR}/bench/ext_etl_times" --kernels-only \
+    --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
+    --threads "${ETL_THREADS}" \
+    --json "${TIER1_DIR}/bench_etl_current.json"
+python3 scripts/bench_compare.py BENCH_etl.json \
+    "${TIER1_DIR}/bench_etl_current.json"
 
 echo "==> ci passed"

@@ -1,6 +1,7 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace gly {
 
@@ -39,25 +40,51 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  ParallelForChunked(n, [&fn](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) fn(i);
-  });
+  ParallelFor(0, n, 0, fn);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunked(begin, end, grain,
+                     [&fn](size_t chunk_begin, size_t chunk_end) {
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+                     });
 }
 
 void ThreadPool::ParallelForChunked(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
-  const size_t chunks = std::min(n, num_threads() * 4);
+  ParallelForChunked(0, n, 0, fn);
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  size_t chunks = std::min(n, num_threads() * 4);
+  if (grain > 0) chunks = std::min(chunks, (n + grain - 1) / grain);
+  chunks = std::max<size_t>(1, chunks);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+    const size_t chunk_begin = begin + c * chunk_size;
+    const size_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    if (chunk_begin >= chunk_end) break;
+    futures.push_back(
+        Submit([&fn, chunk_begin, chunk_end] { fn(chunk_begin, chunk_end); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: a chunk still running when the
+  // call returns would use a dangling `fn`. The first exception wins.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 size_t HardwareThreads() {

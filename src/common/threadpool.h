@@ -48,10 +48,25 @@ class ThreadPool {
   /// distinct indices.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Runs `fn(i)` for every i in [begin, end), splitting the range into
+  /// chunks of at least `grain` indices (grain 0 = automatic). Blocks until
+  /// every chunk finishes; if `fn` throws, the first exception propagates
+  /// to the caller *after* all chunks have completed, so `fn` never
+  /// outlives the call.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
   /// Runs `fn(chunk_begin, chunk_end)` over [0, n) split into roughly
   /// pool-size chunks, blocking until done.
   void ParallelForChunked(
       size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Ranged chunk variant: covers [begin, end) with chunks of at least
+  /// `grain` indices (grain 0 = automatic). Same exception contract as the
+  /// ranged ParallelFor.
+  void ParallelForChunked(
+      size_t begin, size_t end, size_t grain,
+      const std::function<void(size_t, size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 

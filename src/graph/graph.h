@@ -11,10 +11,20 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/threadpool.h"
 #include "graph/edge_list.h"
 #include "graph/types.h"
 
 namespace gly {
+
+/// Bijective vertex relabeling: `old_to_new[old] == new` and
+/// `new_to_old[new] == old`.
+struct VertexPermutation {
+  std::vector<VertexId> old_to_new;
+  std::vector<VertexId> new_to_old;
+};
+
+struct ReorderedGraph;
 
 /// Immutable CSR graph.
 class Graph {
@@ -72,6 +82,16 @@ class Graph {
   /// in/out symmetry). Intended for tests.
   Status Validate() const;
 
+  /// Opt-in locality optimization: relabels vertices in out-degree
+  /// descending order (ties by original id), so hubs cluster at the low
+  /// ids that traversal kernels touch most. Returns the relabeled graph
+  /// plus the permutation; algorithm outputs computed on the result must
+  /// be mapped back through the permutation to speak original ids. Only
+  /// meaningful for relabeling-invariant algorithms (STATS/BFS/CONN/PR);
+  /// id-seeded ones (CD, EVO) change results under relabeling.
+  /// Row relabeling parallelizes on `pool` when provided.
+  ReorderedGraph ReorderByDegree(ThreadPool* pool = nullptr) const;
+
  private:
   friend class GraphBuilder;
 
@@ -83,17 +103,50 @@ class Graph {
   std::vector<VertexId> in_targets_;
 };
 
+/// See Graph::ReorderByDegree.
+struct ReorderedGraph {
+  Graph graph;
+  VertexPermutation perm;
+};
+
+/// Vertex ids ordered by out-degree descending, ties by id ascending —
+/// the shared ordering used by ReorderByDegree and the greedy
+/// edge-balanced partitioner.
+std::vector<VertexId> DegreeDescendingOrder(const Graph& graph);
+
+/// CSR construction policy. `threads > 1` (or an external `pool`) selects
+/// the parallel two-pass build: atomic degree counting, parallel prefix
+/// sum, parallel scatter, then a deterministic per-vertex neighbor sort.
+/// The parallel build is bit-identical to the serial one — same offsets,
+/// same target arrays — at any thread count (the etl parity suite proves
+/// it), so callers can pick threads purely on performance grounds.
+struct CsrBuildOptions {
+  bool dedup = true;           ///< Directed only: drop self-loops + dups
+  size_t threads = 1;          ///< >1 = parallel build on a private pool
+  ThreadPool* pool = nullptr;  ///< shared pool (overrides `threads`)
+};
+
 /// Builds CSR graphs from edge lists.
 class GraphBuilder {
  public:
   /// Builds a directed graph. Duplicate edges and self-loops are kept unless
   /// `dedup` is true.
   static Result<Graph> Directed(const EdgeList& edges, bool dedup = true);
+  static Result<Graph> Directed(const EdgeList& edges,
+                                const CsrBuildOptions& options);
 
   /// Builds an undirected graph: each input edge (u,v) appears in both
   /// adjacency lists. Self-loops are dropped; duplicates (in either
   /// orientation) are merged.
   static Result<Graph> Undirected(const EdgeList& edges);
+  static Result<Graph> Undirected(const EdgeList& edges,
+                                  const CsrBuildOptions& options);
+
+ private:
+  static Result<Graph> ParallelDirected(const EdgeList& edges, bool dedup,
+                                        ThreadPool& pool);
+  static Result<Graph> ParallelUndirected(const EdgeList& edges,
+                                          ThreadPool& pool);
 };
 
 }  // namespace gly

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <string_view>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -13,7 +15,52 @@ namespace gly {
 
 namespace {
 constexpr char kMagic[8] = {'G', 'L', 'Y', 'E', 'D', 'G', 'E', '1'};
+
+/// Clamped id bound shared by the serial and parallel text parsers.
+uint64_t IdLimit(const EdgeListParseOptions& options) {
+  return std::min<uint64_t>(options.max_vertex_id, kInvalidVertex - 1);
+}
+
+/// Parses one text edge line (getline semantics: no trailing newline).
+/// On success sets `*keep` (false for comments, blanks, and dropped
+/// self-loops) and `*edge` when kept. Every error carries the exact
+/// `path:line:` prefix the serial loader has always produced — the one
+/// parser both the serial and the chunked parallel paths call.
+Status ParseEdgeLine(std::string_view raw, const std::string& path,
+                     size_t line_no, const EdgeListParseOptions& options,
+                     uint64_t id_limit, bool* keep, Edge* edge) {
+  *keep = false;
+  std::string_view sv = Trim(raw);
+  if (sv.empty() || sv[0] == '#') return Status::OK();
+  auto fields = SplitWhitespace(sv);
+  if (fields.size() < 2) {
+    return Status::InvalidArgument(
+        StringPrintf("%s:%zu: expected 'src dst'", path.c_str(), line_no));
+  }
+  // Prefix parse failures (non-numeric tokens, uint64 overflow, trailing
+  // garbage) with the offending location.
+  auto src_parsed = ParseUint64(fields[0]);
+  auto dst_parsed = ParseUint64(fields[1]);
+  if (!src_parsed.ok() || !dst_parsed.ok()) {
+    const Status& bad =
+        src_parsed.ok() ? dst_parsed.status() : src_parsed.status();
+    return bad.WithPrefix(StringPrintf("%s:%zu", path.c_str(), line_no));
+  }
+  uint64_t src = src_parsed.ValueOrDie();
+  uint64_t dst = dst_parsed.ValueOrDie();
+  if (src > id_limit || dst > id_limit) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s:%zu: vertex id %llu exceeds limit %llu", path.c_str(), line_no,
+        (unsigned long long)std::max(src, dst), (unsigned long long)id_limit));
+  }
+  if (options.drop_self_loops && src == dst) return Status::OK();
+  *keep = true;
+  *edge = Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst)};
+  return Status::OK();
+}
+
 }  // namespace
+
 
 Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
   std::ofstream out(path);
@@ -36,41 +83,137 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
                                   const EdgeListParseOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  const uint64_t id_limit =
-      std::min<uint64_t>(options.max_vertex_id, kInvalidVertex - 1);
+  const uint64_t id_limit = IdLimit(options);
   EdgeList edges;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    std::string_view sv = Trim(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    auto fields = SplitWhitespace(sv);
-    if (fields.size() < 2) {
-      return Status::InvalidArgument(
-          StringPrintf("%s:%zu: expected 'src dst'", path.c_str(), line_no));
-    }
-    // Prefix parse failures (non-numeric tokens, uint64 overflow, trailing
-    // garbage) with the offending location.
-    auto src_parsed = ParseUint64(fields[0]);
-    auto dst_parsed = ParseUint64(fields[1]);
-    if (!src_parsed.ok() || !dst_parsed.ok()) {
-      const Status& bad =
-          src_parsed.ok() ? dst_parsed.status() : src_parsed.status();
-      return bad.WithPrefix(StringPrintf("%s:%zu", path.c_str(), line_no));
-    }
-    uint64_t src = src_parsed.ValueOrDie();
-    uint64_t dst = dst_parsed.ValueOrDie();
-    if (src > id_limit || dst > id_limit) {
-      return Status::InvalidArgument(StringPrintf(
-          "%s:%zu: vertex id %llu exceeds limit %llu", path.c_str(), line_no,
-          (unsigned long long)std::max(src, dst),
-          (unsigned long long)id_limit));
-    }
-    if (options.drop_self_loops && src == dst) continue;
-    edges.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+    bool keep = false;
+    Edge edge{0, 0};
+    GLY_RETURN_NOT_OK(
+        ParseEdgeLine(line, path, line_no, options, id_limit, &keep, &edge));
+    if (keep) edges.Add(edge.src, edge.dst);
   }
+  // A stream that goes bad() mid-file (I/O error, not EOF) must surface,
+  // never silently truncate the graph.
   if (in.bad()) return Status::IOError("read failed: " + path);
+  if (options.drop_duplicates) edges.Deduplicate();
+  return edges;
+}
+
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListParseOptions& options,
+                                  const EtlOptions& etl) {
+  if (etl.pool == nullptr && etl.threads <= 1) {
+    return ReadEdgeListText(path, options);
+  }
+  std::optional<ThreadPool> own_pool;
+  ThreadPool* pool = etl.pool;
+  if (pool == nullptr) {
+    own_pool.emplace(etl.threads);
+    pool = &*own_pool;
+  }
+
+  // Whole-file slurp: the parallel parser needs random access to place
+  // chunk boundaries on newlines. A short read (disk error mid-file) is an
+  // IOError exactly like the serial loader's bad() check.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  if (file_size < 0) return Status::IOError("read failed: " + path);
+  std::string buffer;
+  buffer.resize(static_cast<size_t>(file_size));
+  in.seekg(0);
+  in.read(buffer.data(), file_size);
+  if (in.bad() || in.gcount() != file_size) {
+    return Status::IOError("read failed: " + path);
+  }
+  in.close();
+  const std::string_view text(buffer);
+
+  // Chunk boundaries: aim for several chunks per pool thread, each starting
+  // right after a newline so no line is ever split across chunks.
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  const size_t want_chunks = std::max<size_t>(1, pool->num_threads() * 4);
+  const size_t approx = std::max<size_t>(1, text.size() / want_chunks);
+  for (size_t c = 1; c < want_chunks; ++c) {
+    size_t pos = std::min(text.size(), c * approx);
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;
+    if (nl + 1 > bounds.back() && nl + 1 < text.size()) {
+      bounds.push_back(nl + 1);
+    }
+  }
+  bounds.push_back(text.size());
+  const size_t num_chunks = bounds.size() - 1;
+
+  // Phase 1: per-chunk newline counts, so every chunk knows the 1-based
+  // line number it starts at — error messages must match the serial path.
+  std::vector<size_t> start_line(num_chunks + 1, 0);
+  pool->ParallelFor(0, num_chunks, 1, [&](size_t c) {
+    size_t newlines = 0;
+    for (size_t pos = bounds[c]; pos < bounds[c + 1];) {
+      size_t nl = text.find('\n', pos);
+      if (nl == std::string_view::npos || nl >= bounds[c + 1]) break;
+      ++newlines;
+      pos = nl + 1;
+    }
+    start_line[c + 1] = newlines;
+  });
+  start_line[0] = 1;
+  for (size_t c = 1; c <= num_chunks; ++c) start_line[c] += start_line[c - 1];
+
+  // Phase 2: parse chunks concurrently. Each failure remembers its line so
+  // the earliest one — what the serial loop would have hit first — wins.
+  struct ChunkResult {
+    EdgeList edges;
+    Status status = Status::OK();
+    size_t error_line = 0;
+  };
+  const uint64_t id_limit = IdLimit(options);
+  std::vector<ChunkResult> chunks(num_chunks);
+  pool->ParallelFor(0, num_chunks, 1, [&](size_t c) {
+    ChunkResult& out = chunks[c];
+    size_t line_no = start_line[c] - 1;
+    size_t pos = bounds[c];
+    while (pos < bounds[c + 1]) {
+      size_t nl = text.find('\n', pos);
+      const size_t line_end =
+          (nl == std::string_view::npos || nl > bounds[c + 1]) ? bounds[c + 1]
+                                                               : nl;
+      std::string_view line = text.substr(pos, line_end - pos);
+      pos = line_end + 1;
+      ++line_no;
+      bool keep = false;
+      Edge edge{0, 0};
+      Status s = ParseEdgeLine(line, path, line_no, options, id_limit, &keep,
+                               &edge);
+      if (!s.ok()) {
+        out.status = std::move(s);
+        out.error_line = line_no;
+        return;
+      }
+      if (keep) out.edges.Add(edge.src, edge.dst);
+    }
+  });
+
+  const ChunkResult* first_error = nullptr;
+  for (const ChunkResult& chunk : chunks) {
+    if (chunk.status.ok()) continue;
+    if (first_error == nullptr || chunk.error_line < first_error->error_line) {
+      first_error = &chunk;
+    }
+  }
+  if (first_error != nullptr) return first_error->status;
+
+  size_t total = 0;
+  for (const ChunkResult& chunk : chunks) total += chunk.edges.num_edges();
+  EdgeList edges;
+  edges.Reserve(total);
+  for (ChunkResult& chunk : chunks) edges.Append(chunk.edges);
   if (options.drop_duplicates) edges.Deduplicate();
   return edges;
 }
@@ -157,6 +300,9 @@ Status ApplyVertexFile(const std::string& path, EdgeList* edges) {
     }
     edges->EnsureVertices(static_cast<VertexId>(v) + 1);
   }
+  // Same mid-file-error discipline as the edge loader: EOF and a failed
+  // read are different things.
+  if (in.bad()) return Status::IOError("read failed: " + path);
   return Status::OK();
 }
 
@@ -166,8 +312,14 @@ Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix) {
 
 Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
                                          const EdgeListParseOptions& options) {
+  return ReadGraphalyticsDataset(prefix, options, EtlOptions{});
+}
+
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
+                                         const EdgeListParseOptions& options,
+                                         const EtlOptions& etl) {
   GLY_ASSIGN_OR_RETURN(EdgeList edges,
-                       ReadEdgeListText(prefix + ".e", options));
+                       ReadEdgeListText(prefix + ".e", options, etl));
   std::ifstream probe(prefix + ".v");
   if (probe) {
     probe.close();

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/threadpool.h"
 #include "graph/edge_list.h"
 
 namespace gly {
@@ -34,10 +35,25 @@ struct EdgeListParseOptions {
 /// Writes `edges` as a text edge file (one `src dst` line per edge).
 Status WriteEdgeListText(const EdgeList& edges, const std::string& path);
 
+/// Parallelism policy for text ETL. With `threads <= 1` and no pool the
+/// loaders take the serial reference path; otherwise the file is split at
+/// newline boundaries and the chunks parse concurrently on the pool. The
+/// parallel path produces the exact edge order, vertex bound, and — for
+/// malformed input — the exact `file:line:`-prefixed error message of the
+/// serial path (the earliest offending line wins), so callers choose purely
+/// on performance grounds.
+struct EtlOptions {
+  size_t threads = 1;          ///< >1 = parse on a private pool
+  ThreadPool* pool = nullptr;  ///< shared pool (overrides `threads`)
+};
+
 /// Reads a text edge file.
 Result<EdgeList> ReadEdgeListText(const std::string& path);
 Result<EdgeList> ReadEdgeListText(const std::string& path,
                                   const EdgeListParseOptions& options);
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListParseOptions& options,
+                                  const EtlOptions& etl);
 
 /// Writes the compact binary format (magic, counts, raw edge array).
 Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
@@ -56,9 +72,13 @@ Status WriteVertexFile(const EdgeList& edges, const std::string& path);
 Status ApplyVertexFile(const std::string& path, EdgeList* edges);
 
 /// Loads a Graphalytics dataset: `<prefix>.e` (required) plus
-/// `<prefix>.v` (optional).
+/// `<prefix>.v` (optional). The edge file honours `etl` (the vertex file
+/// is a tiny id list and always reads serially).
 Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix);
 Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
                                          const EdgeListParseOptions& options);
+Result<EdgeList> ReadGraphalyticsDataset(const std::string& prefix,
+                                         const EdgeListParseOptions& options,
+                                         const EtlOptions& etl);
 
 }  // namespace gly

@@ -10,15 +10,9 @@ BalancedEdgePartitioner::BalancedEdgePartitioner(const Graph& graph,
     : num_partitions_(num_partitions),
       assignment_(graph.num_vertices(), 0),
       loads_(num_partitions, 0) {
-  const VertexId n = graph.num_vertices();
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
-    uint64_t da = graph.OutDegree(a);
-    uint64_t db = graph.OutDegree(b);
-    return da != db ? da > db : a < b;
-  });
-  for (VertexId v : order) {
+  // Same degree-descending order Graph::ReorderByDegree uses, so the
+  // partitioner and the locality reordering agree on what a "hub" is.
+  for (VertexId v : DegreeDescendingOrder(graph)) {
     uint32_t best = 0;
     for (uint32_t p = 1; p < num_partitions_; ++p) {
       if (loads_[p] < loads_[best]) best = p;

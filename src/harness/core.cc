@@ -109,6 +109,16 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     if (ds.graph == nullptr) {
       return Status::InvalidArgument("dataset '" + ds.name + "' has no graph");
     }
+    if (ds.original != nullptr) {
+      if (ds.new_to_old == nullptr || ds.old_to_new == nullptr ||
+          ds.new_to_old->size() != ds.graph->num_vertices() ||
+          ds.old_to_new->size() != ds.graph->num_vertices() ||
+          ds.original->num_vertices() != ds.graph->num_vertices()) {
+        return Status::InvalidArgument(
+            "reordered dataset '" + ds.name +
+            "' needs a permutation covering every vertex");
+      }
+    }
   }
 
   const uint32_t max_attempts = std::max(1u, spec.max_attempts);
@@ -193,6 +203,15 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
       }
       double load_seconds = load_watch.ElapsedSeconds();
 
+      // Execution parameters: `dataset.params` speaks original vertex ids;
+      // on a reordered dataset the BFS source must be translated into the
+      // id space the platform actually runs in.
+      AlgorithmParams run_params = dataset.params;
+      if (dataset.original != nullptr &&
+          dataset.params.bfs.source < dataset.old_to_new->size()) {
+        run_params.bfs.source = (*dataset.old_to_new)[dataset.params.bfs.source];
+      }
+
       for (AlgorithmKind algorithm : spec.algorithms) {
         auto reuse = reusable.find(algorithm);
         if (reuse != reusable.end()) {
@@ -207,6 +226,18 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         result.graph = dataset.name;
         result.algorithm = algorithm;
         result.load_seconds = load_seconds;
+
+        // CD and EVO seed their dynamics with vertex ids: running them on a
+        // relabeled graph is a different computation whose output cannot be
+        // mapped back. Refuse the cell — recorded, never silent.
+        if (dataset.original != nullptr && !RelabelingInvariant(algorithm)) {
+          result.status = Status::InvalidArgument(
+              StringPrintf("%s is not relabeling-invariant; rerun with "
+                           "graph.reorder = none",
+                           AlgorithmKindName(algorithm).c_str()));
+          emit(result);
+          continue;
+        }
 
         if (!load_status.ok()) {
           result.status = load_status.WithPrefix("load");
@@ -243,7 +274,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
             auto state = std::make_shared<AttemptState>();
             state->platform = platform;
             state->algorithm = algorithm;
-            state->params = dataset.params;
+            state->params = run_params;
             std::future<void> done = state->done.get_future();
             std::thread([state] {
               state->run = state->platform->Run(state->algorithm,
@@ -262,7 +293,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
               platform.reset();
             }
           } else {
-            run = platform->Run(algorithm, dataset.params);
+            run = platform->Run(algorithm, run_params);
           }
           result.runtime_seconds = run_watch.ElapsedSeconds();
           if (spec.monitor) result.resources = monitor.Stop();
@@ -278,8 +309,19 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                                     result.runtime_seconds
                               : 0.0;
             if (spec.validate) {
-              result.validation = ValidateOutput(*dataset.graph, algorithm,
-                                                 dataset.params, *run);
+              // Reordered datasets validate in original vertex ids against
+              // the original graph, so a reordered run and a plain run
+              // answer to the same reference output.
+              if (dataset.original != nullptr) {
+                AlgorithmOutput mapped = MapOutputToOriginalIds(
+                    algorithm, *dataset.new_to_old, *run);
+                result.validation = ValidateOutput(*dataset.original,
+                                                   algorithm, dataset.params,
+                                                   mapped);
+              } else {
+                result.validation = ValidateOutput(*dataset.graph, algorithm,
+                                                   dataset.params, *run);
+              }
               if (!result.validation.ok()) {
                 GLY_LOG_ERROR << platform_name << "/" << dataset.name << "/"
                               << AlgorithmKindName(algorithm) << " validation: "

@@ -32,10 +32,25 @@
 namespace gly::harness {
 
 /// One dataset in the run.
+///
+/// Reordered datasets (graph.reorder = degree): `graph` is the
+/// degree-relabeled graph the platforms execute on, `original` the
+/// pre-reorder graph, and the permutation arrays map between the two id
+/// spaces (`new_to_old[new_id] == original_id`). `params` stays in
+/// *original* ids — the harness translates id-valued parameters (the BFS
+/// source) into the reordered space, maps each output back through
+/// `MapOutputToOriginalIds`, and validates against `original`, so every
+/// recorded result speaks original vertex ids. Algorithms that are not
+/// relabeling-invariant (CD, EVO) are refused on reordered datasets with a
+/// recorded per-cell failure. All three reorder fields are null for plain
+/// datasets.
 struct DatasetSpec {
   std::string name;
   const Graph* graph = nullptr;
   AlgorithmParams params;  ///< per-graph parameters (BFS source, seeds...)
+  const Graph* original = nullptr;
+  const std::vector<VertexId>* new_to_old = nullptr;
+  const std::vector<VertexId>* old_to_new = nullptr;
 };
 
 /// The run definition.

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -16,8 +18,14 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// Builds one dataset from its `graph.<name>.*` scope.
-Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
+// Builds one dataset from its `graph.<name>.*` scope. `etl_pool` (nullable)
+// parallelizes text parsing and CSR construction — both paths are
+// bit-identical to their serial counterparts, so the knob is purely a
+// performance choice.
+Result<Graph> BuildGraph(const std::string& name, const Config& scope,
+                         ThreadPool* etl_pool) {
+  CsrBuildOptions build;
+  build.pool = etl_pool;
   std::string source = ToLower(scope.GetStringOr("source", "datagen"));
   if (source == "datagen") {
     datagen::SocialDatagenConfig dg;
@@ -34,7 +42,7 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
     ThreadPool pool(HardwareThreads());
     GLY_ASSIGN_OR_RETURN(datagen::SocialGraph social,
                          datagen::SocialDatagen(dg).Generate(&pool));
-    return GraphBuilder::Undirected(social.edges);
+    return GraphBuilder::Undirected(social.edges, build);
   }
   if (source == "rmat") {
     datagen::RmatConfig rmat;
@@ -46,8 +54,8 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
     GLY_ASSIGN_OR_RETURN(EdgeList edges,
                          datagen::RmatGenerator(rmat).Generate(&pool));
     bool directed = scope.GetBoolOr("directed", false);
-    return directed ? GraphBuilder::Directed(edges)
-                    : GraphBuilder::Undirected(edges);
+    return directed ? GraphBuilder::Directed(edges, build)
+                    : GraphBuilder::Undirected(edges, build);
   }
   if (source == "file") {
     GLY_ASSIGN_OR_RETURN(std::string path, scope.GetString("path"));
@@ -56,6 +64,8 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
     parse.drop_duplicates = scope.GetBoolOr("drop_duplicates", false);
     parse.max_vertex_id = scope.GetUintOr("max_vertex_id",
                                           parse.max_vertex_id);
+    EtlOptions etl;
+    etl.pool = etl_pool;
     EdgeList edges;
     if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
       GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListBinary(path));
@@ -63,18 +73,27 @@ Result<Graph> BuildGraph(const std::string& name, const Config& scope) {
       // Graphalytics dataset convention: companion ".v" picked up when
       // present (covers isolated vertices).
       GLY_ASSIGN_OR_RETURN(
-          edges,
-          ReadGraphalyticsDataset(path.substr(0, path.size() - 2), parse));
+          edges, ReadGraphalyticsDataset(path.substr(0, path.size() - 2),
+                                         parse, etl));
     } else {
-      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListText(path, parse));
+      GLY_ASSIGN_OR_RETURN(edges, ReadEdgeListText(path, parse, etl));
     }
     bool directed = scope.GetBoolOr("directed", false);
-    return directed ? GraphBuilder::Directed(edges)
-                    : GraphBuilder::Undirected(edges);
+    return directed ? GraphBuilder::Directed(edges, build)
+                    : GraphBuilder::Undirected(edges, build);
   }
   return Status::InvalidArgument("graph." + name + ".source: unknown '" +
                                  source + "'");
 }
+
+// Backing store for one dataset: the built graph plus, when the reorder
+// knob asks for it, the degree-relabeled copy and its permutation. Held by
+// pointer so DatasetSpec's raw pointers stay valid as the vector grows.
+struct DatasetStorage {
+  Graph graph;
+  bool reordered = false;
+  ReorderedGraph by_degree;
+};
 
 }  // namespace
 
@@ -109,20 +128,53 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
   base_params.bfs.alpha = config.GetDoubleOr("bfs.alpha", base_params.bfs.alpha);
   base_params.bfs.beta = config.GetDoubleOr("bfs.beta", base_params.bfs.beta);
 
-  std::vector<Graph> graphs;
-  graphs.reserve(graph_names.size());
+  // ETL parallelism: etl.threads = 1 keeps the serial reference loaders;
+  // N > 1 parses and builds on an N-thread pool; 0 = hardware threads.
+  // Either way the graphs are bit-identical (see DESIGN.md §8).
+  size_t etl_threads = config.GetUintOr("etl.threads", 1);
+  if (etl_threads == 0) etl_threads = HardwareThreads();
+  std::optional<ThreadPool> etl_pool;
+  if (etl_threads > 1) etl_pool.emplace(etl_threads);
+  ThreadPool* etl_pool_ptr = etl_pool ? &*etl_pool : nullptr;
+
+  // graph.reorder = degree relabels every dataset by descending out-degree
+  // (hubs first, for traversal locality); graph.<name>.reorder overrides it
+  // per dataset. Results and validation stay in original vertex ids.
+  std::string default_reorder =
+      ToLower(config.GetStringOr("graph.reorder", "none"));
+
+  std::vector<std::unique_ptr<DatasetStorage>> graphs;
   RunSpec spec;
   for (const std::string& name : graph_names) {
     Config scope = config.Scoped("graph." + name);
-    auto graph = BuildGraph(name, scope);
+    auto graph = BuildGraph(name, scope, etl_pool_ptr);
     if (!graph.ok()) return graph.status().WithPrefix("graph." + name);
-    graphs.push_back(std::move(graph).ValueOrDie());
+    auto storage = std::make_unique<DatasetStorage>();
+    storage->graph = std::move(graph).ValueOrDie();
+    std::string reorder =
+        ToLower(scope.GetStringOr("reorder", default_reorder));
+    if (reorder == "degree") {
+      storage->by_degree = storage->graph.ReorderByDegree(etl_pool_ptr);
+      storage->reordered = true;
+    } else if (reorder != "none") {
+      return Status::InvalidArgument("graph." + name + ".reorder: unknown '" +
+                                     reorder + "' (degree | none)");
+    }
+    graphs.push_back(std::move(storage));
   }
   for (size_t i = 0; i < graph_names.size(); ++i) {
     Config scope = config.Scoped("graph." + graph_names[i]);
+    const DatasetStorage& storage = *graphs[i];
     DatasetSpec dataset;
     dataset.name = graph_names[i];
-    dataset.graph = &graphs[i];
+    if (storage.reordered) {
+      dataset.graph = &storage.by_degree.graph;
+      dataset.original = &storage.graph;
+      dataset.new_to_old = &storage.by_degree.perm.new_to_old;
+      dataset.old_to_new = &storage.by_degree.perm.old_to_new;
+    } else {
+      dataset.graph = &storage.graph;
+    }
     dataset.params = base_params;
     dataset.params.bfs.source =
         static_cast<VertexId>(scope.GetUintOr("bfs_source", 0));

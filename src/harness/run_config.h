@@ -30,6 +30,14 @@
 //   cd.max_iterations = 10
 //   evo.new_vertices = 32
 //
+//   # ETL (see DESIGN.md §8, "ETL performance")
+//   etl.threads = 8                   # parallel parse + CSR build (0 = all
+//                                     # hardware threads, 1 = serial)
+//   graph.reorder = degree            # degree | none: relabel hubs-first;
+//   graph.snb.reorder = none          # per-graph override. Outputs and
+//                                     # validation stay in original ids;
+//                                     # CD/EVO cells are refused (recorded).
+//
 //   # outputs
 //   report.dir = graphalytics-report
 //   validate = true

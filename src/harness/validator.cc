@@ -125,4 +125,60 @@ Status ValidateOutput(const Graph& graph, AlgorithmKind kind,
   return ValidateAgainst(expected, actual, kind, options);
 }
 
+bool RelabelingInvariant(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kStats:
+    case AlgorithmKind::kBfs:
+    case AlgorithmKind::kConn:
+    case AlgorithmKind::kPr:
+      return true;
+    case AlgorithmKind::kCd:
+    case AlgorithmKind::kEvo:
+      return false;
+  }
+  return false;
+}
+
+AlgorithmOutput MapOutputToOriginalIds(AlgorithmKind kind,
+                                       const std::vector<VertexId>& new_to_old,
+                                       AlgorithmOutput output) {
+  const size_t n = new_to_old.size();
+  if (!output.vertex_values.empty() && output.vertex_values.size() == n) {
+    std::vector<int64_t> mapped(n);
+    if (kind == AlgorithmKind::kConn) {
+      // CONN labels are vertex ids: in the reordered space a component is
+      // labeled with its smallest *new* id. Recover the original-space
+      // convention (smallest original id per component) in one pass.
+      std::vector<VertexId> min_orig(n, kInvalidVertex);
+      for (size_t i = 0; i < n; ++i) {
+        int64_t label = output.vertex_values[i];
+        if (label < 0 || static_cast<size_t>(label) >= n) continue;
+        min_orig[label] = std::min(min_orig[label], new_to_old[i]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        int64_t label = output.vertex_values[i];
+        int64_t translated =
+            (label >= 0 && static_cast<size_t>(label) < n)
+                ? static_cast<int64_t>(min_orig[label])
+                : label;
+        mapped[new_to_old[i]] = translated;
+      }
+    } else {
+      // BFS distances are id-free: move each value to its original slot.
+      for (size_t i = 0; i < n; ++i) {
+        mapped[new_to_old[i]] = output.vertex_values[i];
+      }
+    }
+    output.vertex_values = std::move(mapped);
+  }
+  if (!output.vertex_scores.empty() && output.vertex_scores.size() == n) {
+    std::vector<double> mapped(n);
+    for (size_t i = 0; i < n; ++i) {
+      mapped[new_to_old[i]] = output.vertex_scores[i];
+    }
+    output.vertex_scores = std::move(mapped);
+  }
+  return output;
+}
+
 }  // namespace gly::harness

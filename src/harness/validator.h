@@ -32,4 +32,20 @@ Status ValidateAgainst(const AlgorithmOutput& expected,
                        const AlgorithmOutput& actual, AlgorithmKind kind,
                        const ValidatorOptions& options = {});
 
+/// True when `kind`'s output is invariant under vertex relabeling (the
+/// reorder-permutation contract): STATS, BFS, CONN, and PR qualify; CD and
+/// EVO seed their dynamics with vertex ids, so a relabeled run is a
+/// different computation and cannot be mapped back.
+bool RelabelingInvariant(AlgorithmKind kind);
+
+/// Maps an output computed on a `Graph::ReorderByDegree` graph back into
+/// original vertex ids (`new_to_old[new_id] == original_id`): per-vertex
+/// values and scores move to their original slots, and CONN's labels —
+/// which are vertex ids — are rewritten to the component's smallest
+/// original id, exactly what the reference produces on the original graph.
+/// Requires RelabelingInvariant(kind).
+AlgorithmOutput MapOutputToOriginalIds(AlgorithmKind kind,
+                                       const std::vector<VertexId>& new_to_old,
+                                       AlgorithmOutput output);
+
 }  // namespace gly::harness

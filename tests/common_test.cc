@@ -9,6 +9,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/config.h"
 #include "common/csv.h"
@@ -326,6 +327,61 @@ TEST(ThreadPoolTest, ParallelForChunkedPartitions) {
 TEST(ThreadPoolTest, ZeroItemsIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, RangedParallelForCoversHalfOpenRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(200, 900, /*grain=*/64,
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 200 && i < 900 ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, RangedParallelForChunkedRespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  std::atomic<size_t> max_chunk{0};
+  pool.ParallelForChunked(0, 1000, /*grain=*/600, [&](size_t b, size_t e) {
+    total.fetch_add(e - b);
+    size_t len = e - b;
+    size_t seen = max_chunk.load();
+    while (len > seen && !max_chunk.compare_exchange_weak(seen, len)) {
+    }
+  });
+  EXPECT_EQ(total.load(), 1000u);
+  // grain = 600 over 1000 items allows at most ceil(1000/600) = 2 chunks,
+  // so some chunk must span at least 500 items.
+  EXPECT_GE(max_chunk.load(), 500u);
+}
+
+TEST(ThreadPoolTest, RangedEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(10, 10, 1, [](size_t) { FAIL(); });
+  pool.ParallelForChunked(5, 5, 1, [](size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  try {
+    pool.ParallelFor(0, 1000, /*grain=*/8, [&](size_t i) {
+      if (i == 613) throw std::runtime_error("worker 613 failed");
+      hits[i].fetch_add(1);
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 613 failed");
+  }
+  // The throw aborts the throwing chunk, so its tail never runs — but no
+  // index is ever visited twice, the throwing index itself is skipped, and
+  // the pool is still usable afterwards.
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].load(), 1) << i;
+  }
+  EXPECT_EQ(hits[613].load(), 0);
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
 }
 
 // ----------------------------------------------------------- MemoryBudget

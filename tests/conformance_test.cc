@@ -328,6 +328,89 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Bool()),
     KernelParamName);
 
+// ------------------------------------------------------------------------
+// Reorder conformance: every engine, run on the degree-reordered graph with
+// id-valued parameters translated into the new space, must — after mapping
+// its output back through the permutation — match the reference run on the
+// ORIGINAL graph per vertex. This is the graph.reorder = degree contract:
+// relabeling is an engine-side locality optimization, invisible in results.
+
+using ReorderParam =
+    std::tuple<std::string /*platform*/, AlgorithmKind, KernelGraph>;
+
+class ReorderConformanceTest : public ::testing::TestWithParam<ReorderParam> {
+};
+
+const ReorderedGraph& ReorderedKernelGraphFor(KernelGraph which) {
+  static const ReorderedGraph rmat8 =
+      KernelGraphFor(KernelGraph::kRmat8).ReorderByDegree();
+  static const ReorderedGraph rmat12 =
+      KernelGraphFor(KernelGraph::kRmat12).ReorderByDegree();
+  static const ReorderedGraph rmat14 =
+      KernelGraphFor(KernelGraph::kRmat14).ReorderByDegree();
+  static const ReorderedGraph social =
+      KernelGraphFor(KernelGraph::kSocial).ReorderByDegree();
+  switch (which) {
+    case KernelGraph::kRmat8: return rmat8;
+    case KernelGraph::kRmat12: return rmat12;
+    case KernelGraph::kRmat14: return rmat14;
+    case KernelGraph::kSocial: return social;
+  }
+  return rmat8;
+}
+
+TEST_P(ReorderConformanceTest, MappedBackOutputMatchesReference) {
+  const auto& [platform_name, algorithm, which] = GetParam();
+  const Graph& original = KernelGraphFor(which);
+  const ReorderedGraph& reordered = ReorderedKernelGraphFor(which);
+  ASSERT_TRUE(harness::RelabelingInvariant(algorithm));
+
+  AlgorithmParams params;  // original-id space
+  params.bfs.source = MaxDegreeVertex(original);
+  params.pr = PrParams{10, 0.85};
+  AlgorithmParams run_params = params;  // reordered-id space
+  run_params.bfs.source = reordered.perm.old_to_new[params.bfs.source];
+
+  auto platform = harness::MakePlatform(platform_name, Config());
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*platform)
+                  ->LoadGraph(reordered.graph,
+                              KernelGraphName(which) + "_reordered")
+                  .ok());
+  auto out = (*platform)->Run(algorithm, run_params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  AlgorithmOutput mapped = harness::MapOutputToOriginalIds(
+      algorithm, reordered.perm.new_to_old, std::move(*out));
+  AlgorithmOutput expected = ref::Run(original, algorithm, params);
+  if (algorithm == AlgorithmKind::kPr) {
+    ASSERT_EQ(mapped.vertex_scores.size(), expected.vertex_scores.size());
+    for (size_t v = 0; v < expected.vertex_scores.size(); ++v) {
+      ASSERT_NEAR(mapped.vertex_scores[v], expected.vertex_scores[v], 1e-9)
+          << "vertex " << v;
+    }
+  } else {
+    EXPECT_EQ(mapped.vertex_values, expected.vertex_values);
+  }
+  Status validation =
+      harness::ValidateOutput(original, algorithm, params, mapped);
+  EXPECT_TRUE(validation.ok()) << validation.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reordered, ReorderConformanceTest,
+    ::testing::Combine(
+        ::testing::Values("giraph", "graphx", "mapreduce", "neo4j"),
+        ::testing::Values(AlgorithmKind::kBfs, AlgorithmKind::kConn,
+                          AlgorithmKind::kPr),
+        ::testing::Values(KernelGraph::kRmat8, KernelGraph::kRmat12,
+                          KernelGraph::kRmat14, KernelGraph::kSocial)),
+    [](const ::testing::TestParamInfo<ReorderParam>& info) {
+      return std::get<0>(info.param) + "_" +
+             AlgorithmKindName(std::get<1>(info.param)) + "_" +
+             KernelGraphName(std::get<2>(info.param));
+    });
+
 // The column-store engine exposes reachability (not per-vertex levels), so
 // its conformance check compares the transitive count against the set of
 // vertices the direction-optimizing BFS reaches — tying the §3.4 operator

@@ -1,0 +1,424 @@
+// Parallel-ETL parity: the chunked parallel edge-list parser and the
+// parallel two-pass CSR builder must be *byte-identical* to their serial
+// reference paths — same edges in the same order, same vertex bound, same
+// CSR arrays, and (for malformed input) the same `file:line:`-prefixed
+// error message — at any thread count. This suite sweeps R-MAT graphs at
+// scales 8/12/14, a social-datagen graph, and every parse policy, each at
+// 1, 2, and 8 threads. Labeled `ingest`: ci.sh also runs it under TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/temp_dir.h"
+#include "common/threadpool.h"
+#include "datagen/rmat.h"
+#include "datagen/social_datagen.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "harness/validator.h"
+#include "ref/algorithms.h"
+
+namespace gly {
+namespace {
+
+enum class ParityGraph { kRmat8, kRmat12, kRmat14, kSocial };
+
+std::string ParityGraphName(ParityGraph which) {
+  switch (which) {
+    case ParityGraph::kRmat8: return "rmat8";
+    case ParityGraph::kRmat12: return "rmat12";
+    case ParityGraph::kRmat14: return "rmat14";
+    case ParityGraph::kSocial: return "social";
+  }
+  return "?";
+}
+
+// The raw (pre-policy) edge lists: duplicates and self-loops left in, so
+// the drop_* policies actually have work to do.
+const EdgeList& ParityEdges(ParityGraph which) {
+  static const EdgeList rmat8 = [] {
+    datagen::RmatConfig config;
+    config.scale = 8;
+    config.edge_factor = 6;
+    config.seed = 5;
+    return datagen::RmatGenerator(config).Generate(nullptr).ValueOrDie();
+  }();
+  static const EdgeList rmat12 = [] {
+    datagen::RmatConfig config;
+    config.scale = 12;
+    config.edge_factor = 8;
+    config.seed = 5;
+    return datagen::RmatGenerator(config).Generate(nullptr).ValueOrDie();
+  }();
+  static const EdgeList rmat14 = [] {
+    datagen::RmatConfig config;
+    config.scale = 14;
+    config.edge_factor = 8;
+    config.seed = 5;
+    return datagen::RmatGenerator(config).Generate(nullptr).ValueOrDie();
+  }();
+  static const EdgeList social = [] {
+    datagen::SocialDatagenConfig config;
+    config.num_persons = 2000;
+    config.degree_spec = "geometric:p=0.25";
+    config.window_size = 128;
+    config.seed = 21;
+    return datagen::SocialDatagen(config)
+        .Generate(nullptr)
+        .ValueOrDie()
+        .edges;
+  }();
+  switch (which) {
+    case ParityGraph::kRmat8: return rmat8;
+    case ParityGraph::kRmat12: return rmat12;
+    case ParityGraph::kRmat14: return rmat14;
+    case ParityGraph::kSocial: return social;
+  }
+  return rmat8;
+}
+
+enum class ParsePolicy { kDefault, kDropLoops, kDropDuplicates, kDropBoth };
+
+std::string PolicyName(ParsePolicy policy) {
+  switch (policy) {
+    case ParsePolicy::kDefault: return "default";
+    case ParsePolicy::kDropLoops: return "droploops";
+    case ParsePolicy::kDropDuplicates: return "dropdups";
+    case ParsePolicy::kDropBoth: return "dropboth";
+  }
+  return "?";
+}
+
+EdgeListParseOptions MakePolicy(ParsePolicy policy) {
+  EdgeListParseOptions options;
+  options.drop_self_loops = policy == ParsePolicy::kDropLoops ||
+                            policy == ParsePolicy::kDropBoth;
+  options.drop_duplicates = policy == ParsePolicy::kDropDuplicates ||
+                            policy == ParsePolicy::kDropBoth;
+  return options;
+}
+
+void ExpectSameEdgeList(const EdgeList& a, const EdgeList& b) {
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(a.edges() == b.edges()) << "edge sequences differ";
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_adjacency_entries(), b.num_adjacency_entries());
+  EXPECT_EQ(a.undirected(), b.undirected());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto oa = a.OutNeighbors(v), ob = b.OutNeighbors(v);
+    ASSERT_EQ(oa.size(), ob.size()) << "out row " << v;
+    ASSERT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin()))
+        << "out row " << v;
+    auto ia = a.InNeighbors(v), ib = b.InNeighbors(v);
+    ASSERT_EQ(ia.size(), ib.size()) << "in row " << v;
+    ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()))
+        << "in row " << v;
+  }
+}
+
+// ------------------------------------------------------------ parse parity
+
+using ParseParityParam = std::tuple<ParityGraph, ParsePolicy, size_t>;
+
+class ParseParityTest : public ::testing::TestWithParam<ParseParityParam> {};
+
+TEST_P(ParseParityTest, ParallelParseIsByteIdenticalToSerial) {
+  const auto& [which, policy, threads] = GetParam();
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->File(ParityGraphName(which) + ".e");
+  ASSERT_TRUE(WriteEdgeListText(ParityEdges(which), path).ok());
+
+  EdgeListParseOptions options = MakePolicy(policy);
+  auto serial = ReadEdgeListText(path, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  EtlOptions etl;
+  etl.threads = threads;
+  auto parallel = ReadEdgeListText(path, options, etl);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectSameEdgeList(*serial, *parallel);
+
+  // A shared pool must behave exactly like a private one.
+  ThreadPool pool(threads);
+  EtlOptions pooled;
+  pooled.pool = &pool;
+  auto shared = ReadEdgeListText(path, options, pooled);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  ExpectSameEdgeList(*serial, *shared);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, ParseParityTest,
+    ::testing::Combine(
+        ::testing::Values(ParityGraph::kRmat8, ParityGraph::kRmat12,
+                          ParityGraph::kRmat14, ParityGraph::kSocial),
+        ::testing::Values(ParsePolicy::kDefault, ParsePolicy::kDropLoops,
+                          ParsePolicy::kDropDuplicates,
+                          ParsePolicy::kDropBoth),
+        ::testing::Values(size_t{1}, size_t{2}, size_t{8})),
+    [](const ::testing::TestParamInfo<ParseParityParam>& info) {
+      return ParityGraphName(std::get<0>(info.param)) + "_" +
+             PolicyName(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ParseParityTest, VertexFileParityAndIsolatedVertices) {
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  const EdgeList& edges = ParityEdges(ParityGraph::kRmat8);
+  std::string prefix = dir->File("withv");
+  ASSERT_TRUE(WriteEdgeListText(edges, prefix + ".e").ok());
+  {
+    std::ofstream v(prefix + ".v");
+    for (VertexId id = 0; id < edges.num_vertices() + 5; ++id) {
+      v << id << "\n";
+    }
+  }
+  auto serial = ReadGraphalyticsDataset(prefix);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->num_vertices(), edges.num_vertices() + 5);
+  EtlOptions etl;
+  etl.threads = 8;
+  auto parallel = ReadGraphalyticsDataset(prefix, EdgeListParseOptions{}, etl);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameEdgeList(*serial, *parallel);
+}
+
+// ----------------------------------------------------- error-message parity
+
+// Writes `lines` joined by '\n' and returns the parse status at the given
+// thread count (0 = serial two-arg overload).
+Status ParseStatus(const TempDir& dir, const std::string& name,
+                   const std::vector<std::string>& lines,
+                   const EdgeListParseOptions& options, size_t threads) {
+  std::string path = dir.File(name);
+  std::ofstream out(path);
+  for (const std::string& line : lines) out << line << "\n";
+  out.close();
+  if (threads == 0) return ReadEdgeListText(path, options).status();
+  EtlOptions etl;
+  etl.threads = threads;
+  return ReadEdgeListText(path, options, etl).status();
+}
+
+TEST(ParseErrorParityTest, MalformedLineMessagesMatchSerial) {
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  const std::vector<std::vector<std::string>> cases = {
+      {"0 1", "1 2", "2 x"},             // non-numeric token
+      {"0 1", "5", "1 2"},               // truncated line
+      {"0 1", "", "1 2", "3"},           // blank line then truncated
+      {"junk"},                          // first line bad
+      {"0 1", "1 2x"},                   // trailing garbage inside a token
+  };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    Status serial = ParseStatus(*dir, "err" + std::to_string(i) + ".e",
+                                cases[i], EdgeListParseOptions{}, 0);
+    ASSERT_FALSE(serial.ok());
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      Status parallel = ParseStatus(*dir, "err" + std::to_string(i) + ".e",
+                                    cases[i], EdgeListParseOptions{}, threads);
+      EXPECT_EQ(serial.code(), parallel.code());
+      EXPECT_EQ(serial.message(), parallel.message())
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParseErrorParityTest, VertexIdLimitMessagesMatchSerial) {
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  EdgeListParseOptions options;
+  options.max_vertex_id = 10;
+  std::vector<std::string> lines = {"0 1", "3 9", "2 11", "0 2"};
+  Status serial = ParseStatus(*dir, "limit.e", lines, options, 0);
+  ASSERT_FALSE(serial.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    Status parallel = ParseStatus(*dir, "limit.e", lines, options, threads);
+    EXPECT_EQ(serial.code(), parallel.code());
+    EXPECT_EQ(serial.message(), parallel.message());
+  }
+}
+
+TEST(ParseErrorParityTest, EarliestErrorLineWinsAcrossChunks) {
+  // A file long enough that 8 threads split it into many chunks, with two
+  // errors in different chunks: the parallel path must report the earlier
+  // one, exactly as the serial first-error scan does.
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  std::vector<std::string> lines;
+  lines.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    lines.push_back(std::to_string(i % 64) + " " + std::to_string(i % 97));
+  }
+  lines[15000] = "late bad line";
+  lines[4321] = "early bad line";
+  Status serial =
+      ParseStatus(*dir, "multi.e", lines, EdgeListParseOptions{}, 0);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_NE(serial.message().find(":4322:"), std::string::npos)
+      << serial.message();
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    Status parallel =
+        ParseStatus(*dir, "multi.e", lines, EdgeListParseOptions{}, threads);
+    EXPECT_EQ(serial.code(), parallel.code());
+    EXPECT_EQ(serial.message(), parallel.message()) << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------------------ build parity
+
+using BuildParityParam = std::tuple<ParityGraph, size_t>;
+
+class BuildParityTest : public ::testing::TestWithParam<BuildParityParam> {};
+
+TEST_P(BuildParityTest, ParallelCsrBuildIsByteIdenticalToSerial) {
+  const auto& [which, threads] = GetParam();
+  const EdgeList& edges = ParityEdges(which);
+
+  CsrBuildOptions par;
+  par.threads = threads;
+
+  {
+    SCOPED_TRACE("undirected");
+    auto serial = GraphBuilder::Undirected(edges);
+    ASSERT_TRUE(serial.ok());
+    auto parallel = GraphBuilder::Undirected(edges, par);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE(parallel->Validate().ok());
+    ExpectSameGraph(*serial, *parallel);
+  }
+  {
+    SCOPED_TRACE("directed dedup");
+    auto serial = GraphBuilder::Directed(edges, /*dedup=*/true);
+    ASSERT_TRUE(serial.ok());
+    CsrBuildOptions opts = par;
+    opts.dedup = true;
+    auto parallel = GraphBuilder::Directed(edges, opts);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE(parallel->Validate().ok());
+    ExpectSameGraph(*serial, *parallel);
+  }
+  {
+    SCOPED_TRACE("directed raw");
+    auto serial = GraphBuilder::Directed(edges, /*dedup=*/false);
+    ASSERT_TRUE(serial.ok());
+    CsrBuildOptions opts = par;
+    opts.dedup = false;
+    auto parallel = GraphBuilder::Directed(edges, opts);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameGraph(*serial, *parallel);
+  }
+
+  // Shared pool variant must match the private-pool build.
+  ThreadPool pool(threads);
+  CsrBuildOptions pooled;
+  pooled.pool = &pool;
+  auto serial = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(serial.ok());
+  auto shared = GraphBuilder::Undirected(edges, pooled);
+  ASSERT_TRUE(shared.ok());
+  ExpectSameGraph(*serial, *shared);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, BuildParityTest,
+    ::testing::Combine(
+        ::testing::Values(ParityGraph::kRmat8, ParityGraph::kRmat12,
+                          ParityGraph::kRmat14, ParityGraph::kSocial),
+        ::testing::Values(size_t{1}, size_t{2}, size_t{8})),
+    [](const ::testing::TestParamInfo<BuildParityParam>& info) {
+      return ParityGraphName(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------- end-to-end pipeline parity
+
+TEST(EtlPipelineParityTest, FileToGraphMatchesSerialAtEveryStage) {
+  auto dir = TempDir::Create("etl_parity");
+  ASSERT_TRUE(dir.ok());
+  const EdgeList& edges = ParityEdges(ParityGraph::kRmat12);
+  std::string path = dir->File("pipeline.e");
+  ASSERT_TRUE(WriteEdgeListText(edges, path).ok());
+
+  auto serial_edges = ReadEdgeListText(path);
+  ASSERT_TRUE(serial_edges.ok());
+  auto serial_graph = GraphBuilder::Undirected(*serial_edges);
+  ASSERT_TRUE(serial_graph.ok());
+
+  ThreadPool pool(8);
+  EtlOptions etl;
+  etl.pool = &pool;
+  auto parallel_edges = ReadEdgeListText(path, EdgeListParseOptions{}, etl);
+  ASSERT_TRUE(parallel_edges.ok());
+  CsrBuildOptions build;
+  build.pool = &pool;
+  auto parallel_graph = GraphBuilder::Undirected(*parallel_edges, build);
+  ASSERT_TRUE(parallel_graph.ok());
+
+  ExpectSameEdgeList(*serial_edges, *parallel_edges);
+  ExpectSameGraph(*serial_graph, *parallel_graph);
+}
+
+// ------------------------------------------------------- reorder + map-back
+
+TEST(ReorderOutputTest, BfsConnPrMapBackToOriginalIds) {
+  const EdgeList& edges = ParityEdges(ParityGraph::kRmat8);
+  Graph graph = GraphBuilder::Undirected(edges).ValueOrDie();
+  ReorderedGraph reordered = graph.ReorderByDegree();
+  ASSERT_TRUE(reordered.graph.Validate().ok());
+
+  AlgorithmParams params;
+  params.bfs.source = 3;
+  params.pr = PrParams{10, 0.85};
+  AlgorithmParams mapped_params = params;
+  mapped_params.bfs.source = reordered.perm.old_to_new[params.bfs.source];
+
+  for (AlgorithmKind kind : {AlgorithmKind::kBfs, AlgorithmKind::kConn,
+                             AlgorithmKind::kPr, AlgorithmKind::kStats}) {
+    SCOPED_TRACE(AlgorithmKindName(kind));
+    ASSERT_TRUE(harness::RelabelingInvariant(kind));
+    AlgorithmOutput on_reordered =
+        ref::Run(reordered.graph, kind, mapped_params);
+    AlgorithmOutput mapped = harness::MapOutputToOriginalIds(
+        kind, reordered.perm.new_to_old, std::move(on_reordered));
+    Status validation =
+        harness::ValidateOutput(graph, kind, params, mapped);
+    EXPECT_TRUE(validation.ok()) << validation.ToString();
+  }
+  EXPECT_FALSE(harness::RelabelingInvariant(AlgorithmKind::kCd));
+  EXPECT_FALSE(harness::RelabelingInvariant(AlgorithmKind::kEvo));
+}
+
+TEST(ReorderOutputTest, ConnLabelsAreSmallestOriginalIdPerComponent) {
+  // Two components: {0,1,2} and {3,4}. Degree reordering relabels them;
+  // after map-back, every vertex's label must be its component's smallest
+  // ORIGINAL id — exactly the reference convention.
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(0, 2);
+  edges.Add(3, 4);
+  Graph graph = GraphBuilder::Undirected(edges).ValueOrDie();
+  ReorderedGraph reordered = graph.ReorderByDegree();
+  AlgorithmOutput out = ref::Run(reordered.graph, AlgorithmKind::kConn, {});
+  AlgorithmOutput mapped = harness::MapOutputToOriginalIds(
+      AlgorithmKind::kConn, reordered.perm.new_to_old, std::move(out));
+  std::vector<int64_t> expected = {0, 0, 0, 3, 3};
+  EXPECT_EQ(mapped.vertex_values, expected);
+}
+
+}  // namespace
+}  // namespace gly

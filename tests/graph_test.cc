@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 
@@ -361,6 +362,106 @@ TEST(PartitionTest, BalancedEdgePartitionerBalancesLoad) {
   ASSERT_TRUE(g.ok());
   BalancedEdgePartitioner balanced(*g, 4);
   EXPECT_LT(LoadImbalance(*g, balanced), 2.0);
+}
+
+// --------------------------------------------------------- ReorderByDegree
+
+TEST(ReorderTest, StarHubBecomesVertexZero) {
+  // Star: hub 7 with 9 spokes. Degree-descending relabeling must move the
+  // hub to new id 0.
+  EdgeList edges;
+  for (VertexId v = 0; v < 10; ++v) {
+    if (v != 7) edges.Add(7, v);
+  }
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  ReorderedGraph r = g->ReorderByDegree();
+  ASSERT_TRUE(r.graph.Validate().ok());
+  EXPECT_EQ(r.perm.old_to_new[7], 0u);
+  EXPECT_EQ(r.perm.new_to_old[0], 7u);
+  EXPECT_EQ(r.graph.OutDegree(0), 9u);
+  // Spokes tie at degree 1: ties break by ascending original id.
+  EXPECT_EQ(r.perm.new_to_old[1], 0u);
+  EXPECT_EQ(r.perm.new_to_old[2], 1u);
+}
+
+TEST(ReorderTest, PermutationIsABijectionAndDegreesDescend) {
+  EdgeList edges;
+  for (VertexId v = 1; v < 40; ++v) edges.Add(v % 7, v);
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  ReorderedGraph r = g->ReorderByDegree();
+  ASSERT_EQ(r.perm.old_to_new.size(), g->num_vertices());
+  ASSERT_EQ(r.perm.new_to_old.size(), g->num_vertices());
+  std::set<VertexId> seen;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(r.perm.old_to_new[r.perm.new_to_old[v]], v);
+    seen.insert(r.perm.new_to_old[v]);
+  }
+  EXPECT_EQ(seen.size(), g->num_vertices());
+  for (VertexId v = 1; v < r.graph.num_vertices(); ++v) {
+    EXPECT_GE(r.graph.OutDegree(v - 1), r.graph.OutDegree(v));
+  }
+}
+
+TEST(ReorderTest, RelabeledGraphPreservesStructure) {
+  auto g = GraphBuilder::Undirected(TriangleWithTail());
+  ASSERT_TRUE(g.ok());
+  ReorderedGraph r = g->ReorderByDegree();
+  ASSERT_TRUE(r.graph.Validate().ok());
+  EXPECT_EQ(r.graph.num_vertices(), g->num_vertices());
+  EXPECT_EQ(r.graph.num_edges(), g->num_edges());
+  // Every original edge exists under the new labels and vice versa.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (VertexId w : g->OutNeighbors(v)) {
+      EXPECT_TRUE(
+          r.graph.HasEdge(r.perm.old_to_new[v], r.perm.old_to_new[w]));
+    }
+    EXPECT_EQ(r.graph.OutDegree(r.perm.old_to_new[v]), g->OutDegree(v));
+  }
+}
+
+TEST(ReorderTest, DirectedGraphKeepsBothSides) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(3, 0);
+  edges.Add(2, 1);
+  auto g = GraphBuilder::Directed(edges);
+  ASSERT_TRUE(g.ok());
+  ReorderedGraph r = g->ReorderByDegree();
+  ASSERT_TRUE(r.graph.Validate().ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(r.graph.OutDegree(r.perm.old_to_new[v]), g->OutDegree(v));
+    EXPECT_EQ(r.graph.InDegree(r.perm.old_to_new[v]), g->InDegree(v));
+  }
+  EXPECT_TRUE(r.graph.HasEdge(r.perm.old_to_new[3], r.perm.old_to_new[0]));
+  EXPECT_FALSE(r.graph.HasEdge(r.perm.old_to_new[0], r.perm.old_to_new[3]));
+}
+
+TEST(ReorderTest, EmptyGraphYieldsEmptyPermutation) {
+  Graph g;
+  ReorderedGraph r = g.ReorderByDegree();
+  EXPECT_EQ(r.graph.num_vertices(), 0u);
+  EXPECT_TRUE(r.perm.old_to_new.empty());
+  EXPECT_TRUE(r.perm.new_to_old.empty());
+}
+
+TEST(ReorderTest, PoolAndSerialAgree) {
+  EdgeList edges;
+  for (VertexId v = 1; v < 200; ++v) edges.Add(v % 13, (v * 7) % 200);
+  auto g = GraphBuilder::Undirected(edges);
+  ASSERT_TRUE(g.ok());
+  ReorderedGraph serial = g->ReorderByDegree();
+  ThreadPool pool(4);
+  ReorderedGraph parallel = g->ReorderByDegree(&pool);
+  EXPECT_EQ(serial.perm.old_to_new, parallel.perm.old_to_new);
+  for (VertexId v = 0; v < serial.graph.num_vertices(); ++v) {
+    auto a = serial.graph.OutNeighbors(v);
+    auto b = parallel.graph.OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
 }
 
 TEST(PartitionTest, CutRatioBounds) {

@@ -226,6 +226,77 @@ TEST(BenchmarkCoreTest, RejectsEmptySpec) {
   EXPECT_FALSE(RunBenchmark(RunSpec{}).ok());
 }
 
+TEST(BenchmarkCoreTest, ReorderedDatasetValidatesInOriginalIds) {
+  Graph g = RandomUndirected(120, 400, 61);
+  ReorderedGraph reordered = g.ReorderByDegree();
+  RunSpec spec;
+  spec.platforms = {"giraph", "neo4j"};
+  DatasetSpec dataset;
+  dataset.name = "toy_reordered";
+  dataset.graph = &reordered.graph;
+  dataset.original = &g;
+  dataset.new_to_old = &reordered.perm.new_to_old;
+  dataset.old_to_new = &reordered.perm.old_to_new;
+  dataset.params.bfs.source = 17;  // original-id space
+  spec.datasets.push_back(dataset);
+  spec.algorithms = {AlgorithmKind::kBfs, AlgorithmKind::kConn,
+                     AlgorithmKind::kPr};
+  spec.monitor = false;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 6u);
+  for (const BenchmarkResult& r : *results) {
+    EXPECT_TRUE(r.status.ok()) << r.platform << "/"
+                               << AlgorithmKindName(r.algorithm);
+    EXPECT_TRUE(r.validation.ok())
+        << r.platform << "/" << AlgorithmKindName(r.algorithm) << ": "
+        << r.validation.ToString();
+  }
+}
+
+TEST(BenchmarkCoreTest, ReorderedDatasetRefusesIdSeededAlgorithms) {
+  // CD and EVO seed their dynamics with vertex ids: on a reordered dataset
+  // the cell must be *recorded* as InvalidArgument, not silently run.
+  Graph g = RandomUndirected(60, 150, 62);
+  ReorderedGraph reordered = g.ReorderByDegree();
+  RunSpec spec;
+  spec.platforms = {"reference"};
+  DatasetSpec dataset;
+  dataset.name = "toy_reordered";
+  dataset.graph = &reordered.graph;
+  dataset.original = &g;
+  dataset.new_to_old = &reordered.perm.new_to_old;
+  dataset.old_to_new = &reordered.perm.old_to_new;
+  spec.datasets.push_back(dataset);
+  spec.algorithms = {AlgorithmKind::kCd, AlgorithmKind::kEvo,
+                     AlgorithmKind::kBfs};
+  spec.monitor = false;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_TRUE((*results)[0].status.IsInvalidArgument());
+  EXPECT_TRUE((*results)[1].status.IsInvalidArgument());
+  EXPECT_TRUE((*results)[2].status.ok());
+  EXPECT_TRUE((*results)[2].validation.ok());
+}
+
+TEST(BenchmarkCoreTest, RejectsReorderedDatasetWithBrokenPermutation) {
+  Graph g = RandomUndirected(30, 60, 63);
+  ReorderedGraph reordered = g.ReorderByDegree();
+  std::vector<VertexId> short_perm(g.num_vertices() - 1);
+  RunSpec spec;
+  spec.platforms = {"reference"};
+  DatasetSpec dataset;
+  dataset.name = "broken";
+  dataset.graph = &reordered.graph;
+  dataset.original = &g;
+  dataset.new_to_old = &short_perm;
+  dataset.old_to_new = &reordered.perm.old_to_new;
+  spec.datasets.push_back(dataset);
+  spec.algorithms = {AlgorithmKind::kBfs};
+  EXPECT_TRUE(RunBenchmark(spec).status().IsInvalidArgument());
+}
+
 // ------------------------------------------------------------------ report
 
 std::vector<BenchmarkResult> FakeResults() {

@@ -103,6 +103,82 @@ TEST(RunConfigTest, RejectsBadConfigs) {
   EXPECT_FALSE(RunFromConfig(missing_file).ok());
 }
 
+TEST(RunConfigTest, EtlThreadsKnobKeepsResultsIdentical) {
+  // Same workflow, serial vs parallel ETL: every cell must still validate,
+  // and the file-sourced dataset must parse to the same graph.
+  auto dir = TempDir::Create("gly-runcfg");
+  ASSERT_TRUE(dir.ok());
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < 200; ++v) edges.Add(v, v + 1);
+  for (VertexId v = 0; v < 200; v += 7) edges.Add(v, (v * 3) % 200);
+  ASSERT_TRUE(WriteEdgeListText(edges, dir->File("g.e")).ok());
+  Config config = *Config::Parse(
+      "graphs = mine\n"
+      "graph.mine.source = file\n"
+      "platforms = reference\n"
+      "algorithms = bfs, conn\n"
+      "monitor = false\n");
+  config.Set("graph.mine.path", dir->File("g.e"));
+
+  for (const char* threads : {"1", "4", "0"}) {  // 0 = hardware threads
+    config.Set("etl.threads", threads);
+    auto out = RunFromConfig(config);
+    ASSERT_TRUE(out.ok()) << "etl.threads=" << threads << ": "
+                          << out.status().ToString();
+    for (const auto& r : out->results) {
+      EXPECT_TRUE(r.status.ok()) << "etl.threads=" << threads;
+      EXPECT_TRUE(r.validation.ok()) << "etl.threads=" << threads;
+    }
+  }
+}
+
+TEST(RunConfigTest, ReorderKnobValidatesInOriginalIds) {
+  Config config = BaseConfig();
+  config.Set("graph.reorder", "degree");
+  config.Set("algorithms", "bfs, conn, pr");
+  config.SetInt("graph.tiny.bfs_source", 42);
+  auto out = RunFromConfig(config);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->results.size(), 3u);
+  for (const auto& r : out->results) {
+    EXPECT_TRUE(r.status.ok()) << AlgorithmKindName(r.algorithm);
+    // Validation recomputes against the ORIGINAL graph with original-id
+    // params; passing means the reordered run was mapped back correctly.
+    EXPECT_TRUE(r.validation.ok())
+        << AlgorithmKindName(r.algorithm) << ": " << r.validation.ToString();
+  }
+}
+
+TEST(RunConfigTest, ReorderRefusesIdSeededAlgorithms) {
+  Config config = BaseConfig();
+  config.Set("graph.reorder", "degree");
+  config.Set("algorithms", "cd, bfs");
+  auto out = RunFromConfig(config);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->results.size(), 2u);
+  EXPECT_TRUE(out->results[0].status.IsInvalidArgument());
+  EXPECT_TRUE(out->results[1].status.ok());
+}
+
+TEST(RunConfigTest, PerGraphReorderOverride) {
+  // Global degree reorder, overridden back to none for the one dataset:
+  // CD must then run (and validate) normally.
+  Config config = BaseConfig();
+  config.Set("graph.reorder", "degree");
+  config.Set("graph.tiny.reorder", "none");
+  config.Set("algorithms", "cd");
+  auto out = RunFromConfig(config);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->results[0].status.ok());
+  EXPECT_TRUE(out->results[0].validation.ok());
+}
+
+TEST(RunConfigTest, RejectsUnknownReorderValue) {
+  Config config = BaseConfig();
+  config.Set("graph.reorder", "random");
+  EXPECT_TRUE(RunFromConfig(config).status().IsInvalidArgument());
+}
+
 TEST(RunConfigTest, BfsSourcePerGraph) {
   Config config = BaseConfig();
   config.SetInt("graph.tiny.bfs_source", 42);

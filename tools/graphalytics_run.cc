@@ -46,6 +46,13 @@ report.dir = graphalytics-report
 validate = true
 monitor = true
 
+# ETL (see DESIGN.md, "ETL performance"): parallel parse + CSR build, and
+# optional degree-descending relabeling for traversal locality. Outputs and
+# validation always speak original vertex ids; CD/EVO cells are refused on
+# reordered graphs (recorded failures) because their dynamics are id-seeded.
+etl.threads = 1            # 0 = all hardware threads
+graph.reorder = none       # degree | none (per-graph: graph.<name>.reorder)
+
 # Robustness: per-cell wall-clock timeout (0 = none), bounded retry with
 # exponential backoff. A timed-out or crashed cell is recorded as a
 # failure ("missing value") instead of aborting the run.
