@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py (run by ci.sh).
+
+Covers the two behaviors most likely to rot silently: the thread-mismatch
+skip (a pair whose baseline and current thread counts differ is warned
+about and excluded from the gate) and the noise floor (micro-times below
+--min-seconds never gate, even at huge relative deltas). Exercised through
+the CLI, the same way ci.sh invokes it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def bench_doc(records, bench="fig4_runtimes"):
+    return {"schema_version": 1, "bench": bench, "records": records}
+
+
+def record(kernel, graph, median, threads=None):
+    rec = {"kernel": kernel, "graph": graph, "median_seconds": median}
+    if threads is not None:
+        rec["threads"] = threads
+    return rec
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_compare(self, baseline, current, *extra_args):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            with open(base_path, "w", encoding="utf-8") as fh:
+                json.dump(baseline, fh)
+            with open(cur_path, "w", encoding="utf-8") as fh:
+                json.dump(current, fh)
+            env = {k: v for k, v in os.environ.items()
+                   if k != "BENCH_THRESHOLD"}
+            return subprocess.run(
+                [sys.executable, SCRIPT, base_path, cur_path, *extra_args],
+                capture_output=True, text=True, env=env, check=False)
+
+    def test_clean_pass(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "rmat12", 1.00)]),
+            bench_doc([record("bfs", "rmat12", 1.05)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_regression_fails(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "rmat12", 1.00)]),
+            bench_doc([record("bfs", "rmat12", 1.25)]))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_thread_mismatch_is_skipped_not_gated(self):
+        # A 3x blowup, but at a different thread count: skipped with a
+        # warning, and the gate still passes via the other record.
+        result = self.run_compare(
+            bench_doc([record("etl_parse", "rmat12", 1.00, threads=4),
+                       record("etl_build", "rmat12", 1.00, threads=4)]),
+            bench_doc([record("etl_parse", "rmat12", 3.00, threads=8),
+                       record("etl_build", "rmat12", 1.00, threads=4)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("thread mismatch", result.stdout)
+        self.assertIn("pair skipped, not gated", result.stderr)
+
+    def test_all_pairs_thread_mismatched_still_passes(self):
+        # Everything skipped: nothing regressed, gate passes (shared keys
+        # exist, so this is not the "nothing to gate" error).
+        result = self.run_compare(
+            bench_doc([record("etl_parse", "rmat12", 1.00, threads=4)]),
+            bench_doc([record("etl_parse", "rmat12", 9.00, threads=8)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("skipped on thread mismatch", result.stdout)
+
+    def test_absent_threads_field_matches_zero(self):
+        # threads absent on both sides (older baselines): compared normally.
+        result = self.run_compare(
+            bench_doc([record("bfs", "rmat12", 1.00)]),
+            bench_doc([record("bfs", "rmat12", 2.00)]))
+        self.assertEqual(result.returncode, 1)
+        # absent on one side only == 0 vs N: mismatch, skipped.
+        result = self.run_compare(
+            bench_doc([record("bfs", "rmat12", 1.00)]),
+            bench_doc([record("bfs", "rmat12", 2.00, threads=4)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("thread mismatch", result.stdout)
+
+    def test_noise_floor_suppresses_micro_regressions(self):
+        # 5x regression, but both medians are under the 10ms default floor.
+        result = self.run_compare(
+            bench_doc([record("bfs", "tiny", 0.001)]),
+            bench_doc([record("bfs", "tiny", 0.005)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("below noise floor", result.stdout)
+
+    def test_noise_floor_edge_crossing_gates(self):
+        # Baseline under the floor but current above it: that is a real
+        # regression (the floor requires BOTH sides to be micro-times).
+        result = self.run_compare(
+            bench_doc([record("bfs", "tiny", 0.001)]),
+            bench_doc([record("bfs", "tiny", 0.050)]))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_noise_floor_is_configurable(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "tiny", 0.001)]),
+            bench_doc([record("bfs", "tiny", 0.005)]),
+            "--min-seconds", "0.0001")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_no_shared_keys_is_an_input_error(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "a", 1.0)]),
+            bench_doc([record("bfs", "b", 1.0)]))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("nothing to gate", result.stderr)
+
+    def test_mismatched_bench_names_rejected(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "a", 1.0)], bench="fig4_runtimes"),
+            bench_doc([record("bfs", "a", 1.0)], bench="ext_etl_times"))
+        self.assertEqual(result.returncode, 2)
+
+    def test_added_and_removed_keys_do_not_gate(self):
+        result = self.run_compare(
+            bench_doc([record("bfs", "a", 1.0), record("pr", "a", 1.0)]),
+            bench_doc([record("bfs", "a", 1.0), record("conn", "a", 1.0)]))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("new (not gated)", result.stdout)
+        self.assertIn("missing from current (not gated)", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

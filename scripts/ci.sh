@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Four stages:
+# CI entry point. Five stages:
 #
 #   1. tier-1      — plain build, full test suite (the gate every PR must
 #                    hold).
@@ -8,11 +8,22 @@
 #                    checkpoint/recovery, WAL/resume, and the cross-engine
 #                    kernel-conformance suites — the paths most valuable to
 #                    run under a sanitizer.
-#   3. tsan        — GLY_SANITIZE=thread build running the `ingest` CTest
-#                    label: the parallel ETL pipeline (chunked parsing,
-#                    parallel CSR build, reordering) under the race
-#                    detector, where its bugs would actually show.
-#   4. bench-smoke — fig4_runtimes kernel duel plus the ext_etl_times
+#   3. tsan        — GLY_SANITIZE=thread build running the `ingest` and
+#                    `observability` CTest labels: the parallel ETL pipeline
+#                    (chunked parsing, parallel CSR build, reordering) plus
+#                    the tracer/metrics-registry concurrency stress tests
+#                    under the race detector, where their bugs would
+#                    actually show.
+#   4. observability — `ctest -L observability` in the tier-1 build (the
+#                    golden-trace, metrics round-trip, monitor, and
+#                    4-engine trace-artifact suites), then cross-checks the
+#                    committed sample artifacts (tests/data/sample_trace.json
+#                    and sample_metrics.jsonl) against the documented schema
+#                    with scripts/validate_trace.py — the Python validator
+#                    and the C++ exporter agreeing on the same bytes is the
+#                    cross-implementation schema test — and runs the
+#                    bench_compare.py unit tests.
+#   5. bench-smoke — fig4_runtimes kernel duel plus the ext_etl_times
 #                    parse/build duel at smoke scale, each gated by
 #                    scripts/bench_compare.py against its committed baseline
 #                    (BENCH_kernels.json / BENCH_etl.json; >10% median
@@ -39,38 +50,46 @@ BENCH_SCALE="${BENCH_SCALE:-12}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
 ETL_THREADS="${ETL_THREADS:-4}"
 
-echo "==> [1/4] tier-1: configure + build (${TIER1_DIR})"
+echo "==> [1/5] tier-1: configure + build (${TIER1_DIR})"
 cmake -B "${TIER1_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${TIER1_DIR}" -j "${JOBS}"
 
-echo "==> [1/4] tier-1: full test suite"
+echo "==> [1/5] tier-1: full test suite"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [2/4] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
+echo "==> [2/5] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=address
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
 
-echo "==> [2/4] asan: robustness + conformance suites"
+echo "==> [2/5] asan: robustness + conformance suites"
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -L 'robustness|conformance'
 
-echo "==> [3/4] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
+echo "==> [3/5] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 
-echo "==> [3/4] tsan: ingest suite (parallel ETL under the race detector)"
-ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L ingest
+echo "==> [3/5] tsan: ingest + observability suites (race detector)"
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -L 'ingest|observability'
 
-echo "==> [4/4] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
+echo "==> [4/5] observability: golden-trace suite + committed sample schemas"
+ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" \
+      -L observability
+python3 scripts/validate_trace.py tests/data/sample_trace.json \
+    tests/data/sample_metrics.jsonl
+python3 scripts/bench_compare_test.py
+
+echo "==> [5/5] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
 "${TIER1_DIR}/bench/fig4_runtimes" --kernels-only \
     --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
     --json "${TIER1_DIR}/bench_kernels_current.json"
 python3 scripts/bench_compare.py BENCH_kernels.json \
     "${TIER1_DIR}/bench_kernels_current.json"
 
-echo "==> [4/4] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} threads"
+echo "==> [5/5] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} threads"
 "${TIER1_DIR}/bench/ext_etl_times" --kernels-only \
     --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
     --threads "${ETL_THREADS}" \

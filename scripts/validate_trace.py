@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts against their documented schemas.
+
+Usage:
+    scripts/validate_trace.py FILE [FILE...]
+
+Files ending in .json are checked as Chrome trace-event documents
+(DESIGN.md §10): a top-level object with a "traceEvents" array whose
+elements carry name/ph/ts/pid/tid, whose B/E events nest correctly per
+thread, and (when present) whose metadata declares schema_version 1 and
+kind "gly.trace".
+
+Files ending in .jsonl are checked as metrics exports: a schema header
+line {"schema_version": 1, "kind": "gly.metrics"} followed by one metric
+object per line, each a counter ("value"), gauge ("value"), or histogram
+(count/min/max/mean/p50/p95/p99/items, where items is a list of
+[value, count] pairs summing to count).
+
+Exit status: 0 when every file validates, 1 on the first violation,
+2 on usage errors. Independent of the C++ validator on purpose: the C++
+and Python checkers agreeing on the committed samples is the
+cross-implementation test of the schema.
+"""
+
+import json
+import sys
+
+
+def fail(path, what):
+    print(f"validate_trace: {path}: {what}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"cannot parse: {exc}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, 'no "traceEvents" array')
+    metadata = doc.get("metadata", {})
+    if metadata:
+        if metadata.get("schema_version") != 1:
+            fail(path, f"metadata.schema_version is "
+                       f"{metadata.get('schema_version')!r}, want 1")
+        if metadata.get("kind") != "gly.trace":
+            fail(path, f"metadata.kind is {metadata.get('kind')!r}, "
+                       f"want 'gly.trace'")
+
+    stacks = {}  # tid -> [span names]
+    completed = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(path, f"traceEvents[{i}] missing {key!r}")
+        if not isinstance(event["name"], str) or not isinstance(
+                event["ph"], str):
+            fail(path, f"traceEvents[{i}]: name/ph must be strings")
+        if not isinstance(event["ts"], (int, float)):
+            fail(path, f"traceEvents[{i}]: ts must be a number")
+        ph, tid, name = event["ph"], event["tid"], event["name"]
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+        elif ph == "E":
+            if not stack:
+                fail(path, f"traceEvents[{i}]: 'E' for {name!r} on tid "
+                           f"{tid} with no open span")
+            if stack[-1] != name:
+                fail(path, f"traceEvents[{i}]: 'E' for {name!r} closes "
+                           f"{stack[-1]!r} on tid {tid}")
+            stack.pop()
+            completed += 1
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(path, f"traceEvents[{i}]: instant event without a "
+                           f"valid scope ('s')")
+    open_spans = sum(len(s) for s in stacks.values())
+    print(f"validate_trace: {path}: ok — {len(events)} events, "
+          f"{completed} completed spans, {open_spans} left open")
+
+
+def validate_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(path, f"cannot read: {exc}")
+    if not lines:
+        fail(path, "empty document (missing schema header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        fail(path, f"header is not JSON: {exc}")
+    if header.get("schema_version") != 1 or header.get("kind") != \
+            "gly.metrics":
+        fail(path, f"bad schema header: {lines[0]!r}")
+
+    names = set()
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            metric = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(path, f"line {i} is not JSON: {exc}")
+        name = metric.get("name")
+        mtype = metric.get("type")
+        if not isinstance(name, str) or not name:
+            fail(path, f"line {i}: missing metric name")
+        if name in names:
+            fail(path, f"line {i}: duplicate metric {name!r}")
+        names.add(name)
+        if mtype in ("counter", "gauge"):
+            if not isinstance(metric.get("value"), (int, float)):
+                fail(path, f"line {i}: {name!r} has no numeric value")
+            if mtype == "counter" and (not isinstance(metric["value"], int)
+                                       or metric["value"] < 0):
+                fail(path, f"line {i}: counter {name!r} must be a "
+                           f"non-negative integer")
+        elif mtype == "histogram":
+            for key in ("count", "min", "max", "mean", "p50", "p95", "p99",
+                        "items"):
+                if key not in metric:
+                    fail(path, f"line {i}: histogram {name!r} missing "
+                               f"{key!r}")
+            items = metric["items"]
+            if not isinstance(items, list) or any(
+                    not (isinstance(p, list) and len(p) == 2) for p in items):
+                fail(path, f"line {i}: histogram {name!r} items must be "
+                           f"[value, count] pairs")
+            if sum(count for _, count in items) != metric["count"]:
+                fail(path, f"line {i}: histogram {name!r} item counts do "
+                           f"not sum to count")
+        else:
+            fail(path, f"line {i}: unknown metric type {mtype!r}")
+    print(f"validate_trace: {path}: ok — {len(names)} metrics")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        if path.endswith(".jsonl"):
+            validate_metrics(path)
+        else:
+            validate_trace(path)
+
+
+if __name__ == "__main__":
+    main()

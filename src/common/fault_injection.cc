@@ -4,6 +4,22 @@
 #include <thread>
 
 #include "common/random.h"
+#include "common/trace.h"
+
+namespace {
+
+const char* FaultKindLabel(gly::fault::FaultKind kind) {
+  switch (kind) {
+    case gly::fault::FaultKind::kCrash: return "crash";
+    case gly::fault::FaultKind::kIOError: return "io_error";
+    case gly::fault::FaultKind::kDelay: return "delay";
+    case gly::fault::FaultKind::kStall: return "stall";
+    case gly::fault::FaultKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 namespace gly::fault {
 
@@ -98,6 +114,8 @@ Status FaultPlan::OnPoint(const std::string& site) {
     ++stats_[site].triggered;
   }
   total_triggered_.fetch_add(1, std::memory_order_relaxed);
+  trace::Instant("fault.injected", "fault",
+                 {{"site", site}, {"kind", FaultKindLabel(rule->spec.kind)}});
   switch (rule->spec.kind) {
     case FaultKind::kCrash:
       return Status::Internal("injected worker crash at " + site);
@@ -125,6 +143,8 @@ bool FaultPlan::OnDropPoint(const std::string& site) {
     ++stats_[site].triggered;
   }
   total_triggered_.fetch_add(1, std::memory_order_relaxed);
+  trace::Instant("fault.injected", "fault",
+                 {{"site", site}, {"kind", "drop"}});
   return true;
 }
 

@@ -12,6 +12,13 @@ void Histogram::Add(uint64_t value, uint64_t count) {
              static_cast<double>(count);
 }
 
+void Histogram::Merge(const Histogram& other) {
+  for (const auto& [value, count] : other.counts_) counts_[value] += count;
+  total_ += other.total_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 uint64_t Histogram::CountOf(uint64_t value) const {
   auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;

@@ -17,6 +17,11 @@ class Histogram {
  public:
   void Add(uint64_t value, uint64_t count = 1);
 
+  /// Folds all of `other`'s observations into this histogram; equivalent
+  /// to replaying other's Add() calls. Used to merge per-thread metric
+  /// histograms into a process-wide one.
+  void Merge(const Histogram& other);
+
   uint64_t total_count() const { return total_; }
   uint64_t CountOf(uint64_t value) const;
 

@@ -1,0 +1,259 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace gly::metrics {
+
+namespace internal {
+std::atomic<Registry*> g_active_registry{nullptr};
+}  // namespace internal
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, MetricValue> Registry::Snapshot() const {
+  std::map<std::string, MetricValue> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.type = MetricValue::Type::kHistogram;
+    v.histogram = histogram->Snapshot();
+    out[name] = std::move(v);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.type = MetricValue::Type::kGauge;
+    v.gauge = gauge->Value();
+    out[name] = v;
+  }
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.type = MetricValue::Type::kCounter;
+    v.counter = counter->Value();
+    out[name] = v;
+  }
+  return out;
+}
+
+std::string Registry::ToJsonl() const {
+  std::map<std::string, MetricValue> snapshot = Snapshot();
+  std::string out = "{\"schema_version\":1,\"kind\":\"gly.metrics\"}\n";
+  for (const auto& [name, v] : snapshot) {
+    out += "{\"name\":\"";
+    out += JsonEscape(name);
+    out += "\",";
+    switch (v.type) {
+      case MetricValue::Type::kCounter:
+        out += "\"type\":\"counter\",\"value\":";
+        out += std::to_string(v.counter);
+        break;
+      case MetricValue::Type::kGauge:
+        out += "\"type\":\"gauge\",\"value\":";
+        out += StringPrintf("%.9g", v.gauge);
+        break;
+      case MetricValue::Type::kHistogram: {
+        const Histogram& h = v.histogram;
+        out += "\"type\":\"histogram\",\"count\":";
+        out += std::to_string(h.total_count());
+        out += ",\"min\":";
+        out += std::to_string(h.Min());
+        out += ",\"max\":";
+        out += std::to_string(h.Max());
+        out += ",\"mean\":";
+        out += StringPrintf("%.9g", h.Mean());
+        out += ",\"p50\":";
+        out += std::to_string(h.Percentile(0.5));
+        out += ",\"p95\":";
+        out += std::to_string(h.Percentile(0.95));
+        out += ",\"p99\":";
+        out += std::to_string(h.Percentile(0.99));
+        out += ",\"items\":[";
+        bool first = true;
+        for (const auto& [value, count] : h.Items()) {
+          if (!first) out += ',';
+          first = false;
+          out += '[';
+          out += std::to_string(value);
+          out += ',';
+          out += std::to_string(count);
+          out += ']';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Extracts the value of `"key":` from a flat JSON line; empty if absent.
+// Values here are numbers, bare strings, or the items array — none of the
+// repo's metric names contain the delimiters this scans for.
+std::string_view RawField(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return {};
+  size_t start = pos + needle.size();
+  size_t end = start;
+  if (end < line.size() && line[end] == '[') {
+    int depth = 0;
+    while (end < line.size()) {
+      if (line[end] == '[') ++depth;
+      if (line[end] == ']' && --depth == 0) {
+        ++end;
+        break;
+      }
+      ++end;
+    }
+  } else if (end < line.size() && line[end] == '"') {
+    ++end;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    if (end < line.size()) ++end;
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+Result<std::string> StringField(std::string_view line, std::string_view key) {
+  std::string_view raw = RawField(line, key);
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    return Status::InvalidArgument("metrics jsonl: missing string field \"" +
+                                   std::string(key) + "\"");
+  }
+  // Metric names never need unescaping in practice, but honor the format.
+  std::string_view body = raw.substr(1, raw.size() - 2);
+  std::string out;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '\\' && i + 1 < body.size()) ++i;
+    out += body[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::map<std::string, MetricValue>> Registry::FromJsonl(
+    std::string_view text) {
+  std::map<std::string, MetricValue> out;
+  bool saw_header = false;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      std::string_view version = RawField(line, "schema_version");
+      std::string_view kind = RawField(line, "kind");
+      if (version != "1" || kind != "\"gly.metrics\"") {
+        return Status::InvalidArgument(
+            "metrics jsonl: bad or missing schema header: " +
+            std::string(line));
+      }
+      saw_header = true;
+      continue;
+    }
+    GLY_ASSIGN_OR_RETURN(std::string name, StringField(line, "name"));
+    GLY_ASSIGN_OR_RETURN(std::string type, StringField(line, "type"));
+    MetricValue v;
+    if (type == "counter") {
+      v.type = MetricValue::Type::kCounter;
+      GLY_ASSIGN_OR_RETURN(v.counter, ParseUint64(RawField(line, "value")));
+    } else if (type == "gauge") {
+      v.type = MetricValue::Type::kGauge;
+      GLY_ASSIGN_OR_RETURN(v.gauge, ParseDouble(RawField(line, "value")));
+    } else if (type == "histogram") {
+      v.type = MetricValue::Type::kHistogram;
+      std::string_view items = RawField(line, "items");
+      if (items.size() < 2 || items.front() != '[' || items.back() != ']') {
+        return Status::InvalidArgument(
+            "metrics jsonl: histogram without items array: " + name);
+      }
+      std::string_view body = items.substr(1, items.size() - 2);
+      size_t pos = 0;
+      while (pos < body.size()) {
+        size_t open = body.find('[', pos);
+        if (open == std::string_view::npos) break;
+        size_t close = body.find(']', open);
+        if (close == std::string_view::npos) {
+          return Status::InvalidArgument(
+              "metrics jsonl: malformed histogram items: " + name);
+        }
+        std::string_view pair = body.substr(open + 1, close - open - 1);
+        size_t comma = pair.find(',');
+        if (comma == std::string_view::npos) {
+          return Status::InvalidArgument(
+              "metrics jsonl: malformed histogram pair: " + name);
+        }
+        GLY_ASSIGN_OR_RETURN(uint64_t value,
+                             ParseUint64(Trim(pair.substr(0, comma))));
+        GLY_ASSIGN_OR_RETURN(uint64_t count,
+                             ParseUint64(Trim(pair.substr(comma + 1))));
+        v.histogram.Add(value, count);
+        pos = close + 1;
+      }
+    } else {
+      return Status::InvalidArgument("metrics jsonl: unknown metric type \"" +
+                                     type + "\"");
+    }
+    out[name] = std::move(v);
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("metrics jsonl: empty document");
+  }
+  return out;
+}
+
+Status Registry::WriteTo(const std::string& path) const {
+  std::string jsonl = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file for writing: " + path);
+  }
+  size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != jsonl.size() || close_rc != 0) {
+    return Status::IOError("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gly::metrics

@@ -48,4 +48,8 @@ std::string FormatSeconds(double seconds);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace gly

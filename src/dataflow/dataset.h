@@ -37,9 +37,11 @@
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/threadpool.h"
+#include "common/trace.h"
 
 namespace gly::dataflow {
 
@@ -233,6 +235,7 @@ class Context {
     if (left.num_partitions() != right.num_partitions()) {
       return Status::InvalidArgument("join requires co-partitioned inputs");
     }
+    trace::TraceSpan join_span("dataflow.join", "dataflow");
     std::vector<std::vector<U>> partitions(left.num_partitions());
     std::atomic<uint64_t> probes{0};
     pool_.ParallelFor(left.num_partitions(), [&](size_t p) {
@@ -253,6 +256,8 @@ class Context {
       probes.fetch_add(local_probes, std::memory_order_relaxed);
     });
     stats_.join_probe_rows += probes.load();
+    join_span.SetAttribute("probe_rows", probes.load());
+    metrics::AddCounter("dataflow.join_probe_rows", probes.load());
     return Materialize(std::move(partitions));
   }
 
@@ -261,6 +266,7 @@ class Context {
   Result<Dataset<std::pair<uint64_t, V>>> Shuffle(
       const Dataset<std::pair<uint64_t, V>>& in) {
     using KV = std::pair<uint64_t, V>;
+    trace::TraceSpan shuffle_span("dataflow.shuffle", "dataflow");
     // Injected shuffle failure: a lost map output / fetch failure aborts
     // the stage (Spark without stage retries).
     GLY_FAULT_POINT("dataflow.shuffle");
@@ -275,6 +281,8 @@ class Context {
       }
     }
     stats_.shuffle_bytes += moved_bytes;
+    shuffle_span.SetAttribute("moved_bytes", moved_bytes);
+    metrics::AddCounter("dataflow.shuffle_bytes", moved_bytes);
     if (config_.shuffle_mib_per_s > 0.0 && moved_bytes > 0) {
       double s = static_cast<double>(moved_bytes) /
                  (config_.shuffle_mib_per_s * (1 << 20));
@@ -295,18 +303,23 @@ class Context {
   /// ResourceExhausted at the exact materialization that overflowed.
   template <typename T>
   Result<Dataset<T>> Materialize(std::vector<std::vector<T>> partitions) {
-    // Every transformation funnels through here, so this one site models
-    // an executor loss at any point in the lineage.
+    // Every transformation funnels through here — one span per operator in
+    // the lineage, and one site to model an executor loss at any point.
+    trace::TraceSpan mat_span("dataflow.materialize", "dataflow");
     GLY_FAULT_POINT("dataflow.materialize");
     uint64_t elements = 0;
     for (const auto& p : partitions) elements += p.size();
     uint64_t bytes = static_cast<uint64_t>(
         static_cast<double>(elements * sizeof(T)) *
         config_.object_overhead_factor);
+    mat_span.SetAttribute("elements", elements);
+    mat_span.SetAttribute("bytes", bytes);
     GLY_RETURN_NOT_OK(budget_.Charge(bytes, "dataset materialization"));
     ++stats_.datasets_materialized;
     stats_.elements_materialized += elements;
     stats_.bytes_materialized += bytes;
+    metrics::AddCounter("dataflow.datasets_materialized");
+    metrics::AddCounter("dataflow.bytes_materialized", bytes);
     if (config_.materialize_mib_per_s > 0.0 && bytes > 0) {
       double s = static_cast<double>(bytes) /
                  (config_.materialize_mib_per_s * (1 << 20));

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace gly {
 
@@ -215,6 +216,8 @@ void BuildInFromOut(const std::vector<EdgeIndex>& out_offsets,
 
 Result<Graph> GraphBuilder::ParallelDirected(const EdgeList& edges, bool dedup,
                                              ThreadPool& pool) {
+  trace::TraceSpan csr_span("etl.csr_build", "etl");
+  csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = false;
   ParallelBuildSide(edges.edges(), edges.num_vertices(), /*by_src=*/true,
@@ -236,6 +239,8 @@ Result<Graph> GraphBuilder::ParallelDirected(const EdgeList& edges, bool dedup,
 
 Result<Graph> GraphBuilder::ParallelUndirected(const EdgeList& edges,
                                                ThreadPool& pool) {
+  trace::TraceSpan csr_span("etl.csr_build", "etl");
+  csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = true;
   ParallelBuildSide(edges.edges(), edges.num_vertices(), /*by_src=*/true,
@@ -380,6 +385,8 @@ ReorderedGraph Graph::ReorderByDegree(ThreadPool* pool) const {
 }
 
 Result<Graph> GraphBuilder::Directed(const EdgeList& edges, bool dedup) {
+  trace::TraceSpan csr_span("etl.csr_build", "etl");
+  csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = false;
   std::vector<Edge> work = edges.edges();
@@ -411,6 +418,8 @@ Result<Graph> GraphBuilder::Directed(const EdgeList& edges,
 }
 
 Result<Graph> GraphBuilder::Undirected(const EdgeList& edges) {
+  trace::TraceSpan csr_span("etl.csr_build", "etl");
+  csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = true;
   std::vector<Edge> work;

@@ -9,7 +9,9 @@
 #include <string_view>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace gly {
 
@@ -108,6 +110,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   if (etl.pool == nullptr && etl.threads <= 1) {
     return ReadEdgeListText(path, options);
   }
+  trace::TraceSpan parse_span("etl.parse", "etl");
   std::optional<ThreadPool> own_pool;
   ThreadPool* pool = etl.pool;
   if (pool == nullptr) {
@@ -177,6 +180,9 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   std::vector<ChunkResult> chunks(num_chunks);
   pool->ParallelFor(0, num_chunks, 1, [&](size_t c) {
     ChunkResult& out = chunks[c];
+    // Cross-thread spans: one per chunk, on whichever pool thread runs it.
+    trace::TraceSpan chunk_span("etl.parse.chunk", "etl");
+    chunk_span.SetAttribute("chunk", uint64_t{c});
     size_t line_no = start_line[c] - 1;
     size_t pos = bounds[c];
     while (pos < bounds[c + 1]) {
@@ -215,6 +221,9 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   edges.Reserve(total);
   for (ChunkResult& chunk : chunks) edges.Append(chunk.edges);
   if (options.drop_duplicates) edges.Deduplicate();
+  parse_span.SetAttribute("edges", uint64_t{edges.num_edges()});
+  parse_span.SetAttribute("chunks", uint64_t{num_chunks});
+  metrics::AddCounter("etl.edges_parsed", edges.num_edges());
   return edges;
 }
 

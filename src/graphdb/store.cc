@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace gly::graphdb {
 
@@ -74,7 +76,12 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(
 }
 
 Status GraphStore::Recover() {
+  trace::TraceSpan recover_span("graphdb.wal.recover", "graphdb");
   GLY_ASSIGN_OR_RETURN(WalRecovery recovery, wal_->Recover());
+  recover_span.SetAttribute("entries", uint64_t{recovery.entries.size()});
+  recover_span.SetAttribute("truncated_bytes", recovery.truncated_bytes);
+  metrics::AddCounter("graphdb.wal.entries_recovered",
+                      recovery.entries.size());
   if (recovery.truncated_bytes > 0) {
     GLY_LOG_WARN << "wal: truncated torn tail of " << recovery.truncated_bytes
                  << " bytes after " << recovery.entries.size()
@@ -110,6 +117,8 @@ Status GraphStore::BulkImport(const EdgeList& edges) {
   if (node_count_ != 0 || rel_count_ != 0) {
     return Status::InvalidArgument("BulkImport requires an empty store");
   }
+  trace::TraceSpan import_span("graphdb.bulk_import", "graphdb");
+  import_span.SetAttribute("edges", edges.num_edges());
   // Bulk path bypasses the WAL (like neo4j-admin import) and checkpoints at
   // the end.
   const VertexId n = edges.num_vertices();

@@ -9,6 +9,7 @@
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace gly::graphdb {
 
@@ -130,6 +131,10 @@ Status Wal::Append(const std::vector<WalChange>& changes) {
     return Status::IOError("wal fsync failed: " + path_);
   }
   ++entries_;
+  // Counters, not spans: appends are per-transaction and would swamp a
+  // trace; the aggregate volume is what matters.
+  metrics::AddCounter("graphdb.wal.appends");
+  metrics::AddCounter("graphdb.wal.append_bytes", frame.size());
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <optional>
@@ -92,6 +93,37 @@ uint64_t MetricValue(const std::map<std::string, std::string>& metrics,
   return std::strtoull(it->second.c_str(), nullptr, 10);
 }
 
+/// Folds the cell's trace window into its result (span count + top-3
+/// phases by total duration, the cell envelope itself excluded) and, when
+/// a trace dir is set, writes the window as a per-cell Chrome trace.
+void SummarizeCellTrace(const trace::Tracer& tracer, size_t first_event,
+                        const std::string& trace_dir,
+                        BenchmarkResult* result) {
+  std::vector<trace::TraceEvent> window = tracer.SnapshotSince(first_event);
+  std::vector<trace::PhaseTotal> phases = trace::AggregateSpans(window);
+  std::vector<std::string> top;
+  for (const trace::PhaseTotal& phase : phases) {
+    if (phase.name == "harness.cell") continue;
+    result->trace_spans += phase.count;
+    if (top.size() < 3) {
+      top.push_back(StringPrintf("%s:%.6f", phase.name.c_str(),
+                                 phase.seconds));
+    }
+  }
+  result->top_phases = Join(top, ";");
+  if (!trace_dir.empty()) {
+    std::string file = "trace-" + result->platform + "-" + result->graph +
+                       "-" + AlgorithmKindName(result->algorithm) + ".json";
+    std::string json = trace::ChromeTraceJson(window);
+    std::ofstream out(std::filesystem::path(trace_dir) / file,
+                      std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out) {
+      GLY_LOG_WARN << "trace: cannot write per-cell trace " << file;
+    }
+  }
+}
+
 }  // namespace
 
 Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
@@ -124,6 +156,30 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   const uint32_t max_attempts = std::max(1u, spec.max_attempts);
   std::optional<fault::ScopedFaultPlan> fault_scope;
   if (spec.fault_plan != nullptr) fault_scope.emplace(spec.fault_plan);
+
+  // Observability: install the tracer/registry for the whole run (the
+  // engines pick them up through ActiveTracer()/ActiveRegistry(), no
+  // plumbing). Owned instances are declared before the scoped installers
+  // so the scopes are torn down first — an abandoned attempt that outlives
+  // the grace drain then records nothing instead of touching freed state.
+  std::optional<trace::Tracer> owned_tracer;
+  std::optional<metrics::Registry> owned_registry;
+  trace::Tracer* tracer = spec.tracer;
+  metrics::Registry* registry = spec.metrics;
+  if (!spec.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.trace_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create trace dir " + spec.trace_dir +
+                             ": " + ec.message());
+    }
+    if (tracer == nullptr) tracer = &owned_tracer.emplace();
+    if (registry == nullptr) registry = &owned_registry.emplace();
+  }
+  std::optional<trace::ScopedTracer> trace_scope;
+  std::optional<metrics::ScopedRegistry> metrics_scope;
+  if (tracer != nullptr) trace_scope.emplace(tracer);
+  if (registry != nullptr) metrics_scope.emplace(registry);
 
   // Completion journal: with `resume`, cells already journaled as finished
   // are reused; without it the journal restarts from scratch. Newly
@@ -191,7 +247,12 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
       Stopwatch load_watch;
       Status load_status;
       if (any_to_run) {
+        trace::TraceSpan load_span("harness.load", "harness");
+        load_span.SetAttribute("platform", platform_name);
+        load_span.SetAttribute("graph", dataset.name);
+        uint32_t load_attempts = 0;
         for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+          load_attempts = attempt;
           load_status = platform->LoadGraph(*dataset.graph, dataset.name);
           if (load_status.ok() || !IsRetryable(load_status) ||
               attempt == max_attempts) {
@@ -200,6 +261,8 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           SleepSeconds(spec.retry_backoff_s *
                        static_cast<double>(1ull << std::min(attempt - 1, 20u)));
         }
+        load_span.SetAttribute("attempts", uint64_t{load_attempts});
+        load_span.SetAttribute("ok", load_status.ok() ? "true" : "false");
       }
       double load_seconds = load_watch.ElapsedSeconds();
 
@@ -227,6 +290,18 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         result.algorithm = algorithm;
         result.load_seconds = load_seconds;
 
+        // The cell's trace window: everything recorded while the
+        // harness.cell envelope below is open, summarized (and written as
+        // a per-cell trace file) once it closes.
+        const size_t cell_begin =
+            tracer != nullptr ? tracer->event_count() : 0;
+        {
+        trace::TraceSpan cell_span("harness.cell", "harness");
+        cell_span.SetAttribute("platform", platform_name);
+        cell_span.SetAttribute("graph", dataset.name);
+        cell_span.SetAttribute("algorithm", AlgorithmKindName(algorithm));
+        metrics::AddCounter("harness.cells");
+
         // CD and EVO seed their dynamics with vertex ids: running them on a
         // relabeled graph is a different computation whose output cannot be
         // mapped back. Refuse the cell — recorded, never silent.
@@ -235,16 +310,9 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
               StringPrintf("%s is not relabeling-invariant; rerun with "
                            "graph.reorder = none",
                            AlgorithmKindName(algorithm).c_str()));
-          emit(result);
-          continue;
-        }
-
-        if (!load_status.ok()) {
+        } else if (!load_status.ok()) {
           result.status = load_status.WithPrefix("load");
-          emit(result);
-          continue;
-        }
-
+        } else {
         const uint64_t faults_before =
             spec.fault_plan != nullptr ? spec.fault_plan->TotalTriggered() : 0;
 
@@ -270,30 +338,37 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           if (spec.monitor) monitor.Start();
           Stopwatch run_watch;
           Result<AlgorithmOutput> run = Status::Internal("cell never ran");
-          if (spec.cell_timeout_s > 0.0) {
-            auto state = std::make_shared<AttemptState>();
-            state->platform = platform;
-            state->algorithm = algorithm;
-            state->params = run_params;
-            std::future<void> done = state->done.get_future();
-            std::thread([state] {
-              state->run = state->platform->Run(state->algorithm,
-                                                state->params);
-              state->done.set_value();
-            }).detach();
-            if (done.wait_for(std::chrono::duration<double>(
-                    spec.cell_timeout_s)) == std::future_status::ready) {
-              run = std::move(state->run);
+          {
+            trace::TraceSpan run_span("harness.run", "harness");
+            run_span.SetAttribute("attempt", uint64_t{attempt});
+            if (spec.cell_timeout_s > 0.0) {
+              auto state = std::make_shared<AttemptState>();
+              state->platform = platform;
+              state->algorithm = algorithm;
+              state->params = run_params;
+              std::future<void> done = state->done.get_future();
+              std::thread([state] {
+                state->run = state->platform->Run(state->algorithm,
+                                                  state->params);
+                state->done.set_value();
+              }).detach();
+              if (done.wait_for(std::chrono::duration<double>(
+                      spec.cell_timeout_s)) == std::future_status::ready) {
+                run = std::move(state->run);
+              } else {
+                run = Status::Timeout(StringPrintf(
+                    "cell exceeded %.3fs wall-clock budget",
+                    spec.cell_timeout_s));
+                result.timed_out = true;
+                run_span.SetAttribute("timed_out", "true");
+                metrics::AddCounter("harness.timeouts");
+                abandoned.push_back(std::move(done));
+                platform.reset();
+              }
             } else {
-              run = Status::Timeout(StringPrintf(
-                  "cell exceeded %.3fs wall-clock budget",
-                  spec.cell_timeout_s));
-              result.timed_out = true;
-              abandoned.push_back(std::move(done));
-              platform.reset();
+              run = platform->Run(algorithm, run_params);
             }
-          } else {
-            run = platform->Run(algorithm, run_params);
+            run_span.SetAttribute("ok", run.ok() ? "true" : "false");
           }
           result.runtime_seconds = run_watch.ElapsedSeconds();
           if (spec.monitor) result.resources = monitor.Stop();
@@ -309,6 +384,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                                     result.runtime_seconds
                               : 0.0;
             if (spec.validate) {
+              trace::TraceSpan validate_span("harness.validate", "harness");
               // Reordered datasets validate in original vertex ids against
               // the original graph, so a reordered run and a plain run
               // answer to the same reference output.
@@ -337,8 +413,14 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                        << attempt << "/" << max_attempts
                        << " failed: " << run.status().ToString();
           if (attempt == max_attempts || !IsRetryable(result.status)) break;
-          SleepSeconds(spec.retry_backoff_s *
-                       static_cast<double>(1ull << std::min(attempt - 1, 20u)));
+          double backoff =
+              spec.retry_backoff_s *
+              static_cast<double>(1ull << std::min(attempt - 1, 20u));
+          metrics::AddCounter("harness.retries");
+          trace::Instant("harness.retry", "harness",
+                         {{"attempt", std::to_string(attempt)},
+                          {"backoff_s", StringPrintf("%.3f", backoff)}});
+          SleepSeconds(backoff);
         }
 
         result.injected_faults =
@@ -352,6 +434,11 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
             MetricValue(result.platform_metrics, "map_stages_recovered");
         result.supersteps_replayed =
             MetricValue(result.platform_metrics, "supersteps_replayed");
+        }  // retry loop (else branch of the refusal checks)
+        }  // harness.cell envelope
+        if (tracer != nullptr) {
+          SummarizeCellTrace(*tracer, cell_begin, spec.trace_dir, &result);
+        }
         emit(result);
       }
       if (platform != nullptr) platform->UnloadGraph();
@@ -368,6 +455,24 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                             std::max(0.0, spec.abandon_grace_s)));
     for (std::future<void>& done : abandoned) {
       done.wait_until(deadline);
+    }
+  }
+
+  // Run-wide observability artifacts (after the drain, so spans from
+  // abandoned-but-finished attempts are included).
+  if (!spec.trace_dir.empty()) {
+    std::filesystem::path dir(spec.trace_dir);
+    if (tracer != nullptr) {
+      Status written = tracer->WriteTo((dir / "trace.json").string());
+      if (!written.ok()) {
+        GLY_LOG_WARN << "trace: " << written.ToString();
+      }
+    }
+    if (registry != nullptr) {
+      Status written = registry->WriteTo((dir / "metrics.jsonl").string());
+      if (!written.ok()) {
+        GLY_LOG_WARN << "metrics: " << written.ToString();
+      }
     }
   }
   return results;

@@ -24,7 +24,9 @@
 
 #include "common/config.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "harness/monitor.h"
 #include "harness/platform.h"
 #include "harness/validator.h"
@@ -94,6 +96,23 @@ struct RunSpec {
   /// truncated at the start of the run.
   std::string journal_path;
   bool resume = false;
+
+  /// Observability (see DESIGN.md §10). With `trace_dir` set, the run
+  /// emits a run-wide `trace.json` (Chrome trace-event format), one
+  /// `trace-<platform>-<graph>-<algorithm>.json` per cell, and a
+  /// schema-versioned `metrics.jsonl` into that directory, and each result
+  /// carries its span count and top phase durations. `tracer` / `metrics`
+  /// may be supplied by the caller (e.g. with a fake clock for golden
+  /// tests); when null and `trace_dir` is set, RunBenchmark owns its own.
+  /// All three empty/null (the default) disables tracing entirely — spans
+  /// throughout the engines then cost one atomic load each.
+  ///
+  /// Caveat (same as caller-owned graphs): a caller-supplied tracer or
+  /// registry must outlive attempts abandoned on timeout, i.e. live past
+  /// the `abandon_grace_s` drain.
+  std::string trace_dir;
+  trace::Tracer* tracer = nullptr;
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Outcome of one (platform, graph, algorithm) cell.
@@ -118,6 +137,11 @@ struct BenchmarkResult {
   /// rollback-replays + MapReduce map stages restored from a manifest).
   uint64_t recoveries = 0;
   uint64_t supersteps_replayed = 0;  ///< Pregel supersteps re-executed
+  /// Observability (0/empty when tracing is off): completed trace spans
+  /// recorded during this cell, and the top-3 phases by total duration as
+  /// "name:seconds" pairs joined with ';'.
+  uint64_t trace_spans = 0;
+  std::string top_phases;
   ResourceSummary resources;
   std::map<std::string, std::string> platform_metrics;
 };

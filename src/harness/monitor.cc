@@ -8,16 +8,6 @@
 
 namespace gly::harness {
 
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 uint64_t SystemMonitor::CurrentRssBytes() {
   FILE* f = std::fopen("/proc/self/statm", "r");
   if (f == nullptr) return 0;
@@ -59,6 +49,22 @@ double SystemMonitor::CurrentCpuSeconds() {
   return (static_cast<double>(utime) + static_cast<double>(stime)) / ticks;
 }
 
+uint64_t SelfProcReader::RssBytes() { return SystemMonitor::CurrentRssBytes(); }
+
+double SelfProcReader::CpuSeconds() {
+  return SystemMonitor::CurrentCpuSeconds();
+}
+
+double SelfProcReader::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProcReader& SystemMonitor::reader() {
+  return reader_ != nullptr ? *reader_ : self_reader_;
+}
+
 SystemMonitor::~SystemMonitor() {
   if (running_.load()) {
     running_.store(false);
@@ -66,21 +72,32 @@ SystemMonitor::~SystemMonitor() {
   }
 }
 
-void SystemMonitor::Start() {
+void SystemMonitor::OpenWindow() {
   samples_.clear();
-  start_cpu_ = CurrentCpuSeconds();
-  start_wall_ = NowSeconds();
+  start_cpu_ = reader().CpuSeconds();
+  start_wall_ = reader().NowSeconds();
+  started_ = true;
+}
+
+void SystemMonitor::Start() {
+  OpenWindow();
   running_.store(true);
   thread_ = std::thread([this] { Loop(); });
 }
 
+void SystemMonitor::StartManual() { OpenWindow(); }
+
+void SystemMonitor::SampleOnce() {
+  ResourceSample sample;
+  sample.at_seconds = reader().NowSeconds() - start_wall_;
+  sample.rss_bytes = reader().RssBytes();
+  sample.cpu_seconds = reader().CpuSeconds();
+  samples_.push_back(sample);
+}
+
 void SystemMonitor::Loop() {
   while (running_.load(std::memory_order_relaxed)) {
-    ResourceSample sample;
-    sample.at_seconds = NowSeconds() - start_wall_;
-    sample.rss_bytes = CurrentRssBytes();
-    sample.cpu_seconds = CurrentCpuSeconds();
-    samples_.push_back(sample);
+    SampleOnce();
     std::this_thread::sleep_for(
         std::chrono::duration<double>(interval_seconds_));
   }
@@ -90,8 +107,13 @@ ResourceSummary SystemMonitor::Stop() {
   running_.store(false);
   if (thread_.joinable()) thread_.join();
   ResourceSummary summary;
-  summary.wall_seconds = NowSeconds() - start_wall_;
-  summary.cpu_seconds = CurrentCpuSeconds() - start_cpu_;
+  // A window that was never opened has no meaningful start times; reporting
+  // NowSeconds() - 0.0 as the wall span (and dividing by it) would be
+  // garbage, so an unopened window summarizes to all zeros.
+  if (!started_) return summary;
+  started_ = false;
+  summary.wall_seconds = reader().NowSeconds() - start_wall_;
+  summary.cpu_seconds = reader().CpuSeconds() - start_cpu_;
   summary.cpu_utilization = summary.wall_seconds > 0.0
                                 ? summary.cpu_seconds / summary.wall_seconds
                                 : 0.0;

@@ -2,7 +2,9 @@
 // resource utilization statistics from the SUT."
 //
 // Samples process RSS and CPU time from /proc at a fixed interval on a
-// background thread while a benchmark run executes.
+// background thread while a benchmark run executes. The /proc access is
+// behind the ProcReader interface so tests can drive the summary math with
+// a scripted reader instead of the live process.
 
 #pragma once
 
@@ -32,17 +34,46 @@ struct ResourceSummary {
   size_t samples = 0;
 };
 
+/// Source of the monitor's raw readings. The default implementation reads
+/// the live process; tests substitute a scripted fake.
+class ProcReader {
+ public:
+  virtual ~ProcReader() = default;
+  virtual uint64_t RssBytes() = 0;      ///< current resident set, bytes
+  virtual double CpuSeconds() = 0;      ///< cumulative user+system CPU
+  virtual double NowSeconds() = 0;      ///< monotonic wall clock
+};
+
+/// ProcReader over /proc/self (statm for RSS, stat for CPU).
+class SelfProcReader : public ProcReader {
+ public:
+  uint64_t RssBytes() override;
+  double CpuSeconds() override;
+  double NowSeconds() override;
+};
+
 /// Background sampler.
 class SystemMonitor {
  public:
-  explicit SystemMonitor(double interval_seconds = 0.05)
-      : interval_seconds_(interval_seconds) {}
+  /// `reader == nullptr` reads the live process via SelfProcReader.
+  explicit SystemMonitor(double interval_seconds = 0.05,
+                         ProcReader* reader = nullptr)
+      : interval_seconds_(interval_seconds), reader_(reader) {}
   ~SystemMonitor();
 
-  /// Starts sampling (clears previous samples).
+  /// Starts background sampling (clears previous samples).
   void Start();
 
-  /// Stops sampling and returns the summary.
+  /// Opens a monitoring window without spawning the sampler thread; drive
+  /// it with SampleOnce(). Deterministic — for tests and manual stepping.
+  void StartManual();
+
+  /// Records one sample now. Only meaningful after StartManual().
+  void SampleOnce();
+
+  /// Stops sampling and returns the summary. Calling Stop() with no open
+  /// window (never started, or already stopped) returns an all-zero
+  /// summary instead of a garbage wall-clock span.
   ResourceSummary Stop();
 
   const std::vector<ResourceSample>& samples() const { return samples_; }
@@ -55,9 +86,14 @@ class SystemMonitor {
 
  private:
   void Loop();
+  ProcReader& reader();
+  void OpenWindow();
 
   double interval_seconds_;
+  ProcReader* reader_;
+  SelfProcReader self_reader_;
   std::atomic<bool> running_{false};
+  bool started_ = false;
   std::thread thread_;
   std::vector<ResourceSample> samples_;
   double start_cpu_ = 0.0;

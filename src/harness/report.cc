@@ -18,25 +18,6 @@ std::string CellKey(const BenchmarkResult& r) {
   return r.graph + "/" + r.platform;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StringPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 // Minimal flat-JSON field extraction, matched to ResultToJson's output
 // shape (no whitespace, top-level fields before the "metrics" object).
 
@@ -50,6 +31,7 @@ std::string JsonUnescape(std::string_view s) {
     ++i;
     switch (s[i]) {
       case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
       case 't': out += '\t'; break;
       case 'u':
         if (i + 4 < s.size()) {
@@ -241,6 +223,12 @@ std::string RenderFullReport(const Config& configuration,
             << StringPrintf("  (cpu util %.0f%%)\n",
                             r.resources.cpu_utilization * 100.0);
       }
+      if (r.trace_spans > 0) {
+        out << StringPrintf("  trace:       %llu spans",
+                            (unsigned long long)r.trace_spans);
+        if (!r.top_phases.empty()) out << "  top: " << r.top_phases;
+        out << '\n';
+      }
       for (const auto& [k, v] : r.platform_metrics) {
         out << "  " << StringPrintf("%-12s %s\n", (k + ":").c_str(),
                                     v.c_str());
@@ -259,7 +247,7 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
                    "runtime_s", "load_s", "traversed_edges", "teps",
                    "attempts", "timed_out", "injected_faults", "resumed",
                    "recoveries", "supersteps_replayed", "peak_rss_bytes",
-                   "cpu_utilization"});
+                   "cpu_utilization", "trace_spans", "top_phases"});
   for (const BenchmarkResult& r : results) {
     csv.Field(r.platform)
         .Field(r.graph)
@@ -277,7 +265,9 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
         .Field(r.recoveries)
         .Field(r.supersteps_replayed)
         .Field(r.resources.peak_rss_bytes)
-        .Field(r.resources.cpu_utilization);
+        .Field(r.resources.cpu_utilization)
+        .Field(r.trace_spans)
+        .Field(r.top_phases);
     csv.EndRow();
   }
   file.flush();
@@ -305,6 +295,8 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << "\"recoveries\":" << result.recoveries << ','
       << "\"supersteps_replayed\":" << result.supersteps_replayed << ','
       << "\"peak_rss_bytes\":" << result.resources.peak_rss_bytes << ','
+      << "\"trace_spans\":" << result.trace_spans << ','
+      << "\"top_phases\":\"" << JsonEscape(result.top_phases) << "\","
       << "\"metrics\":{";
   bool first = true;
   for (const auto& [k, v] : result.platform_metrics) {
@@ -371,6 +363,12 @@ Result<BenchmarkResult> ResultFromJson(const std::string& line) {
   if (ExtractJsonNumber(head, "peak_rss_bytes", &value)) {
     r.resources.peak_rss_bytes = static_cast<uint64_t>(value);
   }
+  // Observability fields are optional: journals written before tracing
+  // existed (or with it off) must still parse for resume.
+  if (ExtractJsonNumber(head, "trace_spans", &value)) {
+    r.trace_spans = static_cast<uint64_t>(value);
+  }
+  ExtractJsonString(head, "top_phases", &r.top_phases);
 
   if (metrics_pos != std::string::npos) {
     size_t pos = metrics_pos + std::string_view("\"metrics\":{").size();

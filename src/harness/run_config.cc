@@ -6,7 +6,9 @@
 #include <optional>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "datagen/rmat.h"
 #include "datagen/social_datagen.h"
 #include "graph/io.h"
@@ -137,6 +139,23 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
   if (etl_threads > 1) etl_pool.emplace(etl_threads);
   ThreadPool* etl_pool_ptr = etl_pool ? &*etl_pool : nullptr;
 
+  // Observability: trace.dir enables tracing for the whole run. The tracer
+  // and registry are installed *here* — before the graphs are built — so the
+  // ETL parse/CSR spans land in the same timeline as the benchmark cells.
+  // Declared before the Scoped* installers so scope teardown (which
+  // uninstalls the process-global pointer) precedes object destruction.
+  std::string trace_dir = config.GetStringOr("trace.dir", "");
+  std::optional<trace::Tracer> tracer;
+  std::optional<metrics::Registry> run_metrics;
+  std::optional<trace::ScopedTracer> trace_scope;
+  std::optional<metrics::ScopedRegistry> metrics_scope;
+  if (!trace_dir.empty()) {
+    tracer.emplace();
+    run_metrics.emplace();
+    trace_scope.emplace(&*tracer);
+    metrics_scope.emplace(&*run_metrics);
+  }
+
   // graph.reorder = degree relabels every dataset by descending out-degree
   // (hubs first, for traversal locality); graph.<name>.reorder overrides it
   // per dataset. Results and validation stay in original vertex ids.
@@ -145,22 +164,27 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
 
   std::vector<std::unique_ptr<DatasetStorage>> graphs;
   RunSpec spec;
-  for (const std::string& name : graph_names) {
-    Config scope = config.Scoped("graph." + name);
-    auto graph = BuildGraph(name, scope, etl_pool_ptr);
-    if (!graph.ok()) return graph.status().WithPrefix("graph." + name);
-    auto storage = std::make_unique<DatasetStorage>();
-    storage->graph = std::move(graph).ValueOrDie();
-    std::string reorder =
-        ToLower(scope.GetStringOr("reorder", default_reorder));
-    if (reorder == "degree") {
-      storage->by_degree = storage->graph.ReorderByDegree(etl_pool_ptr);
-      storage->reordered = true;
-    } else if (reorder != "none") {
-      return Status::InvalidArgument("graph." + name + ".reorder: unknown '" +
-                                     reorder + "' (degree | none)");
+  {
+    trace::TraceSpan etl_span("harness.etl", "harness");
+    for (const std::string& name : graph_names) {
+      Config scope = config.Scoped("graph." + name);
+      auto graph = BuildGraph(name, scope, etl_pool_ptr);
+      if (!graph.ok()) return graph.status().WithPrefix("graph." + name);
+      auto storage = std::make_unique<DatasetStorage>();
+      storage->graph = std::move(graph).ValueOrDie();
+      std::string reorder =
+          ToLower(scope.GetStringOr("reorder", default_reorder));
+      if (reorder == "degree") {
+        storage->by_degree = storage->graph.ReorderByDegree(etl_pool_ptr);
+        storage->reordered = true;
+      } else if (reorder != "none") {
+        return Status::InvalidArgument("graph." + name +
+                                       ".reorder: unknown '" + reorder +
+                                       "' (degree | none)");
+      }
+      graphs.push_back(std::move(storage));
     }
-    graphs.push_back(std::move(storage));
+    etl_span.SetAttribute("graphs", uint64_t{graphs.size()});
   }
   for (size_t i = 0; i < graph_names.size(); ++i) {
     Config scope = config.Scoped("graph." + graph_names[i]);
@@ -228,6 +252,11 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
     fs::path parent = fs::path(spec.journal_path).parent_path();
     if (!parent.empty()) fs::create_directories(parent, ec);
   }
+
+  // ------------------------------------------------- observability exports
+  spec.trace_dir = trace_dir;
+  spec.tracer = tracer ? &*tracer : nullptr;
+  spec.metrics = run_metrics ? &*run_metrics : nullptr;
 
   // --------------------------------------------------------------- run it
   GLY_ASSIGN_OR_RETURN(std::vector<BenchmarkResult> results,

@@ -10,6 +10,8 @@
 #include "common/checkpoint.h"
 #include "common/crc32.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -302,6 +304,8 @@ Result<std::vector<std::string>> Job::Run(
   fs::create_directories(output_dir, ec);
 
   JobStats stats;
+  trace::TraceSpan job_span("mapreduce.job", "mapreduce");
+  metrics::AddCounter("mapreduce.jobs");
   const uint32_t mappers = std::max(1u, config_.num_mappers);
   const uint32_t reducers = std::max(1u, config_.num_reducers);
 
@@ -334,8 +338,11 @@ Result<std::vector<std::string>> Job::Run(
       TryRestoreMapManifest(manifest_path, fingerprint, mapper_runs.size(),
                             &mapper_runs, &stats);
   stats.map_stage_recovered = map_recovered;
+  if (map_recovered) metrics::AddCounter("mapreduce.map_stages_recovered");
   if (!map_recovered) {
     Stopwatch map_watch;
+    trace::TraceSpan map_span("mapreduce.map", "mapreduce");
+    map_span.SetAttribute("mappers", uint64_t{mappers});
     // Split inputs across mappers round-robin by file; files are the
     // natural split unit since the driver writes one part per previous
     // reducer.
@@ -403,6 +410,9 @@ Result<std::vector<std::string>> Job::Run(
       stats.spill_files += ms.spill_files;
       stats.combined_records += ms.combined_records;
     }
+    map_span.SetAttribute("input_records", stats.input_records);
+    map_span.SetAttribute("spill_bytes", stats.spill_bytes);
+    metrics::AddCounter("mapreduce.spill_bytes", stats.spill_bytes);
 
     if (config_.checkpoint_map_stage) {
       // Best-effort: a failed manifest write only means a future re-run
@@ -420,6 +430,9 @@ Result<std::vector<std::string>> Job::Run(
   Stopwatch reduce_watch;
   std::vector<std::string> output_paths(reducers);
   std::vector<JobStats> reducer_stats(reducers);
+  {
+  trace::TraceSpan reduce_span("mapreduce.shuffle_reduce", "mapreduce");
+  reduce_span.SetAttribute("reducers", uint64_t{reducers});
   std::vector<std::future<Status>> reduce_tasks;
   for (uint32_t r = 0; r < reducers; ++r) {
     reduce_tasks.push_back(pool->Submit([&, r]() -> Status {
@@ -499,6 +512,9 @@ Result<std::vector<std::string>> Job::Run(
     stats.output_bytes += rs.output_bytes;
     stats.reduce_output_records += rs.reduce_output_records;
   }
+  reduce_span.SetAttribute("shuffle_bytes", stats.shuffle_bytes);
+  metrics::AddCounter("mapreduce.shuffle_bytes", stats.shuffle_bytes);
+  }  // mapreduce.shuffle_reduce span
 
   // Clean spills; the job completed, so the manifest (if any) is obsolete.
   if (config_.checkpoint_map_stage) {

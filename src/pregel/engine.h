@@ -45,9 +45,11 @@
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
 
@@ -532,6 +534,8 @@ class Engine {
     uint32_t step = 0;
     auto write_checkpoint = [&] {
       if constexpr (can_checkpoint) {
+        trace::TraceSpan ckpt_span("pregel.checkpoint.write", "pregel");
+        ckpt_span.SetAttribute("superstep", uint64_t{step});
         Stopwatch ckpt_watch;
         CheckpointWriter writer;
         CheckpointEncoder meta(writer.AddSection("meta"));
@@ -569,6 +573,9 @@ class Engine {
 
     auto restore_checkpoint = [&]() -> Status {
       if constexpr (can_checkpoint) {
+        trace::TraceSpan restore_span("pregel.checkpoint.restore", "pregel");
+        restore_span.SetAttribute("checkpoint_step",
+                                  uint64_t{checkpoint_step});
         GLY_ASSIGN_OR_RETURN(CheckpointReader reader,
                              CheckpointReader::Load(ckpt_path));
         GLY_ASSIGN_OR_RETURN(std::string_view meta_raw,
@@ -645,6 +652,7 @@ class Engine {
       if (recoveries >= config_.checkpoint.max_recoveries) return false;
       if (!restore_checkpoint().ok()) return false;
       ++recoveries;
+      metrics::AddCounter("pregel.recoveries");
       replayed += step - checkpoint_step;
       sync_ckpt_stats();
       step = checkpoint_step;
@@ -687,6 +695,11 @@ class Engine {
       SuperstepStats ss;
       ss.superstep = step;
       Stopwatch step_watch;
+      // One span per superstep *attempt*: an iteration cut short by a
+      // crashed worker or barrier fault still closes its span, so a
+      // recovered run's timeline shows the failed attempt and its replays.
+      trace::TraceSpan step_span("pregel.superstep", "pregel");
+      step_span.SetAttribute("superstep", uint64_t{step});
 
       // Compute phase: each worker processes its active vertices and fills
       // per-worker outboxes (keyed by destination worker for traffic
@@ -820,6 +833,8 @@ class Engine {
       uint64_t cross = 0;
       uint64_t cross_bytes = 0;
       uint64_t inbox_bytes = 0;
+      uint64_t emitted = 0;  ///< outbox entries before sender-side combine
+      for (const auto& ob : outboxes) emitted += ob.size();
       // Deliver sequentially per source worker; per-destination-vertex
       // combining keeps inbox sizes O(1) for combinable programs.
       for (uint32_t w = 0; w < workers; ++w) {
@@ -926,6 +941,16 @@ class Engine {
       out.stats.network_seconds += network_s;
       out.stats.per_superstep.push_back(ss);
       out.stats.supersteps = step + 1;
+
+      step_span.SetAttribute("active", ss.active_vertices);
+      step_span.SetAttribute("messages_sent", sent);
+      step_span.SetAttribute("dense", deliver_dense ? "true" : "false");
+      metrics::AddCounter("pregel.supersteps");
+      metrics::AddCounter("pregel.messages_sent", sent);
+      metrics::AddCounter("pregel.messages_dropped", dropped);
+      // Messages the sender-side combiner folded away before delivery.
+      metrics::AddCounter("pregel.messages_combined", emitted - sent - dropped);
+      if (deliver_dense) metrics::AddCounter("pregel.dense_supersteps");
       ++step;
 
       // Termination: all halted and no messages in flight.

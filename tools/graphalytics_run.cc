@@ -46,6 +46,13 @@ report.dir = graphalytics-report
 validate = true
 monitor = true
 
+# Observability (see DESIGN.md, "Observability model"): set a directory (or
+# pass --trace-dir) to export trace.json — open it in chrome://tracing or
+# https://ui.perfetto.dev — plus metrics.jsonl and one trace-<cell>.json
+# per benchmark cell. Off by default; the disabled hot path is one atomic
+# load per would-be span.
+# trace.dir = graphalytics-report/trace
+
 # ETL (see DESIGN.md, "ETL performance"): parallel parse + CSR build, and
 # optional degree-descending relabeling for traversal locality. Outputs and
 # validation always speak original vertex ids; CD/EVO cells are refused on
@@ -70,9 +77,14 @@ retry_backoff_s = 0.5
 
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--resume] <benchmark.properties>\n"
+               "usage: %s [--resume] [--trace-dir <dir>] "
+               "<benchmark.properties>\n"
                "       %s --example   # print a starter configuration\n"
-               "  --resume  reuse cells already journaled as finished\n",
+               "  --resume           reuse cells already journaled as "
+               "finished\n"
+               "  --trace-dir <dir>  write trace.json (Chrome tracing) and\n"
+               "                     metrics.jsonl per run, plus one\n"
+               "                     trace-<cell>.json per benchmark cell\n",
                argv0, argv0);
 }
 
@@ -80,6 +92,7 @@ void PrintUsage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool resume = false;
+  const char* trace_dir = nullptr;
   const char* config_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) {
@@ -88,6 +101,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) {
+        PrintUsage(argv[0]);
+        return 2;
+      }
+      trace_dir = argv[++i];
     } else if (config_path == nullptr) {
       config_path = argv[i];
     } else {
@@ -106,6 +125,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (resume) config->SetBool("resume", true);
+  if (trace_dir != nullptr) config->Set("trace.dir", trace_dir);
   auto run = gly::harness::RunFromConfig(*config);
   if (!run.ok()) {
     std::fprintf(stderr, "benchmark error: %s\n",
