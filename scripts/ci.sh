@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# CI entry point. Five stages:
+# CI entry point. Six stages:
 #
 #   1. tier-1      — plain build, full test suite (the gate every PR must
-#                    hold).
+#                    hold). The `chaos` label is split out into stage 6 so
+#                    its wall-clock cost is attributed to the chaos stage.
 #   2. asan        — GLY_SANITIZE=address build running the `robustness` and
 #                    `conformance` CTest labels: fault-injection,
-#                    checkpoint/recovery, WAL/resume, and the cross-engine
-#                    kernel-conformance suites — the paths most valuable to
-#                    run under a sanitizer.
-#   3. tsan        — GLY_SANITIZE=thread build running the `ingest` and
-#                    `observability` CTest labels: the parallel ETL pipeline
-#                    (chunked parsing, parallel CSR build, reordering) plus
-#                    the tracer/metrics-registry concurrency stress tests
-#                    under the race detector, where their bugs would
-#                    actually show.
+#                    checkpoint/recovery, WAL/resume, cancellation, and the
+#                    cross-engine kernel-conformance suites — the paths most
+#                    valuable to run under a sanitizer.
+#   3. tsan        — GLY_SANITIZE=thread build running the `ingest`,
+#                    `observability`, and `robustness` CTest labels: the
+#                    parallel ETL pipeline (chunked parsing, parallel CSR
+#                    build, reordering), the tracer/metrics-registry
+#                    concurrency stress tests, and the cancellation/
+#                    watchdog/grace-join paths (harness watchdog vs attempt
+#                    thread, token polls from every engine) under the race
+#                    detector, where their bugs would actually show.
 #   4. observability — `ctest -L observability` in the tier-1 build (the
 #                    golden-trace, metrics round-trip, monitor, and
 #                    4-engine trace-artifact suites), then cross-checks the
@@ -34,6 +37,11 @@
 #                    --threads ${ETL_THREADS} so the baseline's thread count
 #                    matches across boxes (bench_compare skips, rather than
 #                    gates, thread-mismatched pairs).
+#   6. chaos       — crash-restart chaos driver (`ctest -L chaos`):
+#                    SIGKILLs a real graphalytics_run child mid-matrix ten
+#                    times and asserts --resume completes a validated,
+#                    journal-consistent matrix (no lost or duplicated
+#                    cells). See tools/chaos_runner.cc.
 #
 # Build directories are separate from the developer's `build/` so a CI run
 # never clobbers an interactive configuration. Override with TIER1_DIR /
@@ -50,51 +58,54 @@ BENCH_SCALE="${BENCH_SCALE:-12}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
 ETL_THREADS="${ETL_THREADS:-4}"
 
-echo "==> [1/5] tier-1: configure + build (${TIER1_DIR})"
+echo "==> [1/6] tier-1: configure + build (${TIER1_DIR})"
 cmake -B "${TIER1_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${TIER1_DIR}" -j "${JOBS}"
 
-echo "==> [1/5] tier-1: full test suite"
-ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}"
+echo "==> [1/6] tier-1: full test suite (chaos split into stage 6)"
+ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" -LE chaos
 
-echo "==> [2/5] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
+echo "==> [2/6] asan: configure + build (${ASAN_DIR}, GLY_SANITIZE=address)"
 cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=address
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
 
-echo "==> [2/5] asan: robustness + conformance suites"
+echo "==> [2/6] asan: robustness + conformance suites"
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -L 'robustness|conformance'
 
-echo "==> [3/5] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
+echo "==> [3/6] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 
-echo "==> [3/5] tsan: ingest + observability suites (race detector)"
+echo "==> [3/6] tsan: ingest + observability + robustness (race detector)"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-      -L 'ingest|observability'
+      -L 'ingest|observability|robustness'
 
-echo "==> [4/5] observability: golden-trace suite + committed sample schemas"
+echo "==> [4/6] observability: golden-trace suite + committed sample schemas"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" \
       -L observability
 python3 scripts/validate_trace.py tests/data/sample_trace.json \
     tests/data/sample_metrics.jsonl
 python3 scripts/bench_compare_test.py
 
-echo "==> [5/5] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
+echo "==> [5/6] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
 "${TIER1_DIR}/bench/fig4_runtimes" --kernels-only \
     --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
     --json "${TIER1_DIR}/bench_kernels_current.json"
 python3 scripts/bench_compare.py BENCH_kernels.json \
     "${TIER1_DIR}/bench_kernels_current.json"
 
-echo "==> [5/5] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} threads"
+echo "==> [5/6] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} threads"
 "${TIER1_DIR}/bench/ext_etl_times" --kernels-only \
     --kernel-scale "${BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
     --threads "${ETL_THREADS}" \
     --json "${TIER1_DIR}/bench_etl_current.json"
 python3 scripts/bench_compare.py BENCH_etl.json \
     "${TIER1_DIR}/bench_etl_current.json"
+
+echo "==> [6/6] chaos: SIGKILL/resume crash-restart driver"
+ctest --test-dir "${TIER1_DIR}" --output-on-failure -L chaos
 
 echo "==> ci passed"

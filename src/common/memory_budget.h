@@ -31,8 +31,13 @@ class MemoryBudget {
   /// Releases `bytes` previously charged.
   void Release(uint64_t bytes);
 
-  /// Forgets all charges.
-  void Reset() { used_.store(0, std::memory_order_relaxed); }
+  /// Forgets all charges *and* the recorded peak, so a budget reused across
+  /// attempts (e.g. after a cancelled cell) starts from a clean slate
+  /// instead of reporting the abandoned attempt's high-water mark.
+  void Reset() {
+    used_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
 
   uint64_t used() const { return used_.load(std::memory_order_relaxed); }
   uint64_t limit() const { return limit_; }

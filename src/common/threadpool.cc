@@ -44,11 +44,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
-                             const std::function<void(size_t)>& fn) {
-  ParallelForChunked(begin, end, grain,
-                     [&fn](size_t chunk_begin, size_t chunk_end) {
-                       for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
-                     });
+                             const std::function<void(size_t)>& fn,
+                             const CancelToken* cancel) {
+  ParallelForChunked(
+      begin, end, grain,
+      [&fn](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      },
+      cancel);
 }
 
 void ThreadPool::ParallelForChunked(
@@ -58,7 +61,8 @@ void ThreadPool::ParallelForChunked(
 
 void ThreadPool::ParallelForChunked(
     size_t begin, size_t end, size_t grain,
-    const std::function<void(size_t, size_t)>& fn) {
+    const std::function<void(size_t, size_t)>& fn,
+    const CancelToken* cancel) {
   if (begin >= end) return;
   const size_t n = end - begin;
   size_t chunks = std::min(n, num_threads() * 4);
@@ -71,8 +75,12 @@ void ThreadPool::ParallelForChunked(
     const size_t chunk_begin = begin + c * chunk_size;
     const size_t chunk_end = std::min(end, chunk_begin + chunk_size);
     if (chunk_begin >= chunk_end) break;
-    futures.push_back(
-        Submit([&fn, chunk_begin, chunk_end] { fn(chunk_begin, chunk_end); }));
+    futures.push_back(Submit([&fn, cancel, chunk_begin, chunk_end] {
+      // Cooperative cancellation: chunks not yet started are skipped once
+      // the token is armed; the caller polls the token after the call.
+      if (Cancelled(cancel)) return;
+      fn(chunk_begin, chunk_end);
+    }));
   }
   // Drain every future before rethrowing: a chunk still running when the
   // call returns would use a dangling `fn`. The first exception wins.

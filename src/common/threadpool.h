@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace gly {
 
 /// A fixed-size pool of worker threads consuming a FIFO task queue.
@@ -53,8 +55,15 @@ class ThreadPool {
   /// every chunk finishes; if `fn` throws, the first exception propagates
   /// to the caller *after* all chunks have completed, so `fn` never
   /// outlives the call.
+  ///
+  /// Cooperative cancellation: with a non-null `cancel`, each chunk polls
+  /// the token before running and cancelled chunks are skipped (already
+  /// running chunks finish). The call still returns normally — callers
+  /// poll the token afterwards (CheckCancel) to surface the status. A null
+  /// token costs one pointer test per chunk.
   void ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel = nullptr);
 
   /// Runs `fn(chunk_begin, chunk_end)` over [0, n) split into roughly
   /// pool-size chunks, blocking until done.
@@ -62,11 +71,12 @@ class ThreadPool {
       size_t n, const std::function<void(size_t, size_t)>& fn);
 
   /// Ranged chunk variant: covers [begin, end) with chunks of at least
-  /// `grain` indices (grain 0 = automatic). Same exception contract as the
-  /// ranged ParallelFor.
+  /// `grain` indices (grain 0 = automatic). Same exception and
+  /// cancellation contracts as the ranged ParallelFor.
   void ParallelForChunked(
       size_t begin, size_t end, size_t grain,
-      const std::function<void(size_t, size_t)>& fn);
+      const std::function<void(size_t, size_t)>& fn,
+      const CancelToken* cancel = nullptr);
 
   size_t num_threads() const { return threads_.size(); }
 

@@ -398,7 +398,13 @@ Result<AlgorithmOutput> RunAlgorithm(const ContextConfig& config,
                                      const Graph& graph, AlgorithmKind kind,
                                      const AlgorithmParams& params,
                                      ContextStats* stats_out) {
-  Context ctx(config);
+  // Install the harness cancellation token (if any): every operator funnels
+  // through Context::Materialize, which polls it.
+  ContextConfig run_config = config;
+  if (params.cancel != nullptr && run_config.cancel == nullptr) {
+    run_config.cancel = params.cancel;
+  }
+  Context ctx(run_config);
   Result<AlgorithmOutput> result = Status::Internal("unreached");
   switch (kind) {
     case AlgorithmKind::kStats:

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/memory_budget.h"
@@ -65,6 +66,13 @@ struct ContextConfig {
   /// from Giraph in practice even though "they both use the Java virtual
   /// machine". Charged on every dataset the engine materializes.
   double materialize_mib_per_s = 0.0;
+
+  /// Cooperative cancellation (null = unsupervised). Every transformation
+  /// funnels through Context::Materialize, so one poll there bounds a
+  /// cancelled lineage to a single operator's work; Shuffle additionally
+  /// polls per source partition. Materialization bumps the token's
+  /// progress heartbeat.
+  CancelToken* cancel = nullptr;
 };
 
 /// Accumulated execution statistics.
@@ -274,6 +282,7 @@ class Context {
     std::vector<std::vector<KV>> partitions(parts);
     uint64_t moved_bytes = 0;
     for (size_t p = 0; p < in.num_partitions(); ++p) {
+      GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
       for (const KV& kv : in.partition(p)) {
         uint32_t target = PartitionOf(kv.first);
         if (target != p) moved_bytes += sizeof(KV);
@@ -307,6 +316,7 @@ class Context {
     // the lineage, and one site to model an executor loss at any point.
     trace::TraceSpan mat_span("dataflow.materialize", "dataflow");
     GLY_FAULT_POINT("dataflow.materialize");
+    GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
     uint64_t elements = 0;
     for (const auto& p : partitions) elements += p.size();
     uint64_t bytes = static_cast<uint64_t>(
@@ -329,6 +339,7 @@ class Context {
     auto payload = std::make_shared<typename Dataset<T>::Payload>();
     payload->partitions = std::move(partitions);
     payload->charge = ScopedCharge(&budget_, bytes);
+    if (config_.cancel != nullptr) config_.cancel->Heartbeat();
     return Dataset<T>(std::move(payload));
   }
 

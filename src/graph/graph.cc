@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 
@@ -89,7 +90,8 @@ void ParallelPrefixSum(std::vector<EdgeIndex>* offsets, ThreadPool& pool) {
 // build); `drop_self_loops` skips src == dst edges entirely.
 void ParallelBuildSide(const std::vector<Edge>& edges, VertexId num_vertices,
                        bool by_src, bool mirror, bool drop_self_loops,
-                       ThreadPool& pool, std::vector<EdgeIndex>* offsets,
+                       ThreadPool& pool, const CancelToken* cancel,
+                       std::vector<EdgeIndex>* offsets,
                        std::vector<VertexId>* targets) {
   const size_t n = num_vertices;
   std::unique_ptr<std::atomic<EdgeIndex>[]> cursor(
@@ -105,7 +107,7 @@ void ParallelBuildSide(const std::vector<Edge>& edges, VertexId num_vertices,
                                                  std::memory_order_relaxed);
       }
     }
-  });
+  }, cancel);
   offsets->assign(n + 1, 0);
   pool.ParallelForChunked(0, n, kRowGrain, [&](size_t begin, size_t end) {
     for (size_t v = begin; v < end; ++v) {
@@ -128,20 +130,20 @@ void ParallelBuildSide(const std::vector<Edge>& edges, VertexId num_vertices,
                    cursor[value].fetch_add(1, std::memory_order_relaxed)] = k;
       }
     }
-  });
+  }, cancel);
   pool.ParallelForChunked(0, n, kRowGrain, [&](size_t begin, size_t end) {
     for (size_t v = begin; v < end; ++v) {
       std::sort(targets->begin() + static_cast<ptrdiff_t>((*offsets)[v]),
                 targets->begin() + static_cast<ptrdiff_t>((*offsets)[v + 1]));
     }
-  });
+  }, cancel);
 }
 
 // Per-row duplicate removal + compaction (rows must be sorted). Matches
 // the serial global sort + std::unique exactly, because duplicates of a
 // (key, value) pair are always adjacent within their sorted row.
 void DedupRows(std::vector<EdgeIndex>* offsets, std::vector<VertexId>* targets,
-               ThreadPool& pool) {
+               ThreadPool& pool, const CancelToken* cancel) {
   const size_t n = offsets->size() - 1;
   std::vector<EdgeIndex> unique_offsets(n + 1, 0);
   pool.ParallelForChunked(0, n, kRowGrain, [&](size_t begin, size_t end) {
@@ -154,7 +156,7 @@ void DedupRows(std::vector<EdgeIndex>* offsets, std::vector<VertexId>* targets,
       }
       unique_offsets[v + 1] = write - (*offsets)[v];
     }
-  });
+  }, cancel);
   ParallelPrefixSum(&unique_offsets, pool);
   std::vector<VertexId> compacted(unique_offsets.back());
   pool.ParallelForChunked(0, n, kRowGrain, [&](size_t begin, size_t end) {
@@ -173,7 +175,8 @@ void DedupRows(std::vector<EdgeIndex>* offsets, std::vector<VertexId>* targets,
 // build, whose surviving edge set exists only in CSR form).
 void BuildInFromOut(const std::vector<EdgeIndex>& out_offsets,
                     const std::vector<VertexId>& out_targets,
-                    ThreadPool& pool, std::vector<EdgeIndex>* in_offsets,
+                    ThreadPool& pool, const CancelToken* cancel,
+                    std::vector<EdgeIndex>* in_offsets,
                     std::vector<VertexId>* in_targets) {
   const size_t n = out_offsets.size() - 1;
   std::unique_ptr<std::atomic<EdgeIndex>[]> cursor(
@@ -184,7 +187,7 @@ void BuildInFromOut(const std::vector<EdgeIndex>& out_offsets,
         cursor[out_targets[r]].fetch_add(1, std::memory_order_relaxed);
       }
     }
-  });
+  }, cancel);
   in_offsets->assign(n + 1, 0);
   pool.ParallelForChunked(0, n, kRowGrain, [&](size_t begin, size_t end) {
     for (size_t v = begin; v < end; ++v) {
@@ -215,38 +218,49 @@ void BuildInFromOut(const std::vector<EdgeIndex>& out_offsets,
 }  // namespace
 
 Result<Graph> GraphBuilder::ParallelDirected(const EdgeList& edges, bool dedup,
-                                             ThreadPool& pool) {
+                                             ThreadPool& pool,
+                                             const CancelToken* cancel) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = false;
+  // Cancellation note: a cancelled parallel pass may have skipped chunks,
+  // leaving a partially built (inconsistent) CSR side; every phase boundary
+  // therefore polls the token and discards the build before the partial
+  // data is ever read.
   ParallelBuildSide(edges.edges(), edges.num_vertices(), /*by_src=*/true,
-                    /*mirror=*/false, /*drop_self_loops=*/dedup, pool,
+                    /*mirror=*/false, /*drop_self_loops=*/dedup, pool, cancel,
                     &g.out_offsets_, &g.out_targets_);
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
   if (dedup) {
-    DedupRows(&g.out_offsets_, &g.out_targets_, pool);
+    DedupRows(&g.out_offsets_, &g.out_targets_, pool, cancel);
+    GLY_RETURN_NOT_OK(CheckCancel(cancel));
     g.num_edges_ = g.out_targets_.size();
-    BuildInFromOut(g.out_offsets_, g.out_targets_, pool, &g.in_offsets_,
-                   &g.in_targets_);
+    BuildInFromOut(g.out_offsets_, g.out_targets_, pool, cancel,
+                   &g.in_offsets_, &g.in_targets_);
   } else {
     g.num_edges_ = g.out_targets_.size();
     ParallelBuildSide(edges.edges(), edges.num_vertices(), /*by_src=*/false,
                       /*mirror=*/false, /*drop_self_loops=*/false, pool,
-                      &g.in_offsets_, &g.in_targets_);
+                      cancel, &g.in_offsets_, &g.in_targets_);
   }
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
   return g;
 }
 
 Result<Graph> GraphBuilder::ParallelUndirected(const EdgeList& edges,
-                                               ThreadPool& pool) {
+                                               ThreadPool& pool,
+                                               const CancelToken* cancel) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = true;
   ParallelBuildSide(edges.edges(), edges.num_vertices(), /*by_src=*/true,
-                    /*mirror=*/true, /*drop_self_loops=*/true, pool,
+                    /*mirror=*/true, /*drop_self_loops=*/true, pool, cancel,
                     &g.out_offsets_, &g.out_targets_);
-  DedupRows(&g.out_offsets_, &g.out_targets_, pool);
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
+  DedupRows(&g.out_offsets_, &g.out_targets_, pool, cancel);
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
   g.num_edges_ = g.out_targets_.size() / 2;
   // The deduped mirrored adjacency is symmetric, so the in-CSR the serial
   // path builds independently is identical to the out-CSR — copy it.
@@ -408,12 +422,14 @@ Result<Graph> GraphBuilder::Directed(const EdgeList& edges, bool dedup) {
 Result<Graph> GraphBuilder::Directed(const EdgeList& edges,
                                      const CsrBuildOptions& options) {
   if (options.pool != nullptr) {
-    return ParallelDirected(edges, options.dedup, *options.pool);
+    return ParallelDirected(edges, options.dedup, *options.pool,
+                            options.cancel);
   }
   if (options.threads > 1) {
     ThreadPool pool(options.threads);
-    return ParallelDirected(edges, options.dedup, pool);
+    return ParallelDirected(edges, options.dedup, pool, options.cancel);
   }
+  GLY_RETURN_NOT_OK(CheckCancel(options.cancel));
   return Directed(edges, options.dedup);
 }
 
@@ -443,12 +459,13 @@ Result<Graph> GraphBuilder::Undirected(const EdgeList& edges) {
 Result<Graph> GraphBuilder::Undirected(const EdgeList& edges,
                                        const CsrBuildOptions& options) {
   if (options.pool != nullptr) {
-    return ParallelUndirected(edges, *options.pool);
+    return ParallelUndirected(edges, *options.pool, options.cancel);
   }
   if (options.threads > 1) {
     ThreadPool pool(options.threads);
-    return ParallelUndirected(edges, pool);
+    return ParallelUndirected(edges, pool, options.cancel);
   }
+  GLY_RETURN_NOT_OK(CheckCancel(options.cancel));
   return Undirected(edges);
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/threadpool.h"
 #include "graph/edge_list.h"
@@ -124,6 +125,9 @@ struct CsrBuildOptions {
   bool dedup = true;           ///< Directed only: drop self-loops + dups
   size_t threads = 1;          ///< >1 = parallel build on a private pool
   ThreadPool* pool = nullptr;  ///< shared pool (overrides `threads`)
+  /// Cooperative cancellation (null = unsupervised): the parallel build
+  /// loops skip unstarted chunks and the build returns the token's Status.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Builds CSR graphs from edge lists.
@@ -144,9 +148,11 @@ class GraphBuilder {
 
  private:
   static Result<Graph> ParallelDirected(const EdgeList& edges, bool dedup,
-                                        ThreadPool& pool);
+                                        ThreadPool& pool,
+                                        const CancelToken* cancel);
   static Result<Graph> ParallelUndirected(const EdgeList& edges,
-                                          ThreadPool& pool);
+                                          ThreadPool& pool,
+                                          const CancelToken* cancel);
 };
 
 }  // namespace gly

@@ -81,8 +81,11 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
   return ReadEdgeListText(path, EdgeListParseOptions{});
 }
 
-Result<EdgeList> ReadEdgeListText(const std::string& path,
-                                  const EdgeListParseOptions& options) {
+namespace {
+
+Result<EdgeList> ReadEdgeListTextSerial(const std::string& path,
+                                        const EdgeListParseOptions& options,
+                                        const CancelToken* cancel) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   const uint64_t id_limit = IdLimit(options);
@@ -91,6 +94,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (line_no % 4096 == 0) GLY_RETURN_NOT_OK(CheckCancel(cancel));
     bool keep = false;
     Edge edge{0, 0};
     GLY_RETURN_NOT_OK(
@@ -104,11 +108,18 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   return edges;
 }
 
+}  // namespace
+
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListParseOptions& options) {
+  return ReadEdgeListTextSerial(path, options, /*cancel=*/nullptr);
+}
+
 Result<EdgeList> ReadEdgeListText(const std::string& path,
                                   const EdgeListParseOptions& options,
                                   const EtlOptions& etl) {
   if (etl.pool == nullptr && etl.threads <= 1) {
-    return ReadEdgeListText(path, options);
+    return ReadEdgeListTextSerial(path, options, etl.cancel);
   }
   trace::TraceSpan parse_span("etl.parse", "etl");
   std::optional<ThreadPool> own_pool;
@@ -178,7 +189,9 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   };
   const uint64_t id_limit = IdLimit(options);
   std::vector<ChunkResult> chunks(num_chunks);
-  pool->ParallelFor(0, num_chunks, 1, [&](size_t c) {
+  pool->ParallelFor(
+      0, num_chunks, 1,
+      [&](size_t c) {
     ChunkResult& out = chunks[c];
     // Cross-thread spans: one per chunk, on whichever pool thread runs it.
     trace::TraceSpan chunk_span("etl.parse.chunk", "etl");
@@ -186,6 +199,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
     size_t line_no = start_line[c] - 1;
     size_t pos = bounds[c];
     while (pos < bounds[c + 1]) {
+      if (line_no % 4096 == 0 && Cancelled(etl.cancel)) return;
       size_t nl = text.find('\n', pos);
       const size_t line_end =
           (nl == std::string_view::npos || nl > bounds[c + 1]) ? bounds[c + 1]
@@ -204,7 +218,11 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
       }
       if (keep) out.edges.Add(edge.src, edge.dst);
     }
-  });
+      },
+      etl.cancel);
+  // A cancelled parse may have produced partial chunks; surface the token's
+  // Status before the first-error scan so it wins over nothing.
+  GLY_RETURN_NOT_OK(CheckCancel(etl.cancel));
 
   const ChunkResult* first_error = nullptr;
   for (const ChunkResult& chunk : chunks) {

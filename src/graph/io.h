@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/threadpool.h"
 #include "graph/edge_list.h"
@@ -45,6 +46,10 @@ Status WriteEdgeListText(const EdgeList& edges, const std::string& path);
 struct EtlOptions {
   size_t threads = 1;          ///< >1 = parse on a private pool
   ThreadPool* pool = nullptr;  ///< shared pool (overrides `threads`)
+  /// Cooperative cancellation (null = unsupervised): polled per parse
+  /// chunk (parallel path) / every few thousand lines (serial path); a
+  /// cancelled parse returns the token's Status.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Reads a text edge file.

@@ -12,6 +12,10 @@ namespace gly::graphdb {
 
 namespace {
 
+// Cancellation poll batching: record-chain walks are cheap per step, so the
+// algorithms poll every this-many units of work (vertices, visits).
+constexpr uint64_t kCancelBatch = 1024;
+
 // Fetches a node's algorithm-facing neighborhood: full neighborhood for
 // undirected graphs, out-neighbors for directed; ascending order to match
 // the CSR platforms.
@@ -25,25 +29,33 @@ Status FetchSortedNeighbors(GraphStore* store, VertexId node, bool undirected,
 }
 
 Result<AlgorithmOutput> RunBfs(GraphStore* store, bool undirected,
-                               const BfsParams& params, DbRunStats* stats) {
+                               const BfsParams& params,
+                               const CancelToken* cancel, DbRunStats* stats) {
   AlgorithmOutput out;
   out.vertex_values.assign(store->node_count(), kUnreachable);
   if (params.source >= store->node_count()) return out;
   TraversalStats tstats;
+  // The visitor aborts the traversal (returns false) when cancelled; the
+  // poll after Traverse converts the partial walk into the token's Status.
+  uint64_t visits = 0;
   GLY_RETURN_NOT_OK(Traverse(
       store, params.source, TraversalOrder::kBreadthFirst,
       undirected ? Expand::kBoth : Expand::kOutgoing,
-      [&out](VertexId node, uint32_t depth) {
+      [&out, &visits, cancel](VertexId node, uint32_t depth) {
+        if (++visits % kCancelBatch == 0 && Cancelled(cancel)) return false;
         out.vertex_values[node] = depth;
         return true;
       },
       &tstats));
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
+  if (cancel != nullptr) cancel->Heartbeat();
   out.traversed_edges = tstats.relationships_expanded;
   if (stats != nullptr) stats->relationships_expanded = tstats.relationships_expanded;
   return out;
 }
 
-Result<AlgorithmOutput> RunConn(GraphStore* store, DbRunStats* stats) {
+Result<AlgorithmOutput> RunConn(GraphStore* store, const CancelToken* cancel,
+                                DbRunStats* stats) {
   // Connectivity is over the undirected structure; the store's chains give
   // both directions with Expand::kBoth.
   AlgorithmOutput out;
@@ -52,6 +64,8 @@ Result<AlgorithmOutput> RunConn(GraphStore* store, DbRunStats* stats) {
   uint64_t expanded = 0;
   for (VertexId start = 0; start < n; ++start) {
     if (out.vertex_values[start] != -1) continue;
+    GLY_RETURN_NOT_OK(CheckCancel(cancel));
+    if (cancel != nullptr) cancel->Heartbeat();
     TraversalStats tstats;
     GLY_RETURN_NOT_OK(Traverse(
         store, start, TraversalOrder::kBreadthFirst, Expand::kBoth,
@@ -68,7 +82,8 @@ Result<AlgorithmOutput> RunConn(GraphStore* store, DbRunStats* stats) {
 }
 
 Result<AlgorithmOutput> RunCd(GraphStore* store, bool undirected,
-                              const CdParams& params, DbRunStats* stats) {
+                              const CdParams& params,
+                              const CancelToken* cancel, DbRunStats* stats) {
   const VertexId n = static_cast<VertexId>(store->node_count());
   std::vector<int64_t> labels(n);
   std::vector<double> scores(n, 1.0);
@@ -79,6 +94,7 @@ Result<AlgorithmOutput> RunCd(GraphStore* store, bool undirected,
   uint64_t expanded = 0;
   for (uint32_t iter = 0; iter < params.max_iterations; ++iter) {
     for (VertexId v = 0; v < n; ++v) {
+      if (v % kCancelBatch == 0) GLY_RETURN_NOT_OK(CheckCancel(cancel));
       GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
       expanded += nbrs.size();
       if (nbrs.empty()) {
@@ -97,6 +113,7 @@ Result<AlgorithmOutput> RunCd(GraphStore* store, bool undirected,
     }
     labels.swap(new_labels);
     scores.swap(new_scores);
+    if (cancel != nullptr) cancel->Heartbeat();
   }
   AlgorithmOutput out;
   out.vertex_values = std::move(labels);
@@ -107,6 +124,7 @@ Result<AlgorithmOutput> RunCd(GraphStore* store, bool undirected,
 
 Result<AlgorithmOutput> RunStatsAlgorithm(GraphStore* store, bool undirected,
                                           uint64_t num_logical_edges,
+                                          const CancelToken* cancel,
                                           DbRunStats* stats) {
   const VertexId n = static_cast<VertexId>(store->node_count());
   double sum = 0.0;
@@ -114,6 +132,10 @@ Result<AlgorithmOutput> RunStatsAlgorithm(GraphStore* store, bool undirected,
   std::vector<VertexId> their;
   uint64_t expanded = 0;
   for (VertexId v = 0; v < n; ++v) {
+    if (v % kCancelBatch == 0) {
+      GLY_RETURN_NOT_OK(CheckCancel(cancel));
+      if (cancel != nullptr) cancel->Heartbeat();
+    }
     GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
     expanded += nbrs.size();
     uint64_t deg = nbrs.size();
@@ -150,7 +172,8 @@ Result<AlgorithmOutput> RunStatsAlgorithm(GraphStore* store, bool undirected,
 }
 
 Result<AlgorithmOutput> RunEvo(GraphStore* store, bool undirected,
-                               const EvoParams& params, DbRunStats* stats) {
+                               const EvoParams& params,
+                               const CancelToken* cancel, DbRunStats* stats) {
   const VertexId n = static_cast<VertexId>(store->node_count());
   AlgorithmOutput out;
   uint64_t expanded = 0;
@@ -163,6 +186,8 @@ Result<AlgorithmOutput> RunEvo(GraphStore* store, bool undirected,
     return nbrs;
   };
   for (uint32_t i = 0; i < params.num_new_vertices; ++i) {
+    GLY_RETURN_NOT_OK(CheckCancel(cancel));
+    if (cancel != nullptr) cancel->Heartbeat();
     Rng rng(DeriveSeed(params.seed, 0xA0000000ULL + i));
     VertexId ambassador = static_cast<VertexId>(rng.NextBounded(n));
     std::vector<VertexId> burned =
@@ -176,7 +201,8 @@ Result<AlgorithmOutput> RunEvo(GraphStore* store, bool undirected,
 }
 
 Result<AlgorithmOutput> RunPr(GraphStore* store, bool undirected,
-                              const PrParams& params, DbRunStats* stats) {
+                              const PrParams& params,
+                              const CancelToken* cancel, DbRunStats* stats) {
   const VertexId n = static_cast<VertexId>(store->node_count());
   AlgorithmOutput out;
   if (n == 0) return out;
@@ -196,6 +222,7 @@ Result<AlgorithmOutput> RunPr(GraphStore* store, bool undirected,
     // Scatter: each vertex pushes rank/deg to its (out-)neighbors, which
     // is equivalent to the reference's in-neighbor gather.
     for (VertexId v = 0; v < n; ++v) {
+      if (v % kCancelBatch == 0) GLY_RETURN_NOT_OK(CheckCancel(cancel));
       if (out_degree[v] == 0) continue;
       GLY_RETURN_NOT_OK(FetchSortedNeighbors(store, v, undirected, &nbrs));
       expanded += nbrs.size();
@@ -205,6 +232,7 @@ Result<AlgorithmOutput> RunPr(GraphStore* store, bool undirected,
     for (VertexId v = 0; v < n; ++v) {
       rank[v] = base + params.damping * next[v];
     }
+    if (cancel != nullptr) cancel->Heartbeat();
   }
   out.vertex_scores = std::move(rank);
   out.traversed_edges = expanded;
@@ -231,28 +259,31 @@ Result<AlgorithmOutput> RunAlgorithmOnStore(GraphStore* store,
           .WithPrefix("graphdb"));
 
   DbRunStats stats;
+  const CancelToken* cancel = params.cancel;
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
   Result<AlgorithmOutput> result = Status::Internal("unreached");
   switch (kind) {
     case AlgorithmKind::kBfs:
-      result = RunBfs(store, graph_is_undirected, params.bfs, &stats);
+      result = RunBfs(store, graph_is_undirected, params.bfs, cancel, &stats);
       break;
     case AlgorithmKind::kConn:
-      result = RunConn(store, &stats);
+      result = RunConn(store, cancel, &stats);
       break;
     case AlgorithmKind::kCd:
-      result = RunCd(store, graph_is_undirected, params.cd, &stats);
+      result = RunCd(store, graph_is_undirected, params.cd, cancel, &stats);
       break;
     case AlgorithmKind::kStats: {
       uint64_t logical = graph_is_undirected ? store->relationship_count()
                                              : store->relationship_count();
-      result = RunStatsAlgorithm(store, graph_is_undirected, logical, &stats);
+      result = RunStatsAlgorithm(store, graph_is_undirected, logical, cancel,
+                                 &stats);
       break;
     }
     case AlgorithmKind::kEvo:
-      result = RunEvo(store, graph_is_undirected, params.evo, &stats);
+      result = RunEvo(store, graph_is_undirected, params.evo, cancel, &stats);
       break;
     case AlgorithmKind::kPr:
-      result = RunPr(store, graph_is_undirected, params.pr, &stats);
+      result = RunPr(store, graph_is_undirected, params.pr, cancel, &stats);
       break;
   }
   if (!result.ok()) return result.status();
@@ -270,7 +301,7 @@ Result<AlgorithmOutput> RunAlgorithm(const DbPlatformConfig& config,
   store_config.page_cache_bytes = config.page_cache_bytes;
   GLY_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
                        GraphStore::Open(store_config));
-  GLY_RETURN_NOT_OK(store->BulkImport(graph.ToEdgeList()));
+  GLY_RETURN_NOT_OK(store->BulkImport(graph.ToEdgeList(), params.cancel));
   return RunAlgorithmOnStore(store.get(), graph.undirected(),
                              config.memory_budget_bytes, kind, params,
                              stats_out);

@@ -113,7 +113,8 @@ Status GraphStore::SaveCounts() {
   return cache_->Write(meta_file_, 0, &meta, sizeof(meta));
 }
 
-Status GraphStore::BulkImport(const EdgeList& edges) {
+Status GraphStore::BulkImport(const EdgeList& edges,
+                              const CancelToken* cancel) {
   if (node_count_ != 0 || rel_count_ != 0) {
     return Status::InvalidArgument("BulkImport requires an empty store");
   }
@@ -121,9 +122,14 @@ Status GraphStore::BulkImport(const EdgeList& edges) {
   import_span.SetAttribute("edges", edges.num_edges());
   // Bulk path bypasses the WAL (like neo4j-admin import) and checkpoints at
   // the end.
+  constexpr size_t kCancelBatch = 4096;
   const VertexId n = edges.num_vertices();
   std::vector<NodeRecord> nodes(n);
   for (size_t i = 0; i < edges.num_edges(); ++i) {
+    if (i % kCancelBatch == 0) {
+      GLY_RETURN_NOT_OK(CheckCancel(cancel));
+      if (cancel != nullptr) cancel->Heartbeat();
+    }
     const Edge& e = edges.edges()[i];
     uint64_t rel_id = i;
     RelRecord rel;
@@ -140,11 +146,13 @@ Status GraphStore::BulkImport(const EdgeList& edges) {
                                     sizeof(rel)));
   }
   for (VertexId v = 0; v < n; ++v) {
+    if (v % kCancelBatch == 0) GLY_RETURN_NOT_OK(CheckCancel(cancel));
     GLY_RETURN_NOT_OK(cache_->Write(nodes_file_, uint64_t{v} * kNodeRecordSize,
                                     &nodes[v], sizeof(NodeRecord)));
   }
   node_count_ = n;
   rel_count_ = edges.num_edges();
+  if (cancel != nullptr) cancel->Heartbeat();
   GLY_RETURN_NOT_OK(SaveCounts());
   return Checkpoint();
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "graph/edge_list.h"
 #include "graphdb/page_cache.h"
@@ -56,8 +57,10 @@ class GraphStore {
 
   /// Bulk-imports an edge list into an empty store (the Graphalytics
   /// "dataset loading method"). Nodes are [0, num_vertices). Each input
-  /// edge becomes one relationship record.
-  Status BulkImport(const EdgeList& edges);
+  /// edge becomes one relationship record. `cancel` (optional) is polled
+  /// every few thousand records; a cancelled import returns the token's
+  /// Status and leaves the store un-checkpointed (discard it).
+  Status BulkImport(const EdgeList& edges, const CancelToken* cancel = nullptr);
 
   uint64_t node_count() const { return node_count_; }
   /// Live relationships (created minus deleted).

@@ -30,21 +30,39 @@ bool IsRetryable(const Status& status) {
          status.IsResourceExhausted();
 }
 
-/// State shared with the runner thread of one timed attempt. The thread
-/// holds its own references, so an attempt abandoned on timeout can finish
-/// in the background — touching only this state and the platform it owns —
-/// long after the harness has rebuilt the platform and moved on.
+/// State shared with the runner thread of one supervised attempt. The
+/// attempt's cancellation token lives here: the supervision loop arms it
+/// (deadline / stall / harness stop) and the engines poll it through
+/// AlgorithmParams::cancel. The thread holds its own shared_ptr, so in the
+/// fallback case — an attempt that ignores the token past the grace window
+/// and is abandoned — it can finish in the background, touching only this
+/// state and the platform it owns, long after the harness has rebuilt the
+/// platform and moved on.
 struct AttemptState {
   std::shared_ptr<Platform> platform;
   AlgorithmKind algorithm = AlgorithmKind::kStats;
   AlgorithmParams params;
+  CancelToken cancel;
   Result<AlgorithmOutput> run = Status::Internal("attempt never finished");
   std::promise<void> done;
 };
 
-void SleepSeconds(double seconds) {
-  if (seconds > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+/// Supervision poll slice: how often the watchdog loop, retry backoff, and
+/// abandoned-attempt drain re-check their conditions. Small enough that a
+/// stop request feels immediate; large enough to cost nothing.
+constexpr std::chrono::milliseconds kSuperviseSlice(10);
+
+/// Backoff/housekeeping sleep that wakes early when the harness-level stop
+/// token fires (so Ctrl-C never waits out an exponential backoff).
+void InterruptibleSleep(double seconds, const CancelToken* stop) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(std::max(0.0, seconds)));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (Cancelled(stop)) return;
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+        remaining, kSuperviseSlice));
   }
 }
 
@@ -60,6 +78,26 @@ bool ReusableFromJournal(const RunSpec& spec, const BenchmarkResult& cell) {
   if (!cell.status.ok()) return false;
   if (cell.validation.ok()) return true;
   return !spec.validate && cell.validation.IsUntested();
+}
+
+/// A run killed mid-append (the chaos driver's SIGKILL) can leave a torn
+/// final line with no trailing newline. Appending to it as-is would glue
+/// the next entry onto the fragment, corrupting that entry too. Sealing
+/// terminates the partial line so it parses as one malformed (skipped)
+/// line and the lost cell simply re-executes.
+void SealTornJournalTail(const std::string& path) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file) return;  // no journal yet: nothing to seal
+  file.seekg(0, std::ios::end);
+  if (file.tellg() == std::streampos(0)) return;
+  file.seekg(-1, std::ios::end);
+  char last = '\n';
+  file.get(last);
+  if (last != '\n') {
+    file.clear();
+    file.seekp(0, std::ios::end);
+    file.put('\n');
+  }
 }
 
 /// Loads the completion journal, keeping the last entry per cell.
@@ -188,7 +226,10 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   std::map<std::string, BenchmarkResult> journal_cells;
   std::ofstream journal;
   if (!spec.journal_path.empty()) {
-    if (spec.resume) journal_cells = LoadJournal(spec.journal_path);
+    if (spec.resume) {
+      SealTornJournalTail(spec.journal_path);
+      journal_cells = LoadJournal(spec.journal_path);
+    }
     journal.open(spec.journal_path,
                  spec.resume ? std::ios::app : std::ios::trunc);
     if (!journal) {
@@ -220,11 +261,16 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           MakePlatform(platform_name,
                        spec.platform_config.Scoped(platform_name)));
       platform = std::move(fresh);
+      // Loads (untimed, outside AlgorithmParams) still honour a harness
+      // stop — this is how Ctrl-C interrupts a multi-minute bulk import.
+      platform->SetCancelToken(spec.stop);
       return Status::OK();
     };
     GLY_RETURN_NOT_OK(make_platform());
 
+    if (Cancelled(spec.stop)) break;
     for (const DatasetSpec& dataset : spec.datasets) {
+      if (Cancelled(spec.stop)) break;
       // Resume: cells whose last journal entry finished cleanly are reused
       // verbatim (marked `resumed`), and the dataset's ETL is skipped
       // entirely when nothing on it is left to execute.
@@ -255,11 +301,13 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           load_attempts = attempt;
           load_status = platform->LoadGraph(*dataset.graph, dataset.name);
           if (load_status.ok() || !IsRetryable(load_status) ||
-              attempt == max_attempts) {
+              attempt == max_attempts || Cancelled(spec.stop)) {
             break;
           }
-          SleepSeconds(spec.retry_backoff_s *
-                       static_cast<double>(1ull << std::min(attempt - 1, 20u)));
+          InterruptibleSleep(
+              spec.retry_backoff_s *
+                  static_cast<double>(1ull << std::min(attempt - 1, 20u)),
+              spec.stop);
         }
         load_span.SetAttribute("attempts", uint64_t{load_attempts});
         load_span.SetAttribute("ok", load_status.ok() ? "true" : "false");
@@ -276,6 +324,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
       }
 
       for (AlgorithmKind algorithm : spec.algorithms) {
+        if (Cancelled(spec.stop)) break;
         auto reuse = reusable.find(algorithm);
         if (reuse != reusable.end()) {
           BenchmarkResult cached = *reuse->second;
@@ -319,6 +368,10 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
           result.attempts = attempt;
           result.timed_out = false;
+          result.cancelled = false;
+          result.stalled = false;
+          result.cancel_reason.clear();
+          result.cancel_join_seconds = 0.0;
 
           // A prior attempt was abandoned: rebuild the platform and
           // re-run ETL before this attempt.
@@ -341,29 +394,119 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           {
             trace::TraceSpan run_span("harness.run", "harness");
             run_span.SetAttribute("attempt", uint64_t{attempt});
-            if (spec.cell_timeout_s > 0.0) {
+            const bool supervised = spec.cell_timeout_s > 0.0 ||
+                                    spec.stall_timeout_s > 0.0 ||
+                                    spec.stop != nullptr;
+            if (supervised) {
               auto state = std::make_shared<AttemptState>();
               state->platform = platform;
               state->algorithm = algorithm;
               state->params = run_params;
+              state->params.cancel = &state->cancel;
               std::future<void> done = state->done.get_future();
-              std::thread([state] {
+              std::thread runner([state] {
                 state->run = state->platform->Run(state->algorithm,
                                                   state->params);
                 state->done.set_value();
-              }).detach();
-              if (done.wait_for(std::chrono::duration<double>(
-                      spec.cell_timeout_s)) == std::future_status::ready) {
+              });
+
+              // Watchdog loop: slice-wait on the attempt, arming its token
+              // on the first condition that fires — harness stop, the
+              // wall-clock deadline, or a stalled progress heartbeat.
+              const Deadline cell_deadline =
+                  spec.cell_timeout_s > 0.0 ? Deadline::After(spec.cell_timeout_s)
+                                            : Deadline::Never();
+              uint64_t last_beats = state->cancel.heartbeats();
+              Stopwatch stall_watch;
+              CancelReason why = CancelReason::kNone;
+              for (;;) {
+                if (done.wait_for(kSuperviseSlice) ==
+                    std::future_status::ready) {
+                  break;
+                }
+                if (Cancelled(spec.stop)) {
+                  why = CancelReason::kHarnessStop;
+                  state->cancel.Cancel(why, "harness stop requested");
+                  break;
+                }
+                if (cell_deadline.expired()) {
+                  why = CancelReason::kDeadline;
+                  state->cancel.Cancel(
+                      why, StringPrintf("cell exceeded %.3fs wall-clock budget",
+                                        spec.cell_timeout_s));
+                  break;
+                }
+                if (spec.stall_timeout_s > 0.0) {
+                  const uint64_t beats = state->cancel.heartbeats();
+                  if (beats != last_beats) {
+                    last_beats = beats;
+                    stall_watch = Stopwatch();
+                  } else if (stall_watch.ElapsedSeconds() >=
+                             spec.stall_timeout_s) {
+                    why = CancelReason::kStall;
+                    state->cancel.Cancel(
+                        why, StringPrintf(
+                                 "no progress heartbeat for %.3fs (stall "
+                                 "watchdog)",
+                                 spec.stall_timeout_s));
+                    break;
+                  }
+                }
+              }
+
+              if (why == CancelReason::kNone) {
+                runner.join();
                 run = std::move(state->run);
               } else {
-                run = Status::Timeout(StringPrintf(
-                    "cell exceeded %.3fs wall-clock budget",
-                    spec.cell_timeout_s));
-                result.timed_out = true;
-                run_span.SetAttribute("timed_out", "true");
-                metrics::AddCounter("harness.timeouts");
-                abandoned.push_back(std::move(done));
-                platform.reset();
+                // Grace join: the engines poll the token at bounded-work
+                // intervals, so a cooperative attempt unwinds (releasing
+                // budget charges, closing spans) and joins well within the
+                // grace window — no thread outlives the cell.
+                result.cancelled = true;
+                result.cancel_reason = CancelReasonName(why);
+                result.timed_out = why == CancelReason::kDeadline;
+                result.stalled = why == CancelReason::kStall;
+                metrics::AddCounter("harness.cancels");
+                if (why == CancelReason::kDeadline) {
+                  metrics::AddCounter("harness.timeouts");
+                }
+                trace::Instant(
+                    "harness.cancel", "harness",
+                    {{"reason", CancelReasonName(why)},
+                     {"platform", platform_name},
+                     {"graph", dataset.name},
+                     {"algorithm", AlgorithmKindName(algorithm)}});
+                Stopwatch join_watch;
+                const bool joined =
+                    done.wait_for(std::chrono::duration<double>(std::max(
+                        0.0, spec.cancel_grace_s))) ==
+                    std::future_status::ready;
+                result.cancel_join_seconds = join_watch.ElapsedSeconds();
+                run_span.SetAttribute("cancelled", CancelReasonName(why));
+                if (result.timed_out) {
+                  run_span.SetAttribute("timed_out", "true");
+                }
+                if (joined) {
+                  runner.join();
+                  // The cancelled verdict stands even if the attempt raced
+                  // to completion during the grace window: the cell blew
+                  // its budget (or the harness is stopping) either way.
+                  run = state->cancel.ToStatus();
+                  metrics::AddCounter("harness.cancel_joins");
+                  // The platform unwound cooperatively: keep it (and its
+                  // loaded graph) for the retry instead of rebuilding.
+                } else {
+                  // Wedged past the grace window (e.g. stuck in a blocking
+                  // syscall the token cannot interrupt): fall back to the
+                  // abandon path so the matrix never hangs.
+                  runner.detach();
+                  run = state->cancel.ToStatus().WithPrefix(
+                      StringPrintf("attempt ignored cancellation for %.3fs",
+                                   spec.cancel_grace_s));
+                  metrics::AddCounter("harness.cancel_join_failures");
+                  abandoned.push_back(std::move(done));
+                  platform.reset();
+                }
               }
             } else {
               run = platform->Run(algorithm, run_params);
@@ -412,7 +555,10 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
                        << AlgorithmKindName(algorithm) << " attempt "
                        << attempt << "/" << max_attempts
                        << " failed: " << run.status().ToString();
-          if (attempt == max_attempts || !IsRetryable(result.status)) break;
+          if (attempt == max_attempts || !IsRetryable(result.status) ||
+              Cancelled(spec.stop)) {
+            break;
+          }
           double backoff =
               spec.retry_backoff_s *
               static_cast<double>(1ull << std::min(attempt - 1, 20u));
@@ -420,7 +566,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           trace::Instant("harness.retry", "harness",
                          {{"attempt", std::to_string(attempt)},
                           {"backoff_s", StringPrintf("%.3f", backoff)}});
-          SleepSeconds(backoff);
+          InterruptibleSleep(backoff, spec.stop);
         }
 
         result.injected_faults =
@@ -447,14 +593,19 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
 
   // Bounded drain: give abandoned attempts a grace window to finish (they
   // are sleeping in a stalled site or finishing a slow superstep). If one
-  // is genuinely wedged we still return — the matrix never hangs.
+  // is genuinely wedged we still return — the matrix never hangs. The wait
+  // re-checks its own deadline on every slice (a wait_until return is not
+  // proof of readiness — timeouts and spurious returns look identical) and
+  // wakes immediately when the harness-level stop token fires, so Ctrl-C
+  // never hangs on the drain.
   if (!abandoned.empty()) {
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(
-                            std::max(0.0, spec.abandon_grace_s)));
+    const Deadline drain_deadline =
+        Deadline::After(std::max(0.0, spec.abandon_grace_s));
     for (std::future<void>& done : abandoned) {
-      done.wait_until(deadline);
+      for (;;) {
+        if (done.wait_for(kSuperviseSlice) == std::future_status::ready) break;
+        if (drain_deadline.expired() || Cancelled(spec.stop)) break;
+      }
     }
   }
 

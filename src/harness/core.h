@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/config.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
@@ -65,9 +66,32 @@ struct RunSpec {
   bool monitor = true;
 
   /// Per-cell wall-clock timeout (0 = none). A cell that exceeds it is
-  /// recorded as kTimeout; the hung attempt is abandoned on a background
-  /// thread and the platform instance is rebuilt before any retry.
+  /// cooperatively cancelled (CancelReason::kDeadline through
+  /// AlgorithmParams::cancel), recorded as kTimeout, and its attempt thread
+  /// joined within `cancel_grace_s`. Only an attempt that ignores the token
+  /// past the grace window is abandoned on a background thread (with the
+  /// platform instance rebuilt before any retry) — the pre-cancellation
+  /// behaviour, kept as the never-hangs backstop.
   double cell_timeout_s = 0.0;
+
+  /// Stall watchdog (0 = off): cancel the attempt when its progress
+  /// heartbeat (CancelToken::Heartbeat, bumped by every engine per
+  /// superstep / job / operator / iteration / import batch) stops
+  /// advancing for this long. Catches livelock and stalls long before a
+  /// generous `cell_timeout_s` would, and catches them even with no
+  /// wall-clock timeout configured at all.
+  double stall_timeout_s = 0.0;
+
+  /// How long a cancelled attempt gets to observe the token, unwind, and
+  /// be joined before the harness falls back to abandoning it.
+  double cancel_grace_s = 5.0;
+
+  /// Optional harness-level stop token (e.g. armed by a SIGINT handler —
+  /// CancelToken::Cancel(reason) is async-signal-safe). When it fires, the
+  /// in-flight attempt is cancelled with kHarnessStop (final, not
+  /// retried), remaining cells are skipped, and backoff/drain waits wake
+  /// immediately. The harness only reads it; the caller owns it.
+  const CancelToken* stop = nullptr;
 
   /// Bounded retry: total attempts per cell (>= 1). Only transient
   /// failures (timeout, internal/crash, I/O, resource exhaustion) are
@@ -131,6 +155,15 @@ struct BenchmarkResult {
   double teps = 0.0;             ///< traversed edges per second
   uint32_t attempts = 0;         ///< execution attempts consumed (>= 1)
   bool timed_out = false;        ///< final attempt hit cell_timeout_s
+  /// Final attempt was cooperatively cancelled (deadline, stall, or
+  /// harness stop); `cancel_reason` names why ("deadline" | "stall" |
+  /// "harness_stop", empty when not cancelled).
+  bool cancelled = false;
+  bool stalled = false;          ///< cancellation was the stall watchdog's
+  std::string cancel_reason;
+  /// Seconds the harness waited (within cancel_grace_s) for the final
+  /// cancelled attempt to unwind and join; 0 when never cancelled.
+  double cancel_join_seconds = 0.0;
   uint64_t injected_faults = 0;  ///< faults the plan triggered in this cell
   bool resumed = false;          ///< reused from the journal, not re-executed
   /// Checkpoint recoveries inside the platform during this cell (Pregel

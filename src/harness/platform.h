@@ -40,6 +40,13 @@ class Platform {
   /// Releases the loaded graph.
   virtual void UnloadGraph() = 0;
 
+  /// Installs (or clears, with nullptr) a cancellation token observed by
+  /// work *outside* Run — today the dataset-loading path (LoadGraph), whose
+  /// signature carries no AlgorithmParams. Run itself is cancelled through
+  /// AlgorithmParams::cancel. Default: ignored (platform loads are cheap
+  /// in-memory pointer swaps except the graph database's bulk import).
+  virtual void SetCancelToken(const CancelToken* /*cancel*/) {}
+
   /// Free-form run metrics for the report (messages, supersteps, spills...).
   virtual std::map<std::string, std::string> LastRunMetrics() const {
     return {};

@@ -252,9 +252,13 @@ class Neo4jLikePlatform final : public Platform {
                              std::to_string(load_counter_++);
     store_config.page_cache_bytes = page_cache_bytes_;
     GLY_ASSIGN_OR_RETURN(store_, graphdb::GraphStore::Open(store_config));
-    GLY_RETURN_NOT_OK(store_->BulkImport(graph.ToEdgeList()));
+    GLY_RETURN_NOT_OK(store_->BulkImport(graph.ToEdgeList(), load_cancel_));
     undirected_ = graph.undirected();
     return Status::OK();
+  }
+
+  void SetCancelToken(const CancelToken* cancel) override {
+    load_cancel_ = cancel;
   }
 
   Result<AlgorithmOutput> Run(AlgorithmKind kind,
@@ -284,6 +288,7 @@ class Neo4jLikePlatform final : public Platform {
   uint64_t memory_budget_bytes_;
   uint64_t page_cache_bytes_;
   std::unique_ptr<graphdb::GraphStore> store_;
+  const CancelToken* load_cancel_ = nullptr;
   bool undirected_ = true;
   uint64_t load_counter_ = 0;
   std::map<std::string, std::string> metrics_;

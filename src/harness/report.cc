@@ -166,6 +166,8 @@ std::string RenderFullReport(const Config& configuration,
   uint64_t failed_cells = 0;
   uint64_t retried_cells = 0;
   uint64_t timed_out_cells = 0;
+  uint64_t cancelled_cells = 0;
+  uint64_t stalled_cells = 0;
   uint64_t total_attempts = 0;
   uint64_t injected_faults = 0;
   uint64_t resumed_cells = 0;
@@ -175,6 +177,8 @@ std::string RenderFullReport(const Config& configuration,
     if (!r.status.ok()) ++failed_cells;
     if (r.attempts > 1) ++retried_cells;
     if (r.timed_out) ++timed_out_cells;
+    if (r.cancelled) ++cancelled_cells;
+    if (r.stalled) ++stalled_cells;
     total_attempts += r.attempts;
     injected_faults += r.injected_faults;
     if (r.resumed) ++resumed_cells;
@@ -189,8 +193,10 @@ std::string RenderFullReport(const Config& configuration,
       (unsigned long long)retried_cells, (unsigned long long)timed_out_cells,
       (unsigned long long)total_attempts, (unsigned long long)injected_faults);
   out << StringPrintf(
+      "cancelled: %llu  (stall watchdog: %llu)  "
       "resumed from journal: %llu  recovered from checkpoint: %llu  "
       "supersteps replayed: %llu\n\n",
+      (unsigned long long)cancelled_cells, (unsigned long long)stalled_cells,
       (unsigned long long)resumed_cells, (unsigned long long)recoveries,
       (unsigned long long)supersteps_replayed);
 
@@ -206,6 +212,10 @@ std::string RenderFullReport(const Config& configuration,
         out << StringPrintf("  faults:      %llu injected\n",
                             (unsigned long long)r.injected_faults);
       }
+    }
+    if (r.cancelled) {
+      out << StringPrintf("  cancelled:   %s  (joined in %.3fs)\n",
+                          r.cancel_reason.c_str(), r.cancel_join_seconds);
     }
     if (r.resumed) out << "  resumed:     from journal (not re-executed)\n";
     if (r.recoveries > 0) {
@@ -245,9 +255,11 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
   CsvWriter csv(&file);
   csv.WriteHeader({"platform", "graph", "algorithm", "status", "validation",
                    "runtime_s", "load_s", "traversed_edges", "teps",
-                   "attempts", "timed_out", "injected_faults", "resumed",
-                   "recoveries", "supersteps_replayed", "peak_rss_bytes",
-                   "cpu_utilization", "trace_spans", "top_phases"});
+                   "attempts", "timed_out", "cancelled", "stalled",
+                   "cancel_reason", "cancel_join_s", "injected_faults",
+                   "resumed", "recoveries", "supersteps_replayed",
+                   "peak_rss_bytes", "cpu_utilization", "trace_spans",
+                   "top_phases"});
   for (const BenchmarkResult& r : results) {
     csv.Field(r.platform)
         .Field(r.graph)
@@ -260,6 +272,10 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
         .Field(r.teps)
         .Field(static_cast<uint64_t>(r.attempts))
         .Field(static_cast<uint64_t>(r.timed_out ? 1 : 0))
+        .Field(static_cast<uint64_t>(r.cancelled ? 1 : 0))
+        .Field(static_cast<uint64_t>(r.stalled ? 1 : 0))
+        .Field(r.cancel_reason)
+        .Field(r.cancel_join_seconds)
         .Field(r.injected_faults)
         .Field(static_cast<uint64_t>(r.resumed ? 1 : 0))
         .Field(r.recoveries)
@@ -290,6 +306,12 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << StringPrintf("\"teps\":%.1f,", result.teps)
       << "\"attempts\":" << result.attempts << ','
       << "\"timed_out\":" << (result.timed_out ? "true" : "false") << ','
+      << "\"cancelled\":" << (result.cancelled ? "true" : "false") << ','
+      << "\"stalled\":" << (result.stalled ? "true" : "false") << ','
+      << "\"cancel_reason\":\"" << JsonEscape(result.cancel_reason)
+      << "\","
+      << StringPrintf("\"cancel_join_s\":%.6f,",
+                      result.cancel_join_seconds)
       << "\"injected_faults\":" << result.injected_faults << ','
       << "\"resumed\":" << (result.resumed ? "true" : "false") << ','
       << "\"recoveries\":" << result.recoveries << ','
@@ -350,6 +372,14 @@ Result<BenchmarkResult> ResultFromJson(const std::string& line) {
     r.attempts = static_cast<uint32_t>(value);
   }
   ExtractJsonBool(head, "timed_out", &r.timed_out);
+  // Cancellation fields are optional: journals from before the
+  // cancellation subsystem existed must still parse for resume.
+  ExtractJsonBool(head, "cancelled", &r.cancelled);
+  ExtractJsonBool(head, "stalled", &r.stalled);
+  ExtractJsonString(head, "cancel_reason", &r.cancel_reason);
+  if (ExtractJsonNumber(head, "cancel_join_s", &value)) {
+    r.cancel_join_seconds = value;
+  }
   if (ExtractJsonNumber(head, "injected_faults", &value)) {
     r.injected_faults = static_cast<uint64_t>(value);
   }

@@ -99,7 +99,8 @@ struct DatasetStorage {
 
 }  // namespace
 
-Result<ConfigRunOutput> RunFromConfig(const Config& config) {
+Result<ConfigRunOutput> RunFromConfig(const Config& config,
+                                      const CancelToken* stop) {
   // ----------------------------------------------------------- add graphs
   GLY_ASSIGN_OR_RETURN(std::string graphs_value, config.GetString("graphs"));
   std::vector<std::string> graph_names;
@@ -233,9 +234,12 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config) {
 
   // ------------------------------------------------ robustness policy
   spec.cell_timeout_s = config.GetDoubleOr("timeout_s", 0.0);
+  spec.stall_timeout_s = config.GetDoubleOr("stall_timeout_s", 0.0);
+  spec.cancel_grace_s = config.GetDoubleOr("cancel_grace_s", 5.0);
   spec.max_attempts =
       static_cast<uint32_t>(config.GetUintOr("max_attempts", 1));
   spec.retry_backoff_s = config.GetDoubleOr("retry_backoff_s", 0.0);
+  spec.stop = stop;
 
   // Resumable matrices: journal per-cell completion under the report dir
   // (or an explicit `journal` path); `resume = true` reuses finished cells.

@@ -43,8 +43,11 @@
 //   validate = true
 //   monitor = true
 //
-//   # robustness (see DESIGN.md, "Recovery model")
+//   # robustness (see DESIGN.md, "Recovery model" and §11)
 //   timeout_s = 60                    # per-cell wall clock (0 = none)
+//   stall_timeout_s = 10              # cancel when the progress heartbeat
+//                                     # stops advancing (0 = off)
+//   cancel_grace_s = 5                # join window for a cancelled attempt
 //   max_attempts = 3                  # bounded retry of transient failures
 //   giraph.checkpoint_interval = 4    # Pregel checkpoint every N supersteps
 //   mapreduce.checkpointing = true    # persist map-stage manifests
@@ -69,6 +72,11 @@ struct ConfigRunOutput {
 
 /// Executes the workflow described by `config`. Writes report.txt,
 /// results.csv, and appends results.jsonl under `report.dir` when set.
-Result<ConfigRunOutput> RunFromConfig(const Config& config);
+/// `stop` (optional) is a harness-level stop token: arm it — e.g. from a
+/// SIGINT handler; CancelToken::Cancel(reason) is async-signal-safe — and
+/// the in-flight cell is cooperatively cancelled, remaining cells are
+/// skipped, and the journal/report reflect what completed.
+Result<ConfigRunOutput> RunFromConfig(const Config& config,
+                                      const CancelToken* stop = nullptr);
 
 }  // namespace gly::harness

@@ -580,6 +580,10 @@ struct Driver {
   Result<std::vector<std::string>> RunJob(
       const std::vector<std::string>& inputs, const std::string& out_dir,
       MapperFactory mf, ReducerFactory rf, ReducerFactory cf = nullptr) {
+    // Chained iterative algorithms stop between jobs: the job itself also
+    // polls between splits/groups, so a cancelled chain unwinds within one
+    // task's worth of work.
+    GLY_RETURN_NOT_OK(CheckCancel(config.job.cancel));
     Job job(config.job, std::move(mf), std::move(rf), std::move(cf));
     JobStats stats;
     Stopwatch watch;
@@ -587,6 +591,7 @@ struct Driver {
         auto outputs, job.Run(inputs, out_dir, &pool, &counters, &stats));
     chain.total_seconds += watch.ElapsedSeconds();
     AccumulateStats(stats, &chain);
+    if (config.job.cancel != nullptr) config.job.cancel->Heartbeat();
     return outputs;
   }
 };
@@ -838,7 +843,13 @@ Result<AlgorithmOutput> RunAlgorithm(const PlatformConfig& config,
   std::error_code ec;
   fs::create_directories(config.work_dir, ec);
 
-  Driver driver(config, graph);
+  // Install the harness cancellation token (if any) into the job config so
+  // every chained job, map task, and reduce task observes it.
+  PlatformConfig run_config = config;
+  if (params.cancel != nullptr && run_config.job.cancel == nullptr) {
+    run_config.job.cancel = params.cancel;
+  }
+  Driver driver(run_config, graph);
   Result<AlgorithmOutput> result = Status::Internal("unreached");
   switch (kind) {
     case AlgorithmKind::kBfs:

@@ -306,6 +306,7 @@ Result<std::vector<std::string>> Job::Run(
   JobStats stats;
   trace::TraceSpan job_span("mapreduce.job", "mapreduce");
   metrics::AddCounter("mapreduce.jobs");
+  GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
   const uint32_t mappers = std::max(1u, config_.num_mappers);
   const uint32_t reducers = std::max(1u, config_.num_reducers);
 
@@ -362,6 +363,7 @@ Result<std::vector<std::string>> Job::Run(
         // Injected task attempt failure (the Hadoop "task attempt died"
         // mode); the whole job fails, as it would with task retries off.
         GLY_FAULT_POINT("mapreduce.map.task");
+        GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
         auto mapper = mapper_factory_();
         std::unique_ptr<Reducer> combiner =
             combiner_factory_ ? combiner_factory_() : nullptr;
@@ -373,13 +375,19 @@ Result<std::vector<std::string>> Job::Run(
               config_.sort_buffer_bytes, combiner.get(), counters);
         }
         PartitionedEmitter emitter(&buffers, &mapper_stats[m], &map_output);
+        uint64_t records_since_poll = 0;
         for (const std::string& path : splits[m]) {
+          GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
           GLY_ASSIGN_OR_RETURN(RecordFileReader reader,
                                RecordFileReader::Open(path));
           Record record;
           for (;;) {
             GLY_ASSIGN_OR_RETURN(bool more, reader.Next(&record));
             if (!more) break;
+            if (++records_since_poll >= 4096) {
+              records_since_poll = 0;
+              GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
+            }
             input_records.fetch_add(1, std::memory_order_relaxed);
             mapper->Map(record, &emitter, counters);
           }
@@ -390,6 +398,7 @@ Result<std::vector<std::string>> Job::Run(
           mapper_runs[static_cast<size_t>(m) * reducers + r] =
               buffers[r].run_paths();
         }
+        if (config_.cancel != nullptr) config_.cancel->Heartbeat();
         return Status::OK();
       }));
     }
@@ -437,6 +446,7 @@ Result<std::vector<std::string>> Job::Run(
   for (uint32_t r = 0; r < reducers; ++r) {
     reduce_tasks.push_back(pool->Submit([&, r]() -> Status {
       GLY_FAULT_POINT("mapreduce.reduce.task");
+      GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
       // Gather this reducer's run files from every mapper.
       std::vector<MergeSource> sources;
       for (uint32_t m = 0; m < mappers; ++m) {
@@ -469,6 +479,7 @@ Result<std::vector<std::string>> Job::Run(
       std::vector<std::string> group;
       auto flush_group = [&]() -> Status {
         if (group.empty()) return Status::OK();
+        GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
         reducer->Reduce(current_key, group, &out_emitter, counters);
         for (const Record& rec : out_emitter.records()) {
           GLY_RETURN_NOT_OK(writer.Append(rec));
@@ -497,6 +508,7 @@ Result<std::vector<std::string>> Job::Run(
       GLY_RETURN_NOT_OK(writer.Close());
       reducer_stats[r].output_bytes = writer.bytes_written();
       output_paths[r] = out_path;
+      if (config_.cancel != nullptr) config_.cancel->Heartbeat();
       return Status::OK();
     }));
   }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/threadpool.h"
 #include "mapreduce/record.h"
@@ -103,6 +104,14 @@ struct JobConfig {
   /// then skips the map phase and re-runs only reduce. The manifest and
   /// runs are deleted when the job completes.
   bool checkpoint_map_stage = false;
+
+  /// Cooperative cancellation (null = unsupervised). Polled at job start,
+  /// between map splits (and every few thousand records within one),
+  /// and between reduce groups; map/reduce tasks bump the token's progress
+  /// heartbeat as they complete. A cancelled job fails with the token's
+  /// Status (Timeout/Cancelled); partially written outputs are cleaned the
+  /// same way a failed task attempt's are.
+  CancelToken* cancel = nullptr;
 };
 
 /// Phase timing and volume statistics of one job.

@@ -223,14 +223,20 @@ Result<AlgorithmOutput> RunEvoImpl(const Engine& engine, const Graph& graph,
   const uint32_t threads = engine.config().num_threads != 0
                                ? engine.config().num_threads
                                : static_cast<uint32_t>(HardwareThreads());
+  CancelToken* cancel = engine.config().cancel;
   ThreadPool pool(threads);
   std::vector<std::vector<VertexId>> burned(params.num_new_vertices);
-  pool.ParallelFor(params.num_new_vertices, [&](size_t i) {
-    VertexId ambassador =
-        ForestFireAmbassador(graph, params, static_cast<uint32_t>(i));
-    burned[i] =
-        ForestFireBurn(graph, ambassador, params, static_cast<uint32_t>(i));
-  });
+  pool.ParallelFor(
+      0, params.num_new_vertices, 1,
+      [&](size_t i) {
+        VertexId ambassador =
+            ForestFireAmbassador(graph, params, static_cast<uint32_t>(i));
+        burned[i] = ForestFireBurn(graph, ambassador, params,
+                                   static_cast<uint32_t>(i));
+        if (cancel != nullptr) cancel->Heartbeat();
+      },
+      cancel);
+  GLY_RETURN_NOT_OK(CheckCancel(cancel));
 
   AlgorithmOutput out;
   const VertexId base = graph.num_vertices();
@@ -256,7 +262,7 @@ Result<AlgorithmOutput> RunEvoImpl(const Engine& engine, const Graph& graph,
 Result<AlgorithmOutput> RunBfs(const Engine& engine, const Graph& graph,
                                const BfsParams& params, RunStats* stats_out) {
   BfsProgram program(params.source, /*with_combiner=*/true);
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.vertex_values = std::move(run.values);
   out.traversed_edges = run.stats.total_messages;
@@ -269,7 +275,7 @@ Result<AlgorithmOutput> RunBfsNoCombiner(const Engine& engine,
                                          const BfsParams& params,
                                          RunStats* stats_out) {
   BfsProgram program(params.source, /*with_combiner=*/false);
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.vertex_values = std::move(run.values);
   out.traversed_edges = run.stats.total_messages;
@@ -280,7 +286,7 @@ Result<AlgorithmOutput> RunBfsNoCombiner(const Engine& engine,
 Result<AlgorithmOutput> RunConn(const Engine& engine, const Graph& graph,
                                 RunStats* stats_out) {
   ConnProgram program;
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.vertex_values = std::move(run.values);
   out.traversed_edges = run.stats.total_messages;
@@ -291,7 +297,7 @@ Result<AlgorithmOutput> RunConn(const Engine& engine, const Graph& graph,
 Result<AlgorithmOutput> RunCd(const Engine& engine, const Graph& graph,
                               const CdParams& params, RunStats* stats_out) {
   CdProgram program(params);
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.vertex_values.reserve(run.values.size());
   for (const CdValue& v : run.values) out.vertex_values.push_back(v.label);
@@ -303,7 +309,7 @@ Result<AlgorithmOutput> RunCd(const Engine& engine, const Graph& graph,
 Result<AlgorithmOutput> RunStatsAlgorithm(const Engine& engine, const Graph& graph,
                                  RunStats* stats_out) {
   LccProgram program;
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.stats.num_vertices = graph.num_vertices();
   out.stats.num_edges = graph.num_edges();
@@ -325,7 +331,7 @@ Result<AlgorithmOutput> RunPr(const Engine& engine, const Graph& graph,
                               const PrParams& params, RunStats* stats_out) {
   if (graph.num_vertices() == 0) return AlgorithmOutput{};
   PrProgram program(params, graph.num_vertices());
-  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program));
+  GLY_ASSIGN_OR_RETURN(auto run, engine.Run(graph, &program, stats_out));
   AlgorithmOutput out;
   out.vertex_scores = std::move(run.values);
   out.traversed_edges = run.stats.total_messages;
@@ -337,6 +343,15 @@ Result<AlgorithmOutput> RunAlgorithm(const Engine& engine, const Graph& graph,
                                      AlgorithmKind kind,
                                      const AlgorithmParams& params,
                                      RunStats* stats_out) {
+  // Thread the harness cancellation token into the engine: Engine is just
+  // its config, so a supervised run dispatches through a local copy whose
+  // config carries the token. The caller's engine stays untouched.
+  if (params.cancel != nullptr && engine.config().cancel == nullptr) {
+    EngineConfig supervised = engine.config();
+    supervised.cancel = params.cancel;
+    Engine engine_with_token(supervised);
+    return RunAlgorithm(engine_with_token, graph, kind, params, stats_out);
+  }
   switch (kind) {
     case AlgorithmKind::kStats: return RunStatsAlgorithm(engine, graph, stats_out);
     case AlgorithmKind::kBfs:

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/checkpoint.h"
 #include "common/fault_injection.h"
 #include "common/macros.h"
@@ -262,6 +263,13 @@ struct EngineConfig {
 
   /// Superstep checkpoint/rollback policy (disabled by default).
   CheckpointPolicy checkpoint;
+
+  /// Cooperative cancellation (null = unsupervised). Polled at every
+  /// superstep boundary and before every compute chunk; the engine bumps
+  /// the token's progress heartbeat once per completed superstep. A
+  /// cancelled run returns the token's Status (Timeout/Cancelled) with the
+  /// partial RunStats accumulated so far.
+  CancelToken* cancel = nullptr;
 };
 
 /// Per-superstep statistics (skew/network diagnostics).
@@ -403,11 +411,14 @@ class Engine {
 
   /// Runs `program` on `graph` to halt (all vertices halted, no messages in
   /// flight) or to max_supersteps. Fails with ResourceExhausted if the
-  /// memory budget is exceeded.
+  /// memory budget is exceeded. `partial_stats` (optional) receives the
+  /// stats accumulated so far when the run is cooperatively cancelled —
+  /// the success path leaves it untouched (stats arrive in the output).
   template <typename V, typename M>
-  Result<RunOutput<V>> Run(const Graph& graph,
-                           VertexProgram<V, M>* program) const {
+  Result<RunOutput<V>> Run(const Graph& graph, VertexProgram<V, M>* program,
+                           RunStats* partial_stats = nullptr) const {
     GLY_FAULT_POINT("pregel.run.start");
+    GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
     const VertexId n = graph.num_vertices();
     const uint32_t workers = std::max(1u, config_.num_workers);
     const uint32_t threads = config_.num_threads != 0
@@ -691,7 +702,20 @@ class Engine {
       return local_active;
     };
 
+    // A cancelled superstep: fold the partial stats out and return the
+    // token's status — the harness records a timed-out/stalled cell whose
+    // attempt thread it can join, instead of abandoning a runaway one.
+    auto cancelled_status = [&]() -> Status {
+      sync_ckpt_stats();
+      out.stats.total_seconds = total_watch.ElapsedSeconds();
+      out.stats.peak_memory_bytes = budget.peak();
+      if (partial_stats != nullptr) *partial_stats = out.stats;
+      return config_.cancel->ToStatus().WithPrefix(
+          "pregel superstep " + std::to_string(step));
+    };
+
     while (step < config_.max_supersteps) {
+      if (Cancelled(config_.cancel)) return cancelled_status();
       SuperstepStats ss;
       ss.superstep = step;
       Stopwatch step_watch;
@@ -732,6 +756,9 @@ class Engine {
             for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
                  i < num_chunks;
                  i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+              // Per-chunk cancellation poll: a cancelled superstep stops
+              // dispatching within one chunk's worth of compute.
+              if (Cancelled(config_.cancel)) return;
               const ChunkRange& c = chunk_ranges[i];
               if (!worker_status[c.worker].ok()) continue;
               Stopwatch busy;
@@ -768,6 +795,7 @@ class Engine {
             // partition; the engine surfaces the failure after the barrier.
             worker_status[w] = fault::CheckPoint("pregel.worker.compute");
             if (!worker_status[w].ok()) return;
+            if (Cancelled(config_.cancel)) return;
             const uint64_t active = run_range(
                 w, 0, static_cast<uint32_t>(worker_vertices[w].size()),
                 &outboxes[w], &aggregator_partials[w]);
@@ -777,6 +805,7 @@ class Engine {
         }
         for (auto& f : futures) f.get();
       }
+      if (Cancelled(config_.cancel)) return cancelled_status();
       Status step_failure;
       for (uint32_t w = 0; w < workers; ++w) {
         if (!worker_status[w].ok()) {
@@ -928,6 +957,9 @@ class Engine {
         return barrier.WithPrefix("pregel superstep " + std::to_string(step) +
                                   " barrier");
       }
+      // Post-barrier poll: an injected stall sleeps through the deadline
+      // here — surface the cancellation before committing the superstep.
+      if (Cancelled(config_.cancel)) return cancelled_status();
 
       inbox.swap(next_inbox);
       inbox_slots.swap(next_slots);
@@ -946,6 +978,9 @@ class Engine {
       step_span.SetAttribute("messages_sent", sent);
       step_span.SetAttribute("dense", deliver_dense ? "true" : "false");
       metrics::AddCounter("pregel.supersteps");
+      // Progress heartbeat: one completed superstep. The harness stall
+      // watchdog cancels the attempt when this stops advancing.
+      if (config_.cancel != nullptr) config_.cancel->Heartbeat();
       metrics::AddCounter("pregel.messages_sent", sent);
       metrics::AddCounter("pregel.messages_dropped", dropped);
       // Messages the sender-side combiner folded away before delivery.

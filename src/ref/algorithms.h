@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "graph/graph.h"
@@ -130,12 +131,18 @@ struct EvoParams {
   uint64_t seed = 99;
 };
 
-/// Union of all algorithm parameters carried through the harness.
+/// Union of all algorithm parameters carried through the harness. Doubles
+/// as the per-run parameter block (RunParams) of Platform::Run.
 struct AlgorithmParams {
   BfsParams bfs;
   CdParams cd;
   EvoParams evo;
   PrParams pr;
+  /// Cooperative cancellation (null = unsupervised run, zero overhead).
+  /// The harness arms it on timeout / stall / stop; every engine polls it
+  /// at bounded-work intervals and bumps its progress heartbeat — see
+  /// common/cancellation.h and DESIGN.md §11. Not serialized.
+  CancelToken* cancel = nullptr;
 };
 
 /// STATS output.

@@ -7,11 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/temp_dir.h"
 #include "harness/core.h"
 #include "harness/report.h"
@@ -475,6 +480,133 @@ TEST(ResumeTest, FailedValidationIsNotReused) {
   EXPECT_FALSE((*second)[0].resumed);
   EXPECT_TRUE((*second)[0].status.ok());
   EXPECT_TRUE((*second)[0].validation.ok());
+}
+
+// ------------------------------------------------ cooperative cancellation
+
+// Live threads of this process (Linux: one /proc/self/task entry each).
+size_t ThreadCount() {
+  size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(CancellationTest, StallWatchdogCancelsSilentCellWithoutWallClockTimeout) {
+  Graph g = RandomUndirected(100, 250, 79);
+  fault::FaultPlan plan(0xB0);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .delay_seconds = 0.8});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  // No wall-clock timeout at all: only the heartbeat watchdog is armed.
+  spec.stall_timeout_s = 0.2;
+  metrics::Registry registry;
+  spec.metrics = &registry;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.status.IsTimeout()) << r.status.ToString();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_FALSE(r.timed_out);  // the wall-clock deadline never fired
+  EXPECT_EQ(r.cancel_reason, "stall");
+  // The stall delay is well inside the grace window, so the attempt was
+  // joined, not abandoned.
+  EXPECT_LT(r.cancel_join_seconds, spec.cancel_grace_s);
+  EXPECT_TRUE(r.validation.IsUntested());
+  auto snapshot = registry.Snapshot();
+  EXPECT_GE(snapshot.at("harness.cancels").counter, 1u);
+  EXPECT_GE(snapshot.at("harness.cancel_joins").counter, 1u);
+}
+
+TEST(CancellationTest, CancelledAttemptIsJoinedAndNoThreadOutlivesTheCell) {
+  if (!std::filesystem::exists("/proc/self/task")) {
+    GTEST_SKIP() << "/proc/self/task unavailable; cannot count threads";
+  }
+  Graph g = RandomUndirected(100, 250, 80);
+  // Warm up lazily-created runtime threads before taking the baseline:
+  // TSan spawns a persistent background thread on the first
+  // pthread_create of the process, which would otherwise show up as a
+  // "leak" the harness never caused.
+  std::thread([] {}).join();
+  const size_t baseline = ThreadCount();
+  fault::FaultPlan plan(0xB1);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .delay_seconds = 0.6});
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.fault_plan = &plan;
+  spec.cell_timeout_s = 0.15;
+  metrics::Registry registry;
+  spec.metrics = &registry;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.cancel_reason, "deadline");
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.at("harness.cancel_joins").counter, 1u);
+  // The failure counter is created on first use; a clean join never
+  // touches it.
+  EXPECT_EQ(snapshot.count("harness.cancel_join_failures"), 0u);
+  // The timed-out attempt was cooperatively joined, not detached: the
+  // process thread count returns to its pre-run baseline (bounded wait —
+  // platform teardown after RunBenchmark returns is not instantaneous).
+  Stopwatch watch;
+  while (ThreadCount() > baseline && watch.ElapsedSeconds() < 5.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(ThreadCount(), baseline);
+}
+
+TEST(CancellationTest, HarnessStopCancelsInFlightCellAndSkipsRemainingCells) {
+  Graph g = RandomUndirected(100, 250, 81);
+  // Giraph (first platform) stalls at every barrier, giving the stop
+  // signal a wide window to land mid-cell.
+  fault::FaultPlan plan(0xB2);
+  plan.Add({.site = "pregel.superstep.barrier",
+            .kind = fault::FaultKind::kStall, .delay_seconds = 0.5});
+  CancelToken stop;
+  RunSpec spec;
+  spec.platforms = kFaultablePlatforms;
+  spec.datasets.push_back({"toy", &g, {}});
+  spec.algorithms = {AlgorithmKind::kBfs};
+  spec.monitor = false;
+  spec.fault_plan = &plan;
+  spec.stop = &stop;  // supervision armed by the stop token alone
+  spec.max_attempts = 3;
+  std::thread stopper([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.Cancel(CancelReason::kHarnessStop, "user interrupt");
+  });
+  auto results = RunBenchmark(spec);
+  stopper.join();
+  ASSERT_TRUE(results.ok());
+  // The in-flight giraph cell is recorded as cancelled; the other three
+  // platforms are skipped entirely, not recorded as failures.
+  ASSERT_EQ(results->size(), 1u);
+  const BenchmarkResult& r = (*results)[0];
+  EXPECT_EQ(r.platform, "giraph");
+  EXPECT_TRUE(r.status.IsCancelled()) << r.status.ToString();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.cancel_reason, "harness_stop");
+  EXPECT_FALSE(r.timed_out);
+  // A harness stop is final — the retry policy must not burn attempts.
+  EXPECT_EQ(r.attempts, 1u);
+}
+
+TEST(CancellationTest, PreArmedStopRunsNothing) {
+  Graph g = RandomUndirected(100, 250, 82);
+  CancelToken stop;
+  stop.Cancel(CancelReason::kHarnessStop, "stopped before start");
+  RunSpec spec = BaseSpec(&g, "giraph");
+  spec.stop = &stop;
+  auto results = RunBenchmark(spec);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
 }
 
 // ----------------------------------------- the full matrix, faults enabled

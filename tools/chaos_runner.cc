@@ -1,0 +1,260 @@
+// chaos_runner — crash-restart chaos driver for the benchmark harness.
+//
+// Proves the journal/resume contract the hard way: it launches a real
+// `graphalytics_run` child over a 4-platform × {BFS, PR} R-MAT matrix,
+// SIGKILLs it at a seeded-random point mid-matrix, restarts it with
+// --resume, and repeats. After the kill rounds, a final --resume run must
+// complete the whole matrix with exit 0, and the journal must be
+// consistent: every cell present, last entry ok + validated, and each
+// cell's clean entry journaled exactly once — resume must never re-execute
+// (and therefore never re-journal) a finished cell, and a torn journal
+// tail from a SIGKILL must never lose one.
+//
+//   $ chaos_runner --bin ./graphalytics_run [--kills 10] [--seed 42]
+//                  [--workdir chaos-work]
+//
+// Exit 0 on success; 1 with a diagnostic on any violated invariant.
+// SIGKILL (not SIGTERM) is the point: the child gets no chance to flush,
+// unwind, or handle anything — exactly the failure mode the per-cell
+// journal flush is designed to survive.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "harness/report.h"
+#include "ref/algorithms.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The matrix the child runs: small enough to finish in seconds, big enough
+// (8 cells, 4 platform engines, parallel ETL, validation on) that a random
+// kill point lands mid-ETL, mid-algorithm, or mid-journal-append.
+constexpr int kExpectedCells = 4 /* platforms */ * 2 /* algorithms */;
+
+const char kChaosConfig[] = R"(graphs = chaos
+graph.chaos.source = rmat
+graph.chaos.scale = 14
+graph.chaos.edge_factor = 16
+graph.chaos.seed = 7
+graph.chaos.bfs_source = 0
+
+platforms = giraph, graphx, mapreduce, neo4j
+algorithms = bfs, pr
+
+validate = true
+monitor = false
+report.dir = report
+)";
+
+struct Options {
+  std::string bin;
+  std::string workdir = "chaos-work";
+  int kills = 10;
+  uint64_t seed = 42;
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "chaos_runner: FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+/// Launches `bin config [--resume]` with stdout/stderr appended to
+/// `log_path` (the child's chatter is diagnostics, not test output).
+pid_t Launch(const Options& opts, const std::string& config_path,
+             bool resume, const std::string& log_path) {
+  pid_t pid = ::fork();
+  if (pid < 0) Die("fork failed: " + std::string(std::strerror(errno)));
+  if (pid == 0) {
+    int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(opts.bin.c_str()));
+    if (resume) argv.push_back(const_cast<char*>("--resume"));
+    argv.push_back(const_cast<char*>(config_path.c_str()));
+    argv.push_back(nullptr);
+    ::execv(opts.bin.c_str(), argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", opts.bin.c_str(),
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+/// Waits up to `delay_seconds` for the child, then SIGKILLs it. Returns
+/// true if the kill landed (child was still running), false if the child
+/// finished the matrix before the kill point — also fine: later rounds and
+/// the final run then just verify resume is a fast no-op.
+bool KillAfter(pid_t pid, double delay_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(delay_seconds);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) return false;  // finished before the kill point
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+  return true;
+}
+
+/// One journal line, in file order.
+struct JournalEntry {
+  gly::harness::BenchmarkResult result;
+  bool clean = false;  // status ok + validation ok
+};
+
+void VerifyJournal(const fs::path& journal_path) {
+  std::ifstream file(journal_path);
+  if (!file) Die("journal missing: " + journal_path.string());
+
+  std::map<std::string, std::vector<JournalEntry>> by_cell;
+  std::string line;
+  size_t lines = 0;
+  size_t torn = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    auto parsed = gly::harness::ResultFromJson(line);
+    // Malformed lines are sealed torn tails from a SIGKILL mid-append —
+    // expected under chaos; the cell they would have recorded must have
+    // been re-executed, which the per-cell checks below verify.
+    if (!parsed.ok()) {
+      ++torn;
+      continue;
+    }
+    JournalEntry entry;
+    entry.clean = parsed->status.ok() && parsed->validation.ok();
+    std::string key = parsed->platform + "/" + parsed->graph + "/" +
+                      gly::AlgorithmKindName(parsed->algorithm);
+    entry.result = std::move(parsed).ValueOrDie();
+    by_cell[key].push_back(std::move(entry));
+  }
+
+  if (by_cell.size() != kExpectedCells) {
+    Die("journal covers " + std::to_string(by_cell.size()) + " cells, want " +
+        std::to_string(kExpectedCells));
+  }
+  for (const auto& [key, entries] : by_cell) {
+    const JournalEntry& last = entries.back();
+    if (!last.clean) {
+      Die("cell " + key + " last journal entry is not clean (status " +
+          last.result.status.ToString() + ", validation " +
+          last.result.validation.ToString() + ")");
+    }
+    size_t clean_entries = 0;
+    for (const JournalEntry& e : entries) clean_entries += e.clean ? 1 : 0;
+    if (clean_entries != 1) {
+      Die("cell " + key + " journaled clean " +
+          std::to_string(clean_entries) +
+          " times — resume re-executed (or duplicated) a finished cell");
+    }
+  }
+  std::fprintf(stderr,
+               "chaos_runner: journal consistent — %zu lines (%zu torn), "
+               "%d cells, every cell clean exactly once\n",
+               lines, torn, kExpectedCells);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) Die(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--bin") == 0) {
+      opts.bin = next("--bin");
+    } else if (std::strcmp(argv[i], "--kills") == 0) {
+      opts.kills = std::atoi(next("--kills"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--workdir") == 0) {
+      opts.workdir = next("--workdir");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --bin <graphalytics_run> [--kills N] "
+                   "[--seed S] [--workdir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opts.bin.empty()) Die("--bin <graphalytics_run> is required");
+
+  std::error_code ec;
+  fs::remove_all(opts.workdir, ec);
+  fs::create_directories(opts.workdir);
+  const fs::path workdir = fs::absolute(opts.workdir);
+  const fs::path config_path = workdir / "chaos.properties";
+  const fs::path log_path = workdir / "child.log";
+  const fs::path journal_path = workdir / "report" / "journal.jsonl";
+  {
+    std::ofstream config(config_path);
+    config << kChaosConfig;
+  }
+  // The child resolves report.dir relative to its cwd; run every child
+  // from the workdir so all artifacts stay inside it.
+  const fs::path original_cwd = fs::current_path();
+  fs::current_path(workdir);
+
+  // Each kill round: start (first round from scratch, later ones resuming
+  // the journal), let it run for a seeded-random slice, SIGKILL. The delay
+  // range is tuned so early rounds die mid-ETL/mid-cell and later rounds
+  // die deep into the matrix.
+  gly::Rng rng(opts.seed);
+  int landed = 0;
+  for (int round = 0; round < opts.kills; ++round) {
+    const bool resume = round > 0;
+    // A fresh matrix takes several seconds at this scale; [0.1, 3.1)s
+    // lands kills everywhere from mid-ETL to deep in the matrix, while
+    // resumed rounds (shorter runs) often die mid-cell or mid-append.
+    const double delay_s = 0.1 + 3.0 * rng.NextDouble();
+    pid_t pid = Launch(opts, config_path.string(), resume, log_path.string());
+    const bool killed = KillAfter(pid, delay_s);
+    landed += killed ? 1 : 0;
+    std::fprintf(stderr,
+                 "chaos_runner: round %d/%d %s after %.3fs (%s)\n", round + 1,
+                 opts.kills, killed ? "SIGKILL" : "finished", delay_s,
+                 resume ? "resume" : "fresh");
+  }
+  std::fprintf(stderr, "chaos_runner: %d/%d kills landed mid-run\n", landed,
+               opts.kills);
+
+  // Final run: must complete the matrix, validated, exit 0.
+  pid_t pid = Launch(opts, config_path.string(), /*resume=*/true,
+                     log_path.string());
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    Die("final --resume run failed (see " + log_path.string() + ")");
+  }
+
+  VerifyJournal(journal_path);
+  fs::current_path(original_cwd);
+  std::fprintf(stderr, "chaos_runner: OK\n");
+  return 0;
+}

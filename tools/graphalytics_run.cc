@@ -14,13 +14,25 @@
 //
 // See harness/run_config.h for the full properties dialect.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 
+#include "common/cancellation.h"
 #include "common/config.h"
 #include "harness/run_config.h"
 
 namespace {
+
+// SIGINT arms this token; the harness cancels the in-flight cell with
+// kHarnessStop, journals what finished, and returns. CancelToken::Cancel
+// (reason-only overload) is async-signal-safe: one compare_exchange on an
+// atomic, no locks, no allocation.
+gly::CancelToken g_stop;
+
+extern "C" void HandleSigint(int /*sig*/) {
+  g_stop.Cancel(gly::CancelReason::kHarnessStop);
+}
 
 const char kExampleConfig[] = R"(# graphalytics_run starter configuration
 graphs = snb, g500
@@ -62,8 +74,15 @@ graph.reorder = none       # degree | none (per-graph: graph.<name>.reorder)
 
 # Robustness: per-cell wall-clock timeout (0 = none), bounded retry with
 # exponential backoff. A timed-out or crashed cell is recorded as a
-# failure ("missing value") instead of aborting the run.
+# failure ("missing value") instead of aborting the run. Timed-out cells
+# are cooperatively cancelled and their attempt thread joined within
+# cancel_grace_s; stall_timeout_s cancels a cell whose progress heartbeat
+# (superstep / job / operator / import batch) stops advancing, catching
+# livelock even without a wall-clock timeout. Ctrl-C cancels the in-flight
+# cell the same way and journals what finished.
 timeout_s = 0
+stall_timeout_s = 0          # 0 = stall watchdog off
+cancel_grace_s = 5
 max_attempts = 1
 retry_backoff_s = 0.5
 
@@ -126,7 +145,8 @@ int main(int argc, char** argv) {
   }
   if (resume) config->SetBool("resume", true);
   if (trace_dir != nullptr) config->Set("trace.dir", trace_dir);
-  auto run = gly::harness::RunFromConfig(*config);
+  std::signal(SIGINT, HandleSigint);
+  auto run = gly::harness::RunFromConfig(*config, &g_stop);
   if (!run.ok()) {
     std::fprintf(stderr, "benchmark error: %s\n",
                  run.status().ToString().c_str());
@@ -137,19 +157,28 @@ int main(int argc, char** argv) {
   // Robustness summary on stderr: which cells were retried, timed out,
   // resumed from the journal, or recovered from a checkpoint.
   unsigned long long retried = 0, timed_out = 0, failed = 0, resumed = 0;
+  unsigned long long cancelled = 0, stalled = 0;
   unsigned long long recoveries = 0;
   for (const auto& r : run->results) {
     if (r.attempts > 1) ++retried;
     if (r.timed_out) ++timed_out;
+    if (r.cancelled) ++cancelled;
+    if (r.stalled) ++stalled;
     if (!r.status.ok()) ++failed;
     if (r.resumed) ++resumed;
     recoveries += r.recoveries;
   }
-  if (retried + timed_out + failed > 0) {
+  if (retried + timed_out + failed + cancelled > 0) {
     std::fprintf(stderr,
                  "robustness: %llu cell(s) failed, %llu retried, "
-                 "%llu timed out (see report details)\n",
-                 failed, retried, timed_out);
+                 "%llu timed out, %llu cancelled (%llu by the stall "
+                 "watchdog; see report details)\n",
+                 failed, retried, timed_out, cancelled, stalled);
+  }
+  if (gly::Cancelled(&g_stop)) {
+    std::fprintf(stderr,
+                 "interrupted: run stopped by SIGINT; finished cells are "
+                 "journaled — rerun with --resume to continue\n");
   }
   if (resumed + recoveries > 0) {
     std::fprintf(stderr,
