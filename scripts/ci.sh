@@ -10,13 +10,16 @@
 #                    cross-engine kernel-conformance suites — the paths most
 #                    valuable to run under a sanitizer.
 #   3. tsan        — GLY_SANITIZE=thread build running the `ingest`,
-#                    `observability`, and `robustness` CTest labels: the
-#                    parallel ETL pipeline (chunked parsing, parallel CSR
-#                    build, reordering), the tracer/metrics-registry
-#                    concurrency stress tests, and the cancellation/
+#                    `observability`, `robustness`, and `scheduler` CTest
+#                    labels: the parallel ETL pipeline (chunked parsing,
+#                    parallel CSR build, reordering), the tracer/metrics-
+#                    registry concurrency stress tests, the cancellation/
 #                    watchdog/grace-join paths (harness watchdog vs attempt
-#                    thread, token polls from every engine) under the race
-#                    detector, where their bugs would actually show.
+#                    thread, token polls from every engine), and the
+#                    concurrent cell scheduler (jobs=1 vs jobs=4
+#                    differential run, admission control, shared journal
+#                    writer) under the race detector, where their bugs
+#                    would actually show.
 #   4. observability — `ctest -L observability` in the tier-1 build (the
 #                    golden-trace, metrics round-trip, monitor, and
 #                    4-engine trace-artifact suites), then cross-checks the
@@ -41,7 +44,9 @@
 #                    SIGKILLs a real graphalytics_run child mid-matrix ten
 #                    times and asserts --resume completes a validated,
 #                    journal-consistent matrix (no lost or duplicated
-#                    cells). See tools/chaos_runner.cc.
+#                    cells), both serially and with the concurrent cell
+#                    scheduler (--jobs 4, kills landing while several cells
+#                    share the journal writer). See tools/chaos_runner.cc.
 #
 # Build directories are separate from the developer's `build/` so a CI run
 # never clobbers an interactive configuration. Override with TIER1_DIR /
@@ -79,9 +84,9 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 
-echo "==> [3/6] tsan: ingest + observability + robustness (race detector)"
+echo "==> [3/6] tsan: ingest + observability + robustness + scheduler (race detector)"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-      -L 'ingest|observability|robustness'
+      -L 'ingest|observability|robustness|scheduler'
 
 echo "==> [4/6] observability: golden-trace suite + committed sample schemas"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" \

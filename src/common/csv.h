@@ -38,4 +38,11 @@ class CsvWriter {
   size_t rows_ = 0;
 };
 
+/// Parses one CSV record into fields, undoing CsvWriter's quoting (RFC
+/// 4180: quoted fields may contain commas, doubled quotes, and newlines).
+/// `line` must be a complete record — when a quoted field contains a
+/// newline the caller must join physical lines until the quotes balance.
+/// Exact inverse of CsvWriter::WriteRow for any field content.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
 }  // namespace gly

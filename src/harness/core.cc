@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "harness/report.h"
+#include "harness/scheduler.h"
 
 namespace gly::harness {
 
@@ -134,6 +136,9 @@ uint64_t MetricValue(const std::map<std::string, std::string>& metrics,
 /// Folds the cell's trace window into its result (span count + top-3
 /// phases by total duration, the cell envelope itself excluded) and, when
 /// a trace dir is set, writes the window as a per-cell Chrome trace.
+/// Windows are event-count intervals on the run-wide tracer, so this is
+/// only exact when cells execute one at a time — the harness calls it only
+/// at jobs == 1 (see RunSpec::jobs).
 void SummarizeCellTrace(const trace::Tracer& tracer, size_t first_event,
                         const std::string& trace_dir,
                         BenchmarkResult* result) {
@@ -161,6 +166,27 @@ void SummarizeCellTrace(const trace::Tracer& tracer, size_t first_event,
     }
   }
 }
+
+/// One scheduler group: a shared (platform, dataset) graph load. The
+/// platform instance, its load outcome, and the id-translated execution
+/// parameters live here; items of the group run mutually exclusively, so
+/// no lock is needed — the scheduler IS the lock.
+struct GroupState {
+  std::string platform_name;
+  const DatasetSpec* dataset = nullptr;
+  AlgorithmParams run_params;  ///< dataset.params, BFS source translated
+  std::shared_ptr<Platform> platform;
+  Status load_status;
+  double load_seconds = 0.0;
+};
+
+/// One scheduler item: a matrix cell, pointing at its group and its slot
+/// in the (matrix-ordered) result vector.
+struct CellRef {
+  size_t slot = 0;
+  size_t group = 0;
+  AlgorithmKind algorithm = AlgorithmKind::kStats;
+};
 
 }  // namespace
 
@@ -192,6 +218,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   }
 
   const uint32_t max_attempts = std::max(1u, spec.max_attempts);
+  const uint32_t jobs = std::max(1u, spec.jobs);
   std::optional<fault::ScopedFaultPlan> fault_scope;
   if (spec.fault_plan != nullptr) fault_scope.emplace(spec.fault_plan);
 
@@ -219,6 +246,12 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   if (tracer != nullptr) trace_scope.emplace(tracer);
   if (registry != nullptr) metrics_scope.emplace(registry);
 
+  // Per-cell trace windows are event-count intervals on the run-wide
+  // tracer: exact when one cell runs at a time, interleaved garbage when
+  // several do. Summaries and per-cell trace files are therefore a
+  // jobs == 1 feature; the run-wide trace.json stays complete either way.
+  const bool per_cell_trace = tracer != nullptr && jobs == 1;
+
   // Completion journal: with `resume`, cells already journaled as finished
   // are reused; without it the journal restarts from scratch. Newly
   // executed cells are appended (and flushed) as they complete, so a run
@@ -237,359 +270,428 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     }
   }
 
-  // Attempts abandoned on timeout; drained (bounded) before returning so
-  // orphan threads do not normally outlive caller-owned graphs.
-  std::vector<std::future<void>> abandoned;
+  // Fail fast on unbuildable platforms (unknown name, bad config) — the
+  // serial loop's whole-run error, checked before any cell executes. The
+  // scheduler builds its own instance per (platform, dataset) group.
+  for (const std::string& platform_name : spec.platforms) {
+    GLY_ASSIGN_OR_RETURN(std::unique_ptr<Platform> probe,
+                         MakePlatform(platform_name,
+                                      spec.platform_config.Scoped(platform_name)));
+    (void)probe;
+  }
 
-  std::vector<BenchmarkResult> results;
-  auto emit = [&](BenchmarkResult result) {
+  // Build the matrix in registration order — the scheduler claims items in
+  // this order, so jobs = 1 is exactly the old serial execution. A group is
+  // one shared (platform, dataset) graph load; with the graph cache off,
+  // every cell gets a private group and re-runs ETL. Cells resumed from
+  // the journal are emitted up front and never scheduled; a dataset whose
+  // cells all resumed is never loaded at all.
+  CellScheduler::Options sched_options;
+  sched_options.jobs = jobs;
+  sched_options.memory_budget_bytes = spec.sched_memory_budget_mb << 20;
+  sched_options.stop = spec.stop;
+  CellScheduler scheduler(sched_options);
+  std::vector<GroupState> groups;
+  std::vector<CellRef> cells;
+  std::vector<std::optional<BenchmarkResult>> slots(
+      spec.platforms.size() * spec.datasets.size() * spec.algorithms.size());
+
+  std::mutex emit_mu;
+  auto emit = [&](size_t slot, BenchmarkResult result) {
+    std::lock_guard<std::mutex> lock(emit_mu);
     if (journal.is_open() && !result.resumed) {
       journal << ResultToJson(result) << '\n';
       journal.flush();
     }
-    results.push_back(std::move(result));
-    if (on_result) on_result(results.back());
+    slots[slot] = std::move(result);
+    if (on_result) on_result(*slots[slot]);
   };
 
+  size_t slot = 0;
+  const bool stopped_before_start = Cancelled(spec.stop);
   for (const std::string& platform_name : spec.platforms) {
-    // The platform instance is discarded whenever an attempt times out
-    // (the hung run still owns the old one) and rebuilt lazily here.
-    std::shared_ptr<Platform> platform;
-    auto make_platform = [&]() -> Status {
-      GLY_ASSIGN_OR_RETURN(
-          std::unique_ptr<Platform> fresh,
-          MakePlatform(platform_name,
-                       spec.platform_config.Scoped(platform_name)));
-      platform = std::move(fresh);
-      // Loads (untimed, outside AlgorithmParams) still honour a harness
-      // stop — this is how Ctrl-C interrupts a multi-minute bulk import.
-      platform->SetCancelToken(spec.stop);
-      return Status::OK();
-    };
-    GLY_RETURN_NOT_OK(make_platform());
-
-    if (Cancelled(spec.stop)) break;
     for (const DatasetSpec& dataset : spec.datasets) {
-      if (Cancelled(spec.stop)) break;
-      // Resume: cells whose last journal entry finished cleanly are reused
-      // verbatim (marked `resumed`), and the dataset's ETL is skipped
-      // entirely when nothing on it is left to execute.
-      std::map<AlgorithmKind, const BenchmarkResult*> reusable;
-      bool any_to_run = false;
+      auto make_group = [&]() -> size_t {
+        GroupState group;
+        group.platform_name = platform_name;
+        group.dataset = &dataset;
+        group.run_params = dataset.params;
+        // `dataset.params` speaks original vertex ids; on a reordered
+        // dataset the BFS source must be translated into the id space the
+        // platform actually runs in.
+        if (dataset.original != nullptr &&
+            dataset.params.bfs.source < dataset.old_to_new->size()) {
+          group.run_params.bfs.source =
+              (*dataset.old_to_new)[dataset.params.bfs.source];
+        }
+        groups.push_back(std::move(group));
+        return scheduler.AddGroup(dataset.graph->MemoryBytes());
+      };
+      size_t group_id = static_cast<size_t>(-1);
       for (AlgorithmKind algorithm : spec.algorithms) {
+        const size_t cell_slot = slot++;
         auto it = journal_cells.find(
             CellKey(platform_name, dataset.name, algorithm));
         if (it != journal_cells.end() &&
             ReusableFromJournal(spec, it->second)) {
-          reusable[algorithm] = &it->second;
-        } else {
-          any_to_run = true;
-        }
-      }
-
-      // ETL once per (platform, graph); not part of the runtime metric.
-      // Transient load failures (e.g. injected I/O errors) get the same
-      // bounded retry as cells.
-      Stopwatch load_watch;
-      Status load_status;
-      if (any_to_run) {
-        trace::TraceSpan load_span("harness.load", "harness");
-        load_span.SetAttribute("platform", platform_name);
-        load_span.SetAttribute("graph", dataset.name);
-        uint32_t load_attempts = 0;
-        for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-          load_attempts = attempt;
-          load_status = platform->LoadGraph(*dataset.graph, dataset.name);
-          if (load_status.ok() || !IsRetryable(load_status) ||
-              attempt == max_attempts || Cancelled(spec.stop)) {
-            break;
+          if (!stopped_before_start) {
+            BenchmarkResult cached = it->second;
+            cached.resumed = true;
+            emit(cell_slot, std::move(cached));
           }
-          InterruptibleSleep(
-              spec.retry_backoff_s *
-                  static_cast<double>(1ull << std::min(attempt - 1, 20u)),
-              spec.stop);
-        }
-        load_span.SetAttribute("attempts", uint64_t{load_attempts});
-        load_span.SetAttribute("ok", load_status.ok() ? "true" : "false");
-      }
-      double load_seconds = load_watch.ElapsedSeconds();
-
-      // Execution parameters: `dataset.params` speaks original vertex ids;
-      // on a reordered dataset the BFS source must be translated into the
-      // id space the platform actually runs in.
-      AlgorithmParams run_params = dataset.params;
-      if (dataset.original != nullptr &&
-          dataset.params.bfs.source < dataset.old_to_new->size()) {
-        run_params.bfs.source = (*dataset.old_to_new)[dataset.params.bfs.source];
-      }
-
-      for (AlgorithmKind algorithm : spec.algorithms) {
-        if (Cancelled(spec.stop)) break;
-        auto reuse = reusable.find(algorithm);
-        if (reuse != reusable.end()) {
-          BenchmarkResult cached = *reuse->second;
-          cached.resumed = true;
-          emit(std::move(cached));
           continue;
         }
-
-        BenchmarkResult result;
-        result.platform = platform_name;
-        result.graph = dataset.name;
-        result.algorithm = algorithm;
-        result.load_seconds = load_seconds;
-
-        // The cell's trace window: everything recorded while the
-        // harness.cell envelope below is open, summarized (and written as
-        // a per-cell trace file) once it closes.
-        const size_t cell_begin =
-            tracer != nullptr ? tracer->event_count() : 0;
-        {
-        trace::TraceSpan cell_span("harness.cell", "harness");
-        cell_span.SetAttribute("platform", platform_name);
-        cell_span.SetAttribute("graph", dataset.name);
-        cell_span.SetAttribute("algorithm", AlgorithmKindName(algorithm));
-        metrics::AddCounter("harness.cells");
-
-        // CD and EVO seed their dynamics with vertex ids: running them on a
-        // relabeled graph is a different computation whose output cannot be
-        // mapped back. Refuse the cell — recorded, never silent.
-        if (dataset.original != nullptr && !RelabelingInvariant(algorithm)) {
-          result.status = Status::InvalidArgument(
-              StringPrintf("%s is not relabeling-invariant; rerun with "
-                           "graph.reorder = none",
-                           AlgorithmKindName(algorithm).c_str()));
-        } else if (!load_status.ok()) {
-          result.status = load_status.WithPrefix("load");
-        } else {
-        const uint64_t faults_before =
-            spec.fault_plan != nullptr ? spec.fault_plan->TotalTriggered() : 0;
-
-        for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-          result.attempts = attempt;
-          result.timed_out = false;
-          result.cancelled = false;
-          result.stalled = false;
-          result.cancel_reason.clear();
-          result.cancel_join_seconds = 0.0;
-
-          // A prior attempt was abandoned: rebuild the platform and
-          // re-run ETL before this attempt.
-          if (platform == nullptr) {
-            Status rebuilt = make_platform();
-            if (rebuilt.ok()) {
-              rebuilt = platform->LoadGraph(*dataset.graph, dataset.name);
-            }
-            if (!rebuilt.ok()) {
-              result.status = rebuilt.WithPrefix("reload after timeout");
-              platform.reset();
-              break;
-            }
-          }
-
-          SystemMonitor monitor;
-          if (spec.monitor) monitor.Start();
-          Stopwatch run_watch;
-          Result<AlgorithmOutput> run = Status::Internal("cell never ran");
-          {
-            trace::TraceSpan run_span("harness.run", "harness");
-            run_span.SetAttribute("attempt", uint64_t{attempt});
-            const bool supervised = spec.cell_timeout_s > 0.0 ||
-                                    spec.stall_timeout_s > 0.0 ||
-                                    spec.stop != nullptr;
-            if (supervised) {
-              auto state = std::make_shared<AttemptState>();
-              state->platform = platform;
-              state->algorithm = algorithm;
-              state->params = run_params;
-              state->params.cancel = &state->cancel;
-              std::future<void> done = state->done.get_future();
-              std::thread runner([state] {
-                state->run = state->platform->Run(state->algorithm,
-                                                  state->params);
-                state->done.set_value();
-              });
-
-              // Watchdog loop: slice-wait on the attempt, arming its token
-              // on the first condition that fires — harness stop, the
-              // wall-clock deadline, or a stalled progress heartbeat.
-              const Deadline cell_deadline =
-                  spec.cell_timeout_s > 0.0 ? Deadline::After(spec.cell_timeout_s)
-                                            : Deadline::Never();
-              uint64_t last_beats = state->cancel.heartbeats();
-              Stopwatch stall_watch;
-              CancelReason why = CancelReason::kNone;
-              for (;;) {
-                if (done.wait_for(kSuperviseSlice) ==
-                    std::future_status::ready) {
-                  break;
-                }
-                if (Cancelled(spec.stop)) {
-                  why = CancelReason::kHarnessStop;
-                  state->cancel.Cancel(why, "harness stop requested");
-                  break;
-                }
-                if (cell_deadline.expired()) {
-                  why = CancelReason::kDeadline;
-                  state->cancel.Cancel(
-                      why, StringPrintf("cell exceeded %.3fs wall-clock budget",
-                                        spec.cell_timeout_s));
-                  break;
-                }
-                if (spec.stall_timeout_s > 0.0) {
-                  const uint64_t beats = state->cancel.heartbeats();
-                  if (beats != last_beats) {
-                    last_beats = beats;
-                    stall_watch = Stopwatch();
-                  } else if (stall_watch.ElapsedSeconds() >=
-                             spec.stall_timeout_s) {
-                    why = CancelReason::kStall;
-                    state->cancel.Cancel(
-                        why, StringPrintf(
-                                 "no progress heartbeat for %.3fs (stall "
-                                 "watchdog)",
-                                 spec.stall_timeout_s));
-                    break;
-                  }
-                }
-              }
-
-              if (why == CancelReason::kNone) {
-                runner.join();
-                run = std::move(state->run);
-              } else {
-                // Grace join: the engines poll the token at bounded-work
-                // intervals, so a cooperative attempt unwinds (releasing
-                // budget charges, closing spans) and joins well within the
-                // grace window — no thread outlives the cell.
-                result.cancelled = true;
-                result.cancel_reason = CancelReasonName(why);
-                result.timed_out = why == CancelReason::kDeadline;
-                result.stalled = why == CancelReason::kStall;
-                metrics::AddCounter("harness.cancels");
-                if (why == CancelReason::kDeadline) {
-                  metrics::AddCounter("harness.timeouts");
-                }
-                trace::Instant(
-                    "harness.cancel", "harness",
-                    {{"reason", CancelReasonName(why)},
-                     {"platform", platform_name},
-                     {"graph", dataset.name},
-                     {"algorithm", AlgorithmKindName(algorithm)}});
-                Stopwatch join_watch;
-                const bool joined =
-                    done.wait_for(std::chrono::duration<double>(std::max(
-                        0.0, spec.cancel_grace_s))) ==
-                    std::future_status::ready;
-                result.cancel_join_seconds = join_watch.ElapsedSeconds();
-                run_span.SetAttribute("cancelled", CancelReasonName(why));
-                if (result.timed_out) {
-                  run_span.SetAttribute("timed_out", "true");
-                }
-                if (joined) {
-                  runner.join();
-                  // The cancelled verdict stands even if the attempt raced
-                  // to completion during the grace window: the cell blew
-                  // its budget (or the harness is stopping) either way.
-                  run = state->cancel.ToStatus();
-                  metrics::AddCounter("harness.cancel_joins");
-                  // The platform unwound cooperatively: keep it (and its
-                  // loaded graph) for the retry instead of rebuilding.
-                } else {
-                  // Wedged past the grace window (e.g. stuck in a blocking
-                  // syscall the token cannot interrupt): fall back to the
-                  // abandon path so the matrix never hangs.
-                  runner.detach();
-                  run = state->cancel.ToStatus().WithPrefix(
-                      StringPrintf("attempt ignored cancellation for %.3fs",
-                                   spec.cancel_grace_s));
-                  metrics::AddCounter("harness.cancel_join_failures");
-                  abandoned.push_back(std::move(done));
-                  platform.reset();
-                }
-              }
-            } else {
-              run = platform->Run(algorithm, run_params);
-            }
-            run_span.SetAttribute("ok", run.ok() ? "true" : "false");
-          }
-          result.runtime_seconds = run_watch.ElapsedSeconds();
-          if (spec.monitor) result.resources = monitor.Stop();
-          if (platform != nullptr) {
-            result.platform_metrics = platform->LastRunMetrics();
-          }
-
-          if (run.ok()) {
-            result.status = Status::OK();
-            result.traversed_edges = run->traversed_edges;
-            result.teps = result.runtime_seconds > 0.0
-                              ? static_cast<double>(run->traversed_edges) /
-                                    result.runtime_seconds
-                              : 0.0;
-            if (spec.validate) {
-              trace::TraceSpan validate_span("harness.validate", "harness");
-              // Reordered datasets validate in original vertex ids against
-              // the original graph, so a reordered run and a plain run
-              // answer to the same reference output.
-              if (dataset.original != nullptr) {
-                AlgorithmOutput mapped = MapOutputToOriginalIds(
-                    algorithm, *dataset.new_to_old, *run);
-                result.validation = ValidateOutput(*dataset.original,
-                                                   algorithm, dataset.params,
-                                                   mapped);
-              } else {
-                result.validation = ValidateOutput(*dataset.graph, algorithm,
-                                                   dataset.params, *run);
-              }
-              if (!result.validation.ok()) {
-                GLY_LOG_ERROR << platform_name << "/" << dataset.name << "/"
-                              << AlgorithmKindName(algorithm) << " validation: "
-                              << result.validation.ToString();
-              }
-            }
-            break;
-          }
-
-          result.status = run.status();
-          GLY_LOG_WARN << platform_name << "/" << dataset.name << "/"
-                       << AlgorithmKindName(algorithm) << " attempt "
-                       << attempt << "/" << max_attempts
-                       << " failed: " << run.status().ToString();
-          if (attempt == max_attempts || !IsRetryable(result.status) ||
-              Cancelled(spec.stop)) {
-            break;
-          }
-          double backoff =
-              spec.retry_backoff_s *
-              static_cast<double>(1ull << std::min(attempt - 1, 20u));
-          metrics::AddCounter("harness.retries");
-          trace::Instant("harness.retry", "harness",
-                         {{"attempt", std::to_string(attempt)},
-                          {"backoff_s", StringPrintf("%.3f", backoff)}});
-          InterruptibleSleep(backoff, spec.stop);
+        if (!spec.graph_cache || group_id == static_cast<size_t>(-1)) {
+          group_id = make_group();
         }
-
-        result.injected_faults =
-            spec.fault_plan != nullptr
-                ? spec.fault_plan->TotalTriggered() - faults_before
-                : 0;
-        // Checkpoint/recovery counters surface through platform metrics
-        // (Pregel rollback-replays and MapReduce map-stage restores).
-        result.recoveries =
-            MetricValue(result.platform_metrics, "recoveries") +
-            MetricValue(result.platform_metrics, "map_stages_recovered");
-        result.supersteps_replayed =
-            MetricValue(result.platform_metrics, "supersteps_replayed");
-        }  // retry loop (else branch of the refusal checks)
-        }  // harness.cell envelope
-        if (tracer != nullptr) {
-          SummarizeCellTrace(*tracer, cell_begin, spec.trace_dir, &result);
-        }
-        emit(result);
+        CellRef cell;
+        cell.slot = cell_slot;
+        cell.group = group_id;
+        cell.algorithm = algorithm;
+        // Item ids are assigned densely in AddItem order, so cells[item]
+        // is this cell by construction.
+        scheduler.AddItem(group_id,
+                          CellKey(platform_name, dataset.name, algorithm));
+        cells.push_back(cell);
       }
-      if (platform != nullptr) platform->UnloadGraph();
     }
   }
+
+  // Attempts abandoned on timeout; drained (bounded) before returning so
+  // orphan threads do not normally outlive caller-owned graphs.
+  std::mutex abandoned_mu;
+  std::vector<std::future<void>> abandoned;
+
+  auto make_group_platform = [&](GroupState& g) -> Status {
+    GLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<Platform> fresh,
+        MakePlatform(g.platform_name,
+                     spec.platform_config.Scoped(g.platform_name)));
+    g.platform = std::move(fresh);
+    // Loads (untimed, outside AlgorithmParams) still honour a harness
+    // stop — this is how Ctrl-C interrupts a multi-minute bulk import.
+    g.platform->SetCancelToken(spec.stop);
+    return Status::OK();
+  };
+
+  // Group load: platform instance + ETL, once per admitted group; not part
+  // of the runtime metric. Transient load failures (e.g. injected I/O
+  // errors) get the same bounded retry as cells; a failed load is recorded
+  // on every cell of the group, never thrown.
+  auto load_group = [&](size_t group_id) {
+    GroupState& g = groups[group_id];
+    g.load_status = make_group_platform(g);
+    if (!g.load_status.ok()) return;
+    Stopwatch load_watch;
+    {
+      trace::TraceSpan load_span("harness.load", "harness");
+      load_span.SetAttribute("platform", g.platform_name);
+      load_span.SetAttribute("graph", g.dataset->name);
+      uint32_t load_attempts = 0;
+      for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        load_attempts = attempt;
+        g.load_status =
+            g.platform->LoadGraph(*g.dataset->graph, g.dataset->name);
+        if (g.load_status.ok() || !IsRetryable(g.load_status) ||
+            attempt == max_attempts || Cancelled(spec.stop)) {
+          break;
+        }
+        InterruptibleSleep(
+            spec.retry_backoff_s *
+                static_cast<double>(1ull << std::min(attempt - 1, 20u)),
+            spec.stop);
+      }
+      load_span.SetAttribute("attempts", uint64_t{load_attempts});
+      load_span.SetAttribute("ok", g.load_status.ok() ? "true" : "false");
+    }
+    g.load_seconds = load_watch.ElapsedSeconds();
+  };
+
+  // Cell execution: the per-cell watchdog/retry machinery, unchanged from
+  // the serial loop, operating on the cell's group state (which the
+  // scheduler guarantees is not shared with any concurrent cell).
+  auto run_cell = [&](size_t item_id) {
+    const CellRef& cell = cells[item_id];
+    GroupState& g = groups[cell.group];
+    const DatasetSpec& dataset = *g.dataset;
+    const AlgorithmKind algorithm = cell.algorithm;
+
+    BenchmarkResult result;
+    result.platform = g.platform_name;
+    result.graph = dataset.name;
+    result.algorithm = algorithm;
+    result.load_seconds = g.load_seconds;
+
+    // The cell's trace window: everything recorded while the harness.cell
+    // envelope below is open, summarized (and written as a per-cell trace
+    // file) once it closes — only meaningful with one cell in flight.
+    const size_t cell_begin =
+        per_cell_trace ? tracer->event_count() : 0;
+    {
+    trace::TraceSpan cell_span("harness.cell", "harness");
+    cell_span.SetAttribute("platform", g.platform_name);
+    cell_span.SetAttribute("graph", dataset.name);
+    cell_span.SetAttribute("algorithm", AlgorithmKindName(algorithm));
+    metrics::AddCounter("harness.cells");
+
+    // CD and EVO seed their dynamics with vertex ids: running them on a
+    // relabeled graph is a different computation whose output cannot be
+    // mapped back. Refuse the cell — recorded, never silent.
+    if (dataset.original != nullptr && !RelabelingInvariant(algorithm)) {
+      result.status = Status::InvalidArgument(
+          StringPrintf("%s is not relabeling-invariant; rerun with "
+                       "graph.reorder = none",
+                       AlgorithmKindName(algorithm).c_str()));
+    } else if (!g.load_status.ok()) {
+      result.status = g.load_status.WithPrefix("load");
+    } else {
+    const uint64_t faults_before =
+        spec.fault_plan != nullptr ? spec.fault_plan->TotalTriggered() : 0;
+
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      result.attempts = attempt;
+      result.timed_out = false;
+      result.cancelled = false;
+      result.stalled = false;
+      result.cancel_reason.clear();
+      result.cancel_join_seconds = 0.0;
+
+      // A prior attempt was abandoned: rebuild the platform and
+      // re-run ETL before this attempt.
+      if (g.platform == nullptr) {
+        Status rebuilt = make_group_platform(g);
+        if (rebuilt.ok()) {
+          rebuilt = g.platform->LoadGraph(*dataset.graph, dataset.name);
+        }
+        if (!rebuilt.ok()) {
+          result.status = rebuilt.WithPrefix("reload after timeout");
+          g.platform.reset();
+          break;
+        }
+      }
+
+      SystemMonitor monitor;
+      if (spec.monitor) monitor.Start();
+      Stopwatch run_watch;
+      Result<AlgorithmOutput> run = Status::Internal("cell never ran");
+      {
+        trace::TraceSpan run_span("harness.run", "harness");
+        run_span.SetAttribute("attempt", uint64_t{attempt});
+        const bool supervised = spec.cell_timeout_s > 0.0 ||
+                                spec.stall_timeout_s > 0.0 ||
+                                spec.stop != nullptr;
+        if (supervised) {
+          auto state = std::make_shared<AttemptState>();
+          state->platform = g.platform;
+          state->algorithm = algorithm;
+          state->params = g.run_params;
+          state->params.cancel = &state->cancel;
+          std::future<void> done = state->done.get_future();
+          std::thread runner([state] {
+            state->run = state->platform->Run(state->algorithm,
+                                              state->params);
+            state->done.set_value();
+          });
+
+          // Watchdog loop: slice-wait on the attempt, arming its token
+          // on the first condition that fires — harness stop, the
+          // wall-clock deadline, or a stalled progress heartbeat.
+          const Deadline cell_deadline =
+              spec.cell_timeout_s > 0.0 ? Deadline::After(spec.cell_timeout_s)
+                                        : Deadline::Never();
+          uint64_t last_beats = state->cancel.heartbeats();
+          Stopwatch stall_watch;
+          CancelReason why = CancelReason::kNone;
+          for (;;) {
+            if (done.wait_for(kSuperviseSlice) ==
+                std::future_status::ready) {
+              break;
+            }
+            if (Cancelled(spec.stop)) {
+              why = CancelReason::kHarnessStop;
+              state->cancel.Cancel(why, "harness stop requested");
+              break;
+            }
+            if (cell_deadline.expired()) {
+              why = CancelReason::kDeadline;
+              state->cancel.Cancel(
+                  why, StringPrintf("cell exceeded %.3fs wall-clock budget",
+                                    spec.cell_timeout_s));
+              break;
+            }
+            if (spec.stall_timeout_s > 0.0) {
+              const uint64_t beats = state->cancel.heartbeats();
+              if (beats != last_beats) {
+                last_beats = beats;
+                stall_watch = Stopwatch();
+              } else if (stall_watch.ElapsedSeconds() >=
+                         spec.stall_timeout_s) {
+                why = CancelReason::kStall;
+                state->cancel.Cancel(
+                    why, StringPrintf(
+                             "no progress heartbeat for %.3fs (stall "
+                             "watchdog)",
+                             spec.stall_timeout_s));
+                break;
+              }
+            }
+          }
+
+          if (why == CancelReason::kNone) {
+            runner.join();
+            run = std::move(state->run);
+          } else {
+            // Grace join: the engines poll the token at bounded-work
+            // intervals, so a cooperative attempt unwinds (releasing
+            // budget charges, closing spans) and joins well within the
+            // grace window — no thread outlives the cell.
+            result.cancelled = true;
+            result.cancel_reason = CancelReasonName(why);
+            result.timed_out = why == CancelReason::kDeadline;
+            result.stalled = why == CancelReason::kStall;
+            metrics::AddCounter("harness.cancels");
+            if (why == CancelReason::kDeadline) {
+              metrics::AddCounter("harness.timeouts");
+            }
+            trace::Instant(
+                "harness.cancel", "harness",
+                {{"reason", CancelReasonName(why)},
+                 {"platform", g.platform_name},
+                 {"graph", dataset.name},
+                 {"algorithm", AlgorithmKindName(algorithm)}});
+            Stopwatch join_watch;
+            const bool joined =
+                done.wait_for(std::chrono::duration<double>(std::max(
+                    0.0, spec.cancel_grace_s))) ==
+                std::future_status::ready;
+            result.cancel_join_seconds = join_watch.ElapsedSeconds();
+            run_span.SetAttribute("cancelled", CancelReasonName(why));
+            if (result.timed_out) {
+              run_span.SetAttribute("timed_out", "true");
+            }
+            if (joined) {
+              runner.join();
+              // The cancelled verdict stands even if the attempt raced
+              // to completion during the grace window: the cell blew
+              // its budget (or the harness is stopping) either way.
+              run = state->cancel.ToStatus();
+              metrics::AddCounter("harness.cancel_joins");
+              // The platform unwound cooperatively: keep it (and its
+              // loaded graph) for the retry instead of rebuilding.
+            } else {
+              // Wedged past the grace window (e.g. stuck in a blocking
+              // syscall the token cannot interrupt): fall back to the
+              // abandon path so the matrix never hangs.
+              runner.detach();
+              run = state->cancel.ToStatus().WithPrefix(
+                  StringPrintf("attempt ignored cancellation for %.3fs",
+                               spec.cancel_grace_s));
+              metrics::AddCounter("harness.cancel_join_failures");
+              {
+                std::lock_guard<std::mutex> lock(abandoned_mu);
+                abandoned.push_back(std::move(done));
+              }
+              g.platform.reset();
+            }
+          }
+        } else {
+          run = g.platform->Run(algorithm, g.run_params);
+        }
+        run_span.SetAttribute("ok", run.ok() ? "true" : "false");
+      }
+      result.runtime_seconds = run_watch.ElapsedSeconds();
+      if (spec.monitor) result.resources = monitor.Stop();
+      if (g.platform != nullptr) {
+        result.platform_metrics = g.platform->LastRunMetrics();
+      }
+
+      if (run.ok()) {
+        result.status = Status::OK();
+        result.traversed_edges = run->traversed_edges;
+        result.teps = result.runtime_seconds > 0.0
+                          ? static_cast<double>(run->traversed_edges) /
+                                result.runtime_seconds
+                          : 0.0;
+        // The recorded answer speaks original vertex ids: reordered
+        // outputs are mapped back before both the checksum and the
+        // validation, so a reordered run and a plain run that computed
+        // the same answer fingerprint identically.
+        const AlgorithmOutput* answer = &*run;
+        AlgorithmOutput mapped;
+        if (dataset.original != nullptr) {
+          mapped = MapOutputToOriginalIds(algorithm, *dataset.new_to_old,
+                                          *run);
+          answer = &mapped;
+        }
+        result.output_checksum = OutputChecksum(*answer);
+        if (spec.validate) {
+          trace::TraceSpan validate_span("harness.validate", "harness");
+          // Reordered datasets validate in original vertex ids against
+          // the original graph, so a reordered run and a plain run
+          // answer to the same reference output.
+          const Graph& expected_on =
+              dataset.original != nullptr ? *dataset.original : *dataset.graph;
+          result.validation = ValidateOutput(expected_on, algorithm,
+                                             dataset.params, *answer);
+          if (!result.validation.ok()) {
+            GLY_LOG_ERROR << g.platform_name << "/" << dataset.name << "/"
+                          << AlgorithmKindName(algorithm) << " validation: "
+                          << result.validation.ToString();
+          }
+        }
+        break;
+      }
+
+      result.status = run.status();
+      GLY_LOG_WARN << g.platform_name << "/" << dataset.name << "/"
+                   << AlgorithmKindName(algorithm) << " attempt "
+                   << attempt << "/" << max_attempts
+                   << " failed: " << run.status().ToString();
+      if (attempt == max_attempts || !IsRetryable(result.status) ||
+          Cancelled(spec.stop)) {
+        break;
+      }
+      double backoff =
+          spec.retry_backoff_s *
+          static_cast<double>(1ull << std::min(attempt - 1, 20u));
+      metrics::AddCounter("harness.retries");
+      trace::Instant("harness.retry", "harness",
+                     {{"attempt", std::to_string(attempt)},
+                      {"backoff_s", StringPrintf("%.3f", backoff)}});
+      InterruptibleSleep(backoff, spec.stop);
+    }
+
+    // Per-cell fault attribution via the plan's global trigger counter;
+    // exact at jobs == 1, approximate when concurrent cells trigger
+    // faults in the same window.
+    result.injected_faults =
+        spec.fault_plan != nullptr
+            ? spec.fault_plan->TotalTriggered() - faults_before
+            : 0;
+    // Checkpoint/recovery counters surface through platform metrics
+    // (Pregel rollback-replays and MapReduce map-stage restores).
+    result.recoveries =
+        MetricValue(result.platform_metrics, "recoveries") +
+        MetricValue(result.platform_metrics, "map_stages_recovered");
+    result.supersteps_replayed =
+        MetricValue(result.platform_metrics, "supersteps_replayed");
+    }  // retry loop (else branch of the refusal checks)
+    }  // harness.cell envelope
+    if (per_cell_trace) {
+      SummarizeCellTrace(*tracer, cell_begin, spec.trace_dir, &result);
+    }
+    emit(cell.slot, std::move(result));
+  };
+
+  // Last cell of a group done (or skipped on stop): unload its graph.
+  auto retire_group = [&](size_t group_id) {
+    GroupState& g = groups[group_id];
+    if (g.platform != nullptr) g.platform->UnloadGraph();
+    g.platform.reset();
+  };
+
+  SchedulerStats stats = scheduler.Run(load_group, run_cell, retire_group);
+  if (spec.scheduler_stats != nullptr) *spec.scheduler_stats = stats;
 
   // Bounded drain: give abandoned attempts a grace window to finish (they
   // are sleeping in a stalled site or finishing a slow superstep). If one
@@ -625,6 +727,14 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         GLY_LOG_WARN << "metrics: " << written.ToString();
       }
     }
+  }
+
+  // Results in matrix order; cells skipped on stop leave no result, same
+  // as the serial loop breaking out of its nests.
+  std::vector<BenchmarkResult> results;
+  results.reserve(slots.size());
+  for (std::optional<BenchmarkResult>& filled : slots) {
+    if (filled.has_value()) results.push_back(*std::move(filled));
   }
   return results;
 }

@@ -30,6 +30,7 @@
 #include "common/trace.h"
 #include "harness/monitor.h"
 #include "harness/platform.h"
+#include "harness/scheduler.h"
 #include "harness/validator.h"
 
 namespace gly::harness {
@@ -137,6 +138,40 @@ struct RunSpec {
   std::string trace_dir;
   trace::Tracer* tracer = nullptr;
   metrics::Registry* metrics = nullptr;
+
+  /// Concurrent scheduling (see DESIGN.md §12). `jobs` is the maximum
+  /// number of cells in flight; 1 (the default) reproduces the serial
+  /// execution order exactly. Cells sharing a (platform, dataset) pair run
+  /// mutually exclusively on one reference-counted graph load; concurrency
+  /// comes from distinct pairs.
+  ///
+  /// Caveats at jobs > 1 — everything else (journal contents, statuses,
+  /// validation, retry/backoff, stall detection, stop, resume) is
+  /// equivalent to the serial run: per-cell trace summaries/files
+  /// (trace_spans, top_phases, trace-<cell>.json) are skipped because a
+  /// cell's trace window would interleave with its neighbours'; per-cell
+  /// `injected_faults` attribution is approximate (the plan's trigger
+  /// counter is process-global); and an explicit `<platform>.scratch_dir`
+  /// is shared by concurrent instances of that platform (the default
+  /// per-instance temp dir is safe).
+  uint32_t jobs = 1;
+
+  /// Admission budget for concurrently loaded graphs, in MiB (0 = no
+  /// limit). A (platform, dataset) load is admitted only when its
+  /// estimated footprint fits the remaining budget; oversubscribed loads
+  /// queue rather than OOM, and a load bigger than the whole budget runs
+  /// alone once everything else drained — admission delays cells, it never
+  /// fails them.
+  uint64_t sched_memory_budget_mb = 0;
+
+  /// Share one graph load across all cells of a (platform, dataset) pair
+  /// (on: the serial loop's behaviour). Off: every cell re-runs ETL in its
+  /// own group — isolation for debugging at the cost of repeated loads.
+  bool graph_cache = true;
+
+  /// When non-null, receives the scheduler's aggregate stats (admissions,
+  /// cache hits, queueing, peak concurrency, wall clock) for the run.
+  SchedulerStats* scheduler_stats = nullptr;
 };
 
 /// Outcome of one (platform, graph, algorithm) cell.
@@ -153,6 +188,11 @@ struct BenchmarkResult {
   double load_seconds = 0.0;     ///< ETL (reported separately, not runtime)
   uint64_t traversed_edges = 0;
   double teps = 0.0;             ///< traversed edges per second
+  /// CRC32C fingerprint of the produced output in original vertex ids
+  /// (harness::OutputChecksum); 0 when the cell failed before producing
+  /// output. Lets the differential scheduler test assert concurrent and
+  /// serial runs computed byte-identical answers, not merely same-status.
+  uint32_t output_checksum = 0;
   uint32_t attempts = 0;         ///< execution attempts consumed (>= 1)
   bool timed_out = false;        ///< final attempt hit cell_timeout_s
   /// Final attempt was cooperatively cancelled (deadline, stall, or

@@ -253,23 +253,29 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
   std::ofstream file(path);
   if (!file) return Status::IOError("cannot open " + path);
   CsvWriter csv(&file);
-  csv.WriteHeader({"platform", "graph", "algorithm", "status", "validation",
-                   "runtime_s", "load_s", "traversed_edges", "teps",
+  csv.WriteHeader({"platform", "graph", "algorithm", "status",
+                   "status_detail", "validation", "runtime_s", "load_s",
+                   "traversed_edges", "teps", "output_checksum",
                    "attempts", "timed_out", "cancelled", "stalled",
                    "cancel_reason", "cancel_join_s", "injected_faults",
                    "resumed", "recoveries", "supersteps_replayed",
                    "peak_rss_bytes", "cpu_utilization", "trace_spans",
                    "top_phases"});
   for (const BenchmarkResult& r : results) {
+    // status_detail (and cancel_reason / top_phases below) carry free-form
+    // engine text — commas, quotes, newlines — which CsvWriter::Field
+    // escapes per RFC 4180; see the round-trip test in common_test.
     csv.Field(r.platform)
         .Field(r.graph)
         .Field(AlgorithmKindName(r.algorithm))
         .Field(std::string(StatusCodeToString(r.status.code())))
+        .Field(r.status.message())
         .Field(std::string(StatusCodeToString(r.validation.code())))
         .Field(r.runtime_seconds)
         .Field(r.load_seconds)
         .Field(r.traversed_edges)
         .Field(r.teps)
+        .Field(static_cast<uint64_t>(r.output_checksum))
         .Field(static_cast<uint64_t>(r.attempts))
         .Field(static_cast<uint64_t>(r.timed_out ? 1 : 0))
         .Field(static_cast<uint64_t>(r.cancelled ? 1 : 0))
@@ -304,6 +310,7 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << StringPrintf("\"load_s\":%.6f,", result.load_seconds)
       << "\"traversed_edges\":" << result.traversed_edges << ','
       << StringPrintf("\"teps\":%.1f,", result.teps)
+      << "\"output_checksum\":" << result.output_checksum << ','
       << "\"attempts\":" << result.attempts << ','
       << "\"timed_out\":" << (result.timed_out ? "true" : "false") << ','
       << "\"cancelled\":" << (result.cancelled ? "true" : "false") << ','
@@ -368,6 +375,11 @@ Result<BenchmarkResult> ResultFromJson(const std::string& line) {
     r.traversed_edges = static_cast<uint64_t>(value);
   }
   if (ExtractJsonNumber(head, "teps", &value)) r.teps = value;
+  // Optional: journals from before the output-checksum field existed must
+  // still parse for resume.
+  if (ExtractJsonNumber(head, "output_checksum", &value)) {
+    r.output_checksum = static_cast<uint32_t>(value);
+  }
   if (ExtractJsonNumber(head, "attempts", &value)) {
     r.attempts = static_cast<uint32_t>(value);
   }

@@ -241,6 +241,12 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config,
   spec.retry_backoff_s = config.GetDoubleOr("retry_backoff_s", 0.0);
   spec.stop = stop;
 
+  // ------------------------------------------- concurrent scheduling (§12)
+  spec.jobs = static_cast<uint32_t>(config.GetUintOr("harness.jobs", 1));
+  spec.sched_memory_budget_mb =
+      config.GetUintOr("harness.memory_budget_mb", 0);
+  spec.graph_cache = config.GetBoolOr("harness.graph_cache", true);
+
   // Resumable matrices: journal per-cell completion under the report dir
   // (or an explicit `journal` path); `resume = true` reuses finished cells.
   std::string report_dir = config.GetStringOr("report.dir", "");
@@ -263,10 +269,11 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config,
   spec.metrics = run_metrics ? &*run_metrics : nullptr;
 
   // --------------------------------------------------------------- run it
+  ConfigRunOutput out;
+  spec.scheduler_stats = &out.scheduler;
   GLY_ASSIGN_OR_RETURN(std::vector<BenchmarkResult> results,
                        RunBenchmark(spec));
 
-  ConfigRunOutput out;
   out.report_text = RenderFullReport(config, results);
   out.results = std::move(results);
 

@@ -53,6 +53,12 @@
 //   mapreduce.checkpointing = true    # persist map-stage manifests
 //   resume = true                     # reuse finished cells from the journal
 //   journal = run/journal.jsonl       # default: <report.dir>/journal.jsonl
+//
+//   # concurrent scheduling (see DESIGN.md §12)
+//   harness.jobs = 4                  # max cells in flight (1 = serial)
+//   harness.memory_budget_mb = 2048   # admission budget for concurrent
+//                                     # graph loads (0 = no limit)
+//   harness.graph_cache = true        # share one load per (platform, graph)
 
 #pragma once
 
@@ -68,6 +74,7 @@ struct ConfigRunOutput {
   std::vector<BenchmarkResult> results;
   std::string report_text;     ///< full rendered report
   std::string report_dir;      ///< where files were written ("" if disabled)
+  SchedulerStats scheduler;    ///< cell-scheduler summary (see RunSpec::jobs)
 };
 
 /// Executes the workflow described by `config`. Writes report.txt,

@@ -1,0 +1,265 @@
+#include "harness/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace gly::harness {
+
+namespace {
+constexpr size_t kNone = static_cast<size_t>(-1);
+}  // namespace
+
+std::string SchedulerSummary(const SchedulerStats& stats) {
+  return StringPrintf(
+      "jobs=%u cells=%llu groups=%llu etl-loads=%llu graph-cache-hits=%llu "
+      "queued=%llu budget-deferrals=%llu skipped=%llu peak-in-flight=%u "
+      "wall=%.3fs",
+      stats.jobs, (unsigned long long)stats.items,
+      (unsigned long long)stats.groups, (unsigned long long)stats.admitted,
+      (unsigned long long)stats.graph_cache_hits,
+      (unsigned long long)stats.queued,
+      (unsigned long long)stats.budget_deferrals,
+      (unsigned long long)stats.skipped, stats.max_in_flight,
+      stats.wall_seconds);
+}
+
+CellScheduler::CellScheduler(const Options& options)
+    : options_(options), budget_(options.memory_budget_bytes) {
+  options_.jobs = std::max(1u, options_.jobs);
+}
+
+size_t CellScheduler::AddGroup(uint64_t estimate_bytes) {
+  Group group;
+  group.estimate = estimate_bytes;
+  groups_.push_back(group);
+  return groups_.size() - 1;
+}
+
+size_t CellScheduler::AddItem(size_t group, std::string label) {
+  Item item;
+  item.group = group;
+  item.label = std::move(label);
+  items_.push_back(std::move(item));
+  groups_[group].pending += 1;
+  return items_.size() - 1;
+}
+
+SchedulerStats CellScheduler::Run(const GroupFn& load, const ItemFn& run,
+                                  const GroupFn& retire) {
+  SchedulerStats stats;
+  stats.jobs = options_.jobs;
+  stats.items = items_.size();
+  stats.groups = groups_.size();
+  Stopwatch wall;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done_items = 0;       // finished or skipped
+  uint32_t in_flight = 0;      // claimed items currently loading/running
+  size_t active_groups = 0;    // loaded-not-retired groups
+  bool bypass_active = false;  // an oversized group is running alone
+  bool stop_swept = false;     // unclaimed items already skipped on stop
+
+  // Would admitting `estimate` more bytes stay inside the budget? The
+  // MemoryBudget itself is the accounting; this is the pre-claim check
+  // that keeps the scan side-effect free.
+  auto fits = [&](uint64_t estimate) {
+    return budget_.limit() == 0 ||
+           budget_.used() + estimate <= budget_.limit();
+  };
+
+  // Admission scan (mu held, pure): the first unclaimed item whose group
+  // can go right now. A loaded group just needs to be idle; a fresh group
+  // must also fit the remaining admission budget — unless nothing at all
+  // is admitted, in which case it goes through oversized (running alone
+  // beats starving; the engines' own MemoryBudget still polices real
+  // memory). While an oversized group runs, nothing else is admitted.
+  auto find_admissible = [&]() -> size_t {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      Item& item = items_[i];
+      if (item.claimed) continue;
+      Group& group = groups_[item.group];
+      if (group.busy) {
+        item.deferred = true;
+        continue;
+      }
+      if (!group.loaded) {
+        if (bypass_active) {
+          item.deferred = true;
+          continue;
+        }
+        if (!fits(group.estimate) && active_groups > 0) {
+          if (!item.deferred) stats.budget_deferrals += 1;
+          item.deferred = true;
+          continue;
+        }
+      }
+      return i;
+    }
+    return kNone;
+  };
+
+  // Claim bookkeeping (mu held). Returns true when this worker must run
+  // the group's load before the item.
+  auto claim = [&](size_t i) -> bool {
+    Item& item = items_[i];
+    Group& group = groups_[item.group];
+    item.claimed = true;
+    group.busy = true;
+    const bool need_load = !group.loaded;
+    if (need_load) {
+      group.loaded = true;
+      if (group.estimate > 0 && fits(group.estimate) &&
+          budget_.Charge(group.estimate, "sched.group").ok()) {
+        group.charged = true;
+      } else if (!fits(group.estimate)) {
+        group.bypass = true;  // oversized: admitted against an empty budget
+        bypass_active = true;
+      }
+      active_groups += 1;
+      stats.admitted += 1;
+    } else {
+      stats.graph_cache_hits += 1;
+    }
+    if (item.deferred) stats.queued += 1;
+    in_flight += 1;
+    stats.max_in_flight = std::max(stats.max_in_flight, in_flight);
+    return need_load;
+  };
+
+  // Stop: skip everything unclaimed, exactly once. Returns the groups that
+  // became retirable because all their remaining items were skipped.
+  auto sweep_on_stop = [&]() -> std::vector<size_t> {
+    std::vector<size_t> retirable;
+    if (stop_swept) return retirable;
+    stop_swept = true;
+    for (Item& item : items_) {
+      if (item.claimed) continue;
+      item.claimed = true;
+      done_items += 1;
+      stats.skipped += 1;
+      Group& group = groups_[item.group];
+      group.pending -= 1;
+      if (group.pending == 0 && group.loaded && !group.busy) {
+        retirable.push_back(item.group);
+      }
+    }
+    cv.notify_all();
+    return retirable;
+  };
+
+  // Retire a group (mu NOT held): unload first, then release its
+  // admission hold so waiters see memory only after it is actually free.
+  auto retire_group = [&](size_t g) {
+    retire(g);
+    std::lock_guard<std::mutex> lock(mu);
+    Group& group = groups_[g];
+    if (group.charged) {
+      budget_.Release(group.estimate);
+      group.charged = false;
+    }
+    if (group.bypass) {
+      group.bypass = false;
+      bypass_active = false;
+    }
+    active_groups -= 1;
+    cv.notify_all();
+  };
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t claimed = kNone;
+      bool need_load = false;
+      bool exit_now = false;
+      std::vector<size_t> stop_retires;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          if (Cancelled(options_.stop)) {
+            stop_retires = sweep_on_stop();
+            exit_now = true;
+            break;
+          }
+          if (done_items + in_flight == items_.size()) {
+            // Everything is finished or running on other workers.
+            exit_now = true;
+            break;
+          }
+          size_t next = find_admissible();
+          if (next == kNone) {
+            // Blocked on a busy group or the budget: wait under a real
+            // span so queue time shows up in the trace, attributed to the
+            // item this worker ends up claiming.
+            trace::TraceSpan wait_span("harness.sched.wait", "harness");
+            while (next == kNone) {
+              cv.wait(lock);
+              if (Cancelled(options_.stop) ||
+                  done_items + in_flight == items_.size()) {
+                break;
+              }
+              next = find_admissible();
+            }
+            if (next == kNone) continue;  // stop or drained: re-evaluate
+            wait_span.SetAttribute("cell", items_[next].label);
+          }
+          need_load = claim(next);
+          claimed = next;
+          break;
+        }
+      }
+
+      for (size_t g : stop_retires) retire_group(g);
+      if (claimed == kNone) {
+        if (exit_now) {
+          cv.notify_all();
+          return;
+        }
+        continue;
+      }
+
+      if (need_load) {
+        metrics::AddCounter("harness.sched.admitted");
+        load(items_[claimed].group);
+      } else {
+        metrics::AddCounter("harness.sched.graph_cache_hits");
+      }
+      if (items_[claimed].deferred) {
+        metrics::AddCounter("harness.sched.queued");
+      }
+      run(claimed);
+
+      bool do_retire = false;
+      const size_t g = items_[claimed].group;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        Group& group = groups_[g];
+        group.busy = false;
+        group.pending -= 1;
+        do_retire = group.pending == 0;
+        in_flight -= 1;
+        done_items += 1;
+        cv.notify_all();
+      }
+      if (do_retire) retire_group(g);
+    }
+  };
+
+  const size_t workers =
+      std::min<size_t>(std::max<size_t>(1, items_.size()), options_.jobs);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  stats.wall_seconds = wall.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace gly::harness

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace gly::harness {
@@ -179,6 +181,42 @@ AlgorithmOutput MapOutputToOriginalIds(AlgorithmKind kind,
     output.vertex_scores = std::move(mapped);
   }
   return output;
+}
+
+namespace {
+
+uint32_t FoldU64(uint32_t state, uint64_t v) {
+  return Crc32cUpdate(state, &v, sizeof(v));
+}
+
+uint32_t FoldDouble(uint32_t state, double v) {
+  // Bit pattern, not value: NaNs and signed zeros stay distinguishable and
+  // the fold is exact (no formatting round-trip).
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FoldU64(state, bits);
+}
+
+}  // namespace
+
+uint32_t OutputChecksum(const AlgorithmOutput& output) {
+  uint32_t state = kCrc32cInit;
+  state = FoldU64(state, output.vertex_values.size());
+  if (!output.vertex_values.empty()) {
+    state = Crc32cUpdate(state, output.vertex_values.data(),
+                         output.vertex_values.size() * sizeof(int64_t));
+  }
+  state = FoldU64(state, output.vertex_scores.size());
+  for (double score : output.vertex_scores) state = FoldDouble(state, score);
+  state = FoldU64(state, output.stats.num_vertices);
+  state = FoldU64(state, output.stats.num_edges);
+  state = FoldDouble(state, output.stats.mean_local_clustering);
+  state = FoldU64(state, output.new_edges.num_edges());
+  for (const Edge& e : output.new_edges.edges()) {
+    state = FoldU64(state, static_cast<uint64_t>(e.src));
+    state = FoldU64(state, static_cast<uint64_t>(e.dst));
+  }
+  return Crc32cFinalize(state);
 }
 
 }  // namespace gly::harness

@@ -48,4 +48,12 @@ AlgorithmOutput MapOutputToOriginalIds(AlgorithmKind kind,
                                        const std::vector<VertexId>& new_to_old,
                                        AlgorithmOutput output);
 
+/// CRC32C fingerprint of an algorithm output: per-vertex values, scores
+/// (bit patterns), stats, and EVO's new edges, each section length-prefixed
+/// so empty/missing sections cannot alias. Two runs that produced the same
+/// answer checksum identically — the differential scheduler test compares
+/// these across jobs=1 and jobs=N journals; the harness records it per cell
+/// as `output_checksum`.
+uint32_t OutputChecksum(const AlgorithmOutput& output);
+
 }  // namespace gly::harness

@@ -481,6 +481,37 @@ TEST(CsvTest, BuilderApi) {
   EXPECT_EQ(csv.rows_written(), 1u);
 }
 
+TEST(CsvTest, ParseUndoesQuoting) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"with,comma\",\"with\"\"quote\""),
+            (std::vector<std::string>{"with,comma", "with\"quote"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(ParseCsvLine("a,,b"), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(ParseCsvLine(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, WriteParseRoundTripsHostileFields) {
+  // The report's status_detail / cancel_reason / top_phases columns carry
+  // free-form engine text; ParseCsvLine must be the exact inverse of
+  // WriteRow for anything that can appear there.
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "", "trailing,comma,"},
+      {"a,b", "she said \"hi\"", "\"\"", "''"},
+      {"line\nbreak", "cr\r\nlf", "tab\tstop"},
+      {"unicode ✓", " leading space", "trailing space "},
+      {"quote at end\"", "\"quote at start", "only\"middle\"quotes"},
+  };
+  for (const auto& row : rows) {
+    std::ostringstream out;
+    CsvWriter csv(&out);
+    csv.WriteRow(row);
+    std::string line = out.str();
+    ASSERT_FALSE(line.empty());
+    line.pop_back();  // WriteRow appends the record's trailing '\n'
+    EXPECT_EQ(ParseCsvLine(line), row) << "serialized as: " << line;
+  }
+}
+
 // ---------------------------------------------------------------- TempDir
 
 TEST(TempDirTest, CreatesAndRemoves) {

@@ -11,7 +11,12 @@
 // tail from a SIGKILL must never lose one.
 //
 //   $ chaos_runner --bin ./graphalytics_run [--kills 10] [--seed 42]
-//                  [--workdir chaos-work]
+//                  [--workdir chaos-work] [--jobs N]
+//
+// --jobs N makes every child run its matrix through the concurrent cell
+// scheduler (harness.jobs = N): kills then land while several cells are in
+// flight and the journal writer is shared, and resume must still yield
+// every cell clean exactly once.
 //
 // Exit 0 on success; 1 with a diagnostic on any violated invariant.
 // SIGKILL (not SIGTERM) is the point: the child gets no chance to flush,
@@ -69,6 +74,7 @@ struct Options {
   std::string workdir = "chaos-work";
   int kills = 10;
   uint64_t seed = 42;
+  int jobs = 1;  ///< harness.jobs for every child (>1: concurrent scheduler)
 };
 
 [[noreturn]] void Die(const std::string& message) {
@@ -195,10 +201,12 @@ int main(int argc, char** argv) {
       opts.seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--workdir") == 0) {
       opts.workdir = next("--workdir");
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      opts.jobs = std::atoi(next("--jobs"));
     } else {
       std::fprintf(stderr,
                    "usage: %s --bin <graphalytics_run> [--kills N] "
-                   "[--seed S] [--workdir DIR]\n",
+                   "[--seed S] [--workdir DIR] [--jobs N]\n",
                    argv[0]);
       return 2;
     }
@@ -215,6 +223,9 @@ int main(int argc, char** argv) {
   {
     std::ofstream config(config_path);
     config << kChaosConfig;
+    if (opts.jobs > 1) {
+      config << "harness.jobs = " << opts.jobs << "\n";
+    }
   }
   // The child resolves report.dir relative to its cwd; run every child
   // from the workdir so all artifacts stay inside it.

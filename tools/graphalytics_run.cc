@@ -6,11 +6,17 @@
 //
 //   $ graphalytics_run benchmark.properties
 //   $ graphalytics_run --resume benchmark.properties      # continue a run
+//   $ graphalytics_run --jobs 4 benchmark.properties      # concurrent cells
 //   $ graphalytics_run --example > benchmark.properties   # starter config
 //
 // --resume re-reads the completion journal (<report.dir>/journal.jsonl by
 // default) and re-executes only the cells that did not finish cleanly —
 // the rest are reported from the journal, marked "resumed".
+//
+// --jobs N runs up to N matrix cells concurrently (DESIGN.md §12): cells
+// sharing a (platform, graph) pair reuse one loaded graph, admission is
+// gated on `harness.memory_budget_mb`, and the journal stays equivalent to
+// a serial run's. Equal to setting `harness.jobs = N` in the config.
 //
 // See harness/run_config.h for the full properties dialect.
 
@@ -92,18 +98,31 @@ retry_backoff_s = 0.5
 #  - resume = true                    # or pass --resume on the command line
 # Per-cell completion is journaled to <report.dir>/journal.jsonl (override
 # with `journal = path`); with resume, finished cells are not re-executed.
+
+# Concurrent scheduling (see DESIGN.md §12): run up to harness.jobs matrix
+# cells in flight (or pass --jobs). Cells on the same (platform, graph)
+# share one loaded graph; a new load is admitted only when its estimated
+# footprint fits harness.memory_budget_mb (0 = no limit) — oversubscribed
+# loads queue instead of OOMing. The journal, statuses, and validation are
+# equivalent to a serial run's.
+harness.jobs = 1
+harness.memory_budget_mb = 0
+harness.graph_cache = true
 )";
 
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--resume] [--trace-dir <dir>] "
+               "usage: %s [--resume] [--jobs N] [--trace-dir <dir>] "
                "<benchmark.properties>\n"
                "       %s --example   # print a starter configuration\n"
                "  --resume           reuse cells already journaled as "
                "finished\n"
+               "  --jobs N           run up to N matrix cells concurrently\n"
+               "                     (harness.jobs; 1 = serial)\n"
                "  --trace-dir <dir>  write trace.json (Chrome tracing) and\n"
                "                     metrics.jsonl per run, plus one\n"
-               "                     trace-<cell>.json per benchmark cell\n",
+               "                     trace-<cell>.json per benchmark cell\n"
+               "                     (per-cell traces need --jobs 1)\n",
                argv0, argv0);
 }
 
@@ -112,6 +131,7 @@ void PrintUsage(const char* argv0) {
 int main(int argc, char** argv) {
   bool resume = false;
   const char* trace_dir = nullptr;
+  const char* jobs = nullptr;
   const char* config_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) {
@@ -120,6 +140,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        PrintUsage(argv[0]);
+        return 2;
+      }
+      jobs = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
       if (i + 1 >= argc) {
         PrintUsage(argv[0]);
@@ -144,6 +170,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (resume) config->SetBool("resume", true);
+  if (jobs != nullptr) config->Set("harness.jobs", jobs);
   if (trace_dir != nullptr) config->Set("trace.dir", trace_dir);
   std::signal(SIGINT, HandleSigint);
   auto run = gly::harness::RunFromConfig(*config, &g_stop);
@@ -167,6 +194,13 @@ int main(int argc, char** argv) {
     if (!r.status.ok()) ++failed;
     if (r.resumed) ++resumed;
     recoveries += r.recoveries;
+  }
+  // Scheduler summary on stderr whenever concurrency was requested — the
+  // logged evidence that a --jobs run actually overlapped cells (peak
+  // in-flight, graph-cache hits, queueing) and its wall clock.
+  if (run->scheduler.jobs > 1) {
+    std::fprintf(stderr, "scheduler: %s\n",
+                 gly::harness::SchedulerSummary(run->scheduler).c_str());
   }
   if (retried + timed_out + failed + cancelled > 0) {
     std::fprintf(stderr,
