@@ -103,6 +103,12 @@ struct KernelRecord {
   double median_seconds = 0.0;
   double p95_seconds = 0.0;
   double kteps = 0.0;  ///< traversed kilo-edges per median second (0 if n/a)
+  /// Edges in the input graph (0 = not recorded). Unlike `kteps`, whose
+  /// numerator (edges *traversed*) legitimately differs between algorithm
+  /// variants, `kteps_input` divides a fixed workload size by the median,
+  /// so it is comparable across kernels and gateable run-over-run.
+  uint64_t input_edges = 0;
+  double kteps_input = 0.0;  ///< input kilo-edges per median second
   uint64_t peak_rss_bytes = 0;
 };
 
@@ -151,6 +157,8 @@ class JsonEmitter {
           << StringPrintf(", \"median_seconds\": %.6f", r.median_seconds)
           << StringPrintf(", \"p95_seconds\": %.6f", r.p95_seconds)
           << StringPrintf(", \"kteps\": %.3f", r.kteps)
+          << ", \"input_edges\": " << r.input_edges
+          << StringPrintf(", \"kteps_input\": %.3f", r.kteps_input)
           << ", \"peak_rss_bytes\": " << r.peak_rss_bytes << "}";
     }
     out << "\n  ]\n}\n";
@@ -189,13 +197,15 @@ class JsonEmitter {
 template <typename Fn>
 KernelRecord MeasureKernel(const std::string& kernel, const std::string& graph,
                            uint32_t scale, uint32_t repeats,
-                           double build_seconds, Fn&& run) {
+                           double build_seconds, uint64_t input_edges,
+                           Fn&& run) {
   KernelRecord rec;
   rec.kernel = kernel;
   rec.graph = graph;
   rec.scale = scale;
   rec.repeats = repeats == 0 ? 1 : repeats;
   rec.build_seconds = build_seconds;
+  rec.input_edges = input_edges;
 
   Stopwatch warmup_watch;
   uint64_t traversed = run();
@@ -213,8 +223,21 @@ KernelRecord MeasureKernel(const std::string& kernel, const std::string& graph,
   if (traversed > 0 && rec.median_seconds > 0.0) {
     rec.kteps = static_cast<double>(traversed) / rec.median_seconds / 1e3;
   }
+  if (input_edges > 0 && rec.median_seconds > 0.0) {
+    rec.kteps_input =
+        static_cast<double>(input_edges) / rec.median_seconds / 1e3;
+  }
   rec.peak_rss_bytes = harness::SystemMonitor::CurrentRssBytes();
   return rec;
+}
+
+/// Back-compat overload for kernels without a recorded input size.
+template <typename Fn>
+KernelRecord MeasureKernel(const std::string& kernel, const std::string& graph,
+                           uint32_t scale, uint32_t repeats,
+                           double build_seconds, Fn&& run) {
+  return MeasureKernel(kernel, graph, scale, repeats, build_seconds,
+                       /*input_edges=*/0, std::forward<Fn>(run));
 }
 
 /// Maps harness matrix rows (BenchmarkResult) into KernelRecords, one per

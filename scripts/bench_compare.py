@@ -22,6 +22,13 @@ absent or 0 = unspecified). A pair whose baseline and current thread counts
 differ is skipped with a warning, not gated — a 4-thread baseline median
 says nothing about an 8-thread run.
 
+Records may also carry "kteps_input" (input kilo-edges per median second —
+a throughput over the *fixed* workload size, comparable run-over-run).
+When both sides of a pair report a nonzero kteps_input, the gate
+additionally fails the pair if current throughput dropped below
+baseline * (1 - threshold). Pairs where either side lacks the field (e.g.
+a baseline committed before the field existed) gate on median only.
+
 Exit status: 0 when no gated regression, 1 when at least one kernel
 regressed beyond the threshold, 2 on malformed input. Keys present in only
 one file are listed as added/removed but do not fail the gate — adding a
@@ -114,8 +121,16 @@ def main():
         delta = (c - b) / b if b > 0 else float("inf") if c > 0 else 0.0
         noise = b < args.min_seconds and c < args.min_seconds
         regressed = (not noise) and c > b * (1.0 + args.threshold)
+        b_kti = float(brec.get("kteps_input", 0.0) or 0.0)
+        c_kti = float(crec.get("kteps_input", 0.0) or 0.0)
+        kti_regressed = (not noise and b_kti > 0.0 and c_kti > 0.0
+                         and c_kti < b_kti * (1.0 - args.threshold))
         if regressed:
             verdict = f"REGRESSED (> +{args.threshold:.0%})"
+            regressions.append((key, b, c, delta))
+        elif kti_regressed:
+            verdict = (f"REGRESSED (kteps_input {b_kti:.0f} -> {c_kti:.0f}, "
+                       f"> -{args.threshold:.0%})")
             regressions.append((key, b, c, delta))
         elif noise:
             verdict = "below noise floor"

@@ -29,11 +29,13 @@
 #                    and the C++ exporter agreeing on the same bytes is the
 #                    cross-implementation schema test — and runs the
 #                    bench_compare.py unit tests.
-#   5. bench-smoke — fig4_runtimes kernel duel plus the ext_etl_times
-#                    parse/build duel at smoke scale, each gated by
-#                    scripts/bench_compare.py against its committed baseline
-#                    (BENCH_kernels.json / BENCH_etl.json; >10% median
-#                    regression fails; see DESIGN.md §8). BENCH_THRESHOLD
+#   5. bench-smoke — fig4_runtimes kernel duel, the ext_etl_times
+#                    parse/build duel, and the engines_hotpath engine-level
+#                    bench (pooled hot paths, scale ${ENGINE_BENCH_SCALE}),
+#                    each gated by scripts/bench_compare.py against its
+#                    committed baseline (BENCH_kernels.json / BENCH_etl.json
+#                    / BENCH_engines.json; >10% median regression fails; see
+#                    DESIGN.md §8). BENCH_THRESHOLD
 #                    overrides the gate for noisy boxes; regenerate a
 #                    baseline with the same bench invocation after
 #                    intentional perf changes. The ETL duel pins
@@ -61,6 +63,7 @@ ASAN_DIR="${ASAN_DIR:-build-ci-asan}"
 TSAN_DIR="${TSAN_DIR:-build-ci-tsan}"
 BENCH_SCALE="${BENCH_SCALE:-12}"
 BENCH_REPEATS="${BENCH_REPEATS:-3}"
+ENGINE_BENCH_SCALE="${ENGINE_BENCH_SCALE:-14}"
 ETL_THREADS="${ETL_THREADS:-4}"
 
 echo "==> [1/6] tier-1: configure + build (${TIER1_DIR})"
@@ -75,18 +78,18 @@ cmake -B "${ASAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=address
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
 
-echo "==> [2/6] asan: robustness + conformance suites"
+echo "==> [2/6] asan: robustness + conformance + hotpath suites"
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
-      -L 'robustness|conformance'
+      -L 'robustness|conformance|hotpath'
 
 echo "==> [3/6] tsan: configure + build (${TSAN_DIR}, GLY_SANITIZE=thread)"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLY_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 
-echo "==> [3/6] tsan: ingest + observability + robustness + scheduler (race detector)"
+echo "==> [3/6] tsan: ingest + observability + robustness + scheduler + hotpath (race detector)"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-      -L 'ingest|observability|robustness|scheduler'
+      -L 'ingest|observability|robustness|scheduler|hotpath'
 
 echo "==> [4/6] observability: golden-trace suite + committed sample schemas"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" \
@@ -109,6 +112,13 @@ echo "==> [5/6] bench-smoke: ETL duel at scale ${BENCH_SCALE}, ${ETL_THREADS} th
     --json "${TIER1_DIR}/bench_etl_current.json"
 python3 scripts/bench_compare.py BENCH_etl.json \
     "${TIER1_DIR}/bench_etl_current.json"
+
+echo "==> [5/6] bench-smoke: engine hot paths at scale ${ENGINE_BENCH_SCALE}"
+"${TIER1_DIR}/bench/engines_hotpath" \
+    --kernel-scale "${ENGINE_BENCH_SCALE}" --repeats "${BENCH_REPEATS}" \
+    --json "${TIER1_DIR}/bench_engines_current.json"
+python3 scripts/bench_compare.py BENCH_engines.json \
+    "${TIER1_DIR}/bench_engines_current.json"
 
 echo "==> [6/6] chaos: SIGKILL/resume crash-restart driver"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -L chaos

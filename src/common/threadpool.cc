@@ -69,6 +69,25 @@ void ThreadPool::ParallelForChunked(
   if (grain > 0) chunks = std::min(chunks, (n + grain - 1) / grain);
   chunks = std::max<size_t>(1, chunks);
   const size_t chunk_size = (n + chunks - 1) / chunks;
+  if (threads_.size() == 1) {
+    // A one-thread pool serializes the chunks anyway; running them on the
+    // caller preserves order, cancellation, and first-exception semantics
+    // while skipping the queue/future handoff entirely.
+    std::exception_ptr first_error;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t chunk_begin = begin + c * chunk_size;
+      const size_t chunk_end = std::min(end, chunk_begin + chunk_size);
+      if (chunk_begin >= chunk_end) break;
+      if (Cancelled(cancel)) continue;
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {

@@ -28,12 +28,16 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <typeindex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/macros.h"
@@ -73,6 +77,14 @@ struct ContextConfig {
   /// polls per source partition. Materialization bumps the token's
   /// progress heartbeat.
   CancelToken* cancel = nullptr;
+
+  /// Hot-path memory model (DESIGN.md §13): recycle partition storage
+  /// through per-type vector pools when datasets drop, shuffle through a
+  /// stable two-pass radix partition step, and build join/reduce tables in
+  /// epoch-tagged flat arrays instead of per-operator hash maps. Results
+  /// are identical either way; `false` restores the legacy per-record
+  /// heap path (kept for the `hotpath` parity suite).
+  bool pooled_buffers = true;
 };
 
 /// Accumulated execution statistics.
@@ -85,9 +97,38 @@ struct ContextStats {
   double shuffle_seconds = 0.0;
   double materialize_seconds = 0.0;
   uint64_t peak_memory_bytes = 0;
+  /// Shuffle output bytes that landed in recycled pooled buffers (pooled
+  /// mode only; 0 on the legacy path).
+  uint64_t shuffle_bytes_pooled = 0;
+  /// Peak bytes parked in the context's recycled-buffer pools.
+  uint64_t pooled_bytes_peak = 0;
 };
 
 class Context;
+
+namespace detail {
+
+/// Thread-safe wrapper around one per-element-type vector pool. Payload
+/// destructors release partitions from whatever thread drops the last
+/// dataset reference, hence the mutex (taken per partition, not per
+/// record). Shared ownership: payloads hold a shared_ptr so buffers can
+/// outlive the Context that spawned them.
+template <typename T>
+struct TypedPool {
+  explicit TypedPool(arena::PoolGroupStats* stats) : pool(stats) {}
+  std::vector<T> Acquire() {
+    std::lock_guard<std::mutex> lock(mu);
+    return pool.Acquire();
+  }
+  void Release(std::vector<T>&& v) {
+    std::lock_guard<std::mutex> lock(mu);
+    pool.Release(std::move(v));
+  }
+  std::mutex mu;
+  arena::VectorPool<T> pool;
+};
+
+}  // namespace detail
 
 /// An immutable, partitioned, materialized collection.
 template <typename T>
@@ -127,6 +168,15 @@ class Dataset {
   struct Payload {
     std::vector<std::vector<T>> partitions;
     ScopedCharge charge;  // released when the last reference drops
+    /// Origin pool (null on the legacy path): partition storage is
+    /// recycled here when the last reference drops, so the next operator
+    /// materializes into warm buffers instead of the allocator.
+    std::shared_ptr<detail::TypedPool<T>> pool;
+    ~Payload() {
+      if (pool != nullptr) {
+        for (auto& p : partitions) pool->Release(std::move(p));
+      }
+    }
   };
 
   explicit Dataset(std::shared_ptr<Payload> data) : data_(std::move(data)) {}
@@ -146,6 +196,7 @@ class Context {
   const ContextConfig& config() const { return config_; }
   const ContextStats& stats() const {
     const_cast<ContextStats&>(stats_).peak_memory_bytes = budget_.peak();
+    const_cast<ContextStats&>(stats_).pooled_bytes_peak = pool_stats_.peak();
     return stats_;
   }
   MemoryBudget& budget() { return budget_; }
@@ -155,9 +206,22 @@ class Context {
   template <typename T>
   Result<Dataset<T>> Parallelize(const std::vector<T>& elements) {
     const uint32_t parts = config_.num_partitions;
-    std::vector<std::vector<T>> partitions(parts);
-    for (size_t i = 0; i < elements.size(); ++i) {
-      partitions[i % parts].push_back(elements[i]);
+    auto partitions = AcquirePartitions<T>(parts);
+    if (config_.pooled_buffers) {
+      // Exact-size scatter: element i lands at partitions[i % parts] slot
+      // i / parts — identical content and order to the append loop, with
+      // one resize per partition instead of per-element growth.
+      for (uint32_t p = 0; p < parts; ++p) {
+        partitions[p].resize(elements.size() / parts +
+                             (p < elements.size() % parts ? 1 : 0));
+      }
+      for (size_t i = 0; i < elements.size(); ++i) {
+        partitions[i % parts][i / parts] = elements[i];
+      }
+    } else {
+      for (size_t i = 0; i < elements.size(); ++i) {
+        partitions[i % parts].push_back(elements[i]);
+      }
     }
     return Materialize(std::move(partitions));
   }
@@ -167,10 +231,32 @@ class Context {
   template <typename V>
   Result<Dataset<std::pair<uint64_t, V>>> ParallelizeByKey(
       std::vector<std::pair<uint64_t, V>> elements) {
+    using KV = std::pair<uint64_t, V>;
     const uint32_t parts = config_.num_partitions;
-    std::vector<std::vector<std::pair<uint64_t, V>>> partitions(parts);
-    for (auto& kv : elements) {
-      partitions[PartitionOf(kv.first)].push_back(std::move(kv));
+    auto partitions = AcquirePartitions<KV>(parts);
+    if (config_.pooled_buffers) {
+      // Radix scatter (count, resize exact, place): stable within each
+      // partition, so the result matches the per-record append loop
+      // bit-for-bit without its reallocation churn.
+      auto& targets = target_scratch_;
+      targets.clear();
+      targets.reserve(elements.size());
+      std::vector<size_t> counts(parts, 0);
+      for (const KV& kv : elements) {
+        uint32_t t = PartitionOf(kv.first);
+        targets.push_back(t);
+        ++counts[t];
+      }
+      std::vector<size_t> cursor(parts, 0);
+      for (uint32_t p = 0; p < parts; ++p) partitions[p].resize(counts[p]);
+      for (size_t i = 0; i < elements.size(); ++i) {
+        uint32_t t = targets[i];
+        partitions[t][cursor[t]++] = std::move(elements[i]);
+      }
+    } else {
+      for (auto& kv : elements) {
+        partitions[PartitionOf(kv.first)].push_back(std::move(kv));
+      }
     }
     return Materialize(std::move(partitions));
   }
@@ -178,7 +264,7 @@ class Context {
   /// map: T -> U, narrow (no shuffle).
   template <typename U, typename T, typename Fn>
   Result<Dataset<U>> Map(const Dataset<T>& in, Fn fn) {
-    std::vector<std::vector<U>> partitions(in.num_partitions());
+    auto partitions = AcquirePartitions<U>(in.num_partitions());
     pool_.ParallelFor(in.num_partitions(), [&](size_t p) {
       const auto& src = in.partition(p);
       auto& dst = partitions[p];
@@ -191,7 +277,7 @@ class Context {
   /// flatMap: T -> vector<U>, narrow.
   template <typename U, typename T, typename Fn>
   Result<Dataset<U>> FlatMap(const Dataset<T>& in, Fn fn) {
-    std::vector<std::vector<U>> partitions(in.num_partitions());
+    auto partitions = AcquirePartitions<U>(in.num_partitions());
     pool_.ParallelFor(in.num_partitions(), [&](size_t p) {
       const auto& src = in.partition(p);
       auto& dst = partitions[p];
@@ -205,7 +291,7 @@ class Context {
   /// filter, narrow.
   template <typename T, typename Fn>
   Result<Dataset<T>> Filter(const Dataset<T>& in, Fn pred) {
-    std::vector<std::vector<T>> partitions(in.num_partitions());
+    auto partitions = AcquirePartitions<T>(in.num_partitions());
     pool_.ParallelFor(in.num_partitions(), [&](size_t p) {
       for (const T& t : in.partition(p)) {
         if (pred(t)) partitions[p].push_back(t);
@@ -221,15 +307,56 @@ class Context {
       const Dataset<std::pair<uint64_t, V>>& in, Fn fn) {
     using KV = std::pair<uint64_t, V>;
     GLY_ASSIGN_OR_RETURN(Dataset<KV> shuffled, Shuffle(in));
-    std::vector<std::vector<KV>> partitions(shuffled.num_partitions());
-    pool_.ParallelFor(shuffled.num_partitions(), [&](size_t p) {
-      std::unordered_map<uint64_t, V> acc;
-      for (const KV& kv : shuffled.partition(p)) {
-        auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
-        if (!inserted) it->second = fn(it->second, kv.second);
-      }
-      partitions[p].assign(acc.begin(), acc.end());
-    });
+    auto partitions = AcquirePartitions<KV>(shuffled.num_partitions());
+    if (config_.pooled_buffers) {
+      // Flat fold: per-key accumulation through a recycled epoch-tagged
+      // dense array when the key domain is small enough (FlatDomainOk),
+      // falling back to the hash map otherwise. Per-key values fold in
+      // the same encounter order as the map path, so they are
+      // bit-identical; only the emission order of distinct keys within a
+      // partition differs (first-encounter vs hash-iteration), which no
+      // consumer observes — results are keyed, never order-addressed.
+      auto accs = AccumulatorsFor<V>(shuffled.num_partitions());
+      pool_.ParallelFor(shuffled.num_partitions(), [&](size_t p) {
+        const auto& src = shuffled.partition(p);
+        uint64_t max_key = 0;
+        for (const KV& kv : src) max_key = std::max(max_key, kv.first);
+        auto& dst = partitions[p];
+        if (!src.empty() && FlatDomainOk(max_key, src.size())) {
+          auto& acc = (*accs)[p];
+          acc.EnsureDomain(max_key + 1);
+          acc.NewEpoch();
+          for (const KV& kv : src) {
+            if (acc.touched(kv.first)) {
+              V& a = acc.slot(kv.first);
+              a = fn(a, kv.second);
+            } else {
+              acc.mark(kv.first) = kv.second;
+            }
+          }
+          dst.reserve(acc.touched_keys().size());
+          for (size_t k : acc.touched_keys()) {
+            dst.emplace_back(k, std::move(acc.slot(k)));
+          }
+        } else {
+          std::unordered_map<uint64_t, V> acc;
+          for (const KV& kv : src) {
+            auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+            if (!inserted) it->second = fn(it->second, kv.second);
+          }
+          dst.assign(acc.begin(), acc.end());
+        }
+      });
+    } else {
+      pool_.ParallelFor(shuffled.num_partitions(), [&](size_t p) {
+        std::unordered_map<uint64_t, V> acc;
+        for (const KV& kv : shuffled.partition(p)) {
+          auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+          if (!inserted) it->second = fn(it->second, kv.second);
+        }
+        partitions[p].assign(acc.begin(), acc.end());
+      });
+    }
     return Materialize(std::move(partitions));
   }
 
@@ -244,22 +371,48 @@ class Context {
       return Status::InvalidArgument("join requires co-partitioned inputs");
     }
     trace::TraceSpan join_span("dataflow.join", "dataflow");
-    std::vector<std::vector<U>> partitions(left.num_partitions());
+    auto partitions = AcquirePartitions<U>(left.num_partitions());
     std::atomic<uint64_t> probes{0};
+    // Pooled build tables: one recycled epoch-tagged [key -> value*]
+    // array per partition replaces the per-call hash map when the build
+    // side's key domain is small enough; first match wins either way.
+    auto accs = config_.pooled_buffers
+                    ? AccumulatorsFor<const void*>(left.num_partitions())
+                    : nullptr;
     pool_.ParallelFor(left.num_partitions(), [&](size_t p) {
-      std::unordered_map<uint64_t, const B*> build;
-      build.reserve(right.partition(p).size());
-      for (const auto& kv : right.partition(p)) {
-        build.emplace(kv.first, &kv.second);
-      }
+      const auto& build_src = right.partition(p);
+      uint64_t max_key = 0;
+      for (const auto& kv : build_src) max_key = std::max(max_key, kv.first);
       uint64_t local_probes = 0;
       auto& dst = partitions[p];
       dst.reserve(left.partition(p).size());
-      for (const auto& kv : left.partition(p)) {
-        ++local_probes;
-        auto it = build.find(kv.first);
-        dst.push_back(
-            fn(kv.first, kv.second, it == build.end() ? nullptr : it->second));
+      if (accs != nullptr && FlatDomainOk(max_key, build_src.size())) {
+        auto& build = (*accs)[p];
+        build.EnsureDomain(max_key + 1);
+        build.NewEpoch();
+        for (const auto& kv : build_src) {
+          if (!build.touched(kv.first)) build.mark(kv.first) = &kv.second;
+        }
+        for (const auto& kv : left.partition(p)) {
+          ++local_probes;
+          const B* match =
+              kv.first <= max_key && build.touched(kv.first)
+                  ? static_cast<const B*>(build.slot(kv.first))
+                  : nullptr;
+          dst.push_back(fn(kv.first, kv.second, match));
+        }
+      } else {
+        std::unordered_map<uint64_t, const B*> build;
+        build.reserve(build_src.size());
+        for (const auto& kv : build_src) {
+          build.emplace(kv.first, &kv.second);
+        }
+        for (const auto& kv : left.partition(p)) {
+          ++local_probes;
+          auto it = build.find(kv.first);
+          dst.push_back(fn(kv.first, kv.second,
+                           it == build.end() ? nullptr : it->second));
+        }
       }
       probes.fetch_add(local_probes, std::memory_order_relaxed);
     });
@@ -279,14 +432,49 @@ class Context {
     // the stage (Spark without stage retries).
     GLY_FAULT_POINT("dataflow.shuffle");
     const uint32_t parts = config_.num_partitions;
-    std::vector<std::vector<KV>> partitions(parts);
+    auto partitions = AcquirePartitions<KV>(parts);
     uint64_t moved_bytes = 0;
-    for (size_t p = 0; p < in.num_partitions(); ++p) {
-      GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
-      for (const KV& kv : in.partition(p)) {
-        uint32_t target = PartitionOf(kv.first);
-        if (target != p) moved_bytes += sizeof(KV);
-        partitions[target].push_back(kv);
+    if (config_.pooled_buffers) {
+      // Radix partition step, pass 1: compute each record's target (cached
+      // in a recycled scratch array) and per-target occupancy, plus the
+      // cross-partition bytes the simulated network must move.
+      auto& targets = target_scratch_;
+      targets.clear();
+      std::vector<size_t> counts(parts, 0);
+      for (size_t p = 0; p < in.num_partitions(); ++p) {
+        GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
+        for (const KV& kv : in.partition(p)) {
+          uint32_t target = PartitionOf(kv.first);
+          if (target != p) moved_bytes += sizeof(KV);
+          targets.push_back(target);
+          ++counts[target];
+        }
+      }
+      // Pass 2: resize each output partition exactly once and scatter in
+      // source order — stable within each target partition, so join and
+      // fold order downstream are unchanged from the append path.
+      for (uint32_t t = 0; t < parts; ++t) partitions[t].resize(counts[t]);
+      std::vector<size_t> cursor(parts, 0);
+      size_t i = 0;
+      uint64_t pooled_bytes = 0;
+      for (size_t p = 0; p < in.num_partitions(); ++p) {
+        for (const KV& kv : in.partition(p)) {
+          uint32_t target = targets[i++];
+          partitions[target][cursor[target]++] = kv;
+        }
+      }
+      pooled_bytes = static_cast<uint64_t>(targets.size()) * sizeof(KV);
+      stats_.shuffle_bytes_pooled += pooled_bytes;
+      shuffle_span.SetAttribute("pooled_bytes", pooled_bytes);
+      metrics::AddCounter("dataflow.shuffle_bytes_pooled", pooled_bytes);
+    } else {
+      for (size_t p = 0; p < in.num_partitions(); ++p) {
+        GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
+        for (const KV& kv : in.partition(p)) {
+          uint32_t target = PartitionOf(kv.first);
+          if (target != p) moved_bytes += sizeof(KV);
+          partitions[target].push_back(kv);
+        }
       }
     }
     stats_.shuffle_bytes += moved_bytes;
@@ -307,6 +495,59 @@ class Context {
   }
 
  private:
+  /// Flat-table admission check (pooled join/reduce): a dense
+  /// [0, max_key] array is used only when the key domain is within a
+  /// small multiple of the partition's population (hash partitioning
+  /// spreads a dense id space across partitions, hence the 16x slack)
+  /// and below a hard cap, so a sparse 64-bit key space can never
+  /// provoke a giant allocation. Otherwise the hash-map path runs.
+  static bool FlatDomainOk(uint64_t max_key, size_t elements) {
+    constexpr uint64_t kFlatDomainCap = 1ull << 24;
+    return max_key < kFlatDomainCap &&
+           max_key + 1 <= 16 * static_cast<uint64_t>(elements) + 1024;
+  }
+
+  /// The per-element-type vector pool (created on first use). Driver-side
+  /// only; the returned TypedPool itself is thread-safe.
+  template <typename T>
+  std::shared_ptr<detail::TypedPool<T>> PoolFor() {
+    auto [it, inserted] =
+        pools_.try_emplace(std::type_index(typeid(T)), nullptr);
+    if (inserted) {
+      it->second = std::make_shared<detail::TypedPool<T>>(&pool_stats_);
+    }
+    return std::static_pointer_cast<detail::TypedPool<T>>(it->second);
+  }
+
+  /// `n` partition buffers, recycled from the pool in pooled mode.
+  template <typename T>
+  std::vector<std::vector<T>> AcquirePartitions(size_t n) {
+    std::vector<std::vector<T>> partitions(n);
+    if (config_.pooled_buffers) {
+      auto pool = PoolFor<T>();
+      for (auto& p : partitions) p = pool->Acquire();
+    }
+    return partitions;
+  }
+
+  /// Per-partition epoch-tagged accumulators for slot type V (join build
+  /// tables, reduce folds), recycled across operators. Acquired on the
+  /// driver thread; each parallel partition body touches only its own
+  /// accumulator.
+  template <typename V>
+  std::shared_ptr<std::vector<arena::FlatAccumulator<V>>> AccumulatorsFor(
+      size_t n) {
+    auto [it, inserted] =
+        accumulators_.try_emplace(std::type_index(typeid(V)), nullptr);
+    if (inserted) {
+      it->second = std::make_shared<std::vector<arena::FlatAccumulator<V>>>();
+    }
+    auto accs = std::static_pointer_cast<std::vector<arena::FlatAccumulator<V>>>(
+        it->second);
+    if (accs->size() < n) accs->resize(n);
+    return accs;
+  }
+
   /// Charges the budget for a new dataset and wraps it. All transformations
   /// funnel through here, so an exceeded budget aborts the computation with
   /// ResourceExhausted at the exact materialization that overflowed.
@@ -339,6 +580,7 @@ class Context {
     auto payload = std::make_shared<typename Dataset<T>::Payload>();
     payload->partitions = std::move(partitions);
     payload->charge = ScopedCharge(&budget_, bytes);
+    if (config_.pooled_buffers) payload->pool = PoolFor<T>();
     if (config_.cancel != nullptr) config_.cancel->Heartbeat();
     return Dataset<T>(std::move(payload));
   }
@@ -347,6 +589,14 @@ class Context {
   MemoryBudget budget_;
   ThreadPool pool_;
   ContextStats stats_;
+  // Hot-path memory model state (DESIGN.md §13): per-type partition-buffer
+  // pools, per-type flat accumulators, the shuffle radix scratch, and the
+  // pool byte telemetry. All recycle across operators within this
+  // context's lifetime and unwind with it.
+  std::map<std::type_index, std::shared_ptr<void>> pools_;
+  std::map<std::type_index, std::shared_ptr<void>> accumulators_;
+  std::vector<uint32_t> target_scratch_;
+  arena::PoolGroupStats pool_stats_;
 };
 
 }  // namespace gly::dataflow

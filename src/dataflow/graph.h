@@ -31,8 +31,9 @@ class PropertyGraph {
   /// Builds vertex and edge datasets from a CSR graph. The edge dataset is
   /// partitioned by source vertex so the messages join is co-partitioned
   /// with the vertex dataset.
+  template <typename InitFn>
   static Result<PropertyGraph> FromGraph(Context* ctx, const Graph& graph,
-                                         std::function<V(VertexId)> init) {
+                                         InitFn init) {
     PropertyGraph pg;
     pg.ctx_ = ctx;
     pg.num_vertices_ = graph.num_vertices();
@@ -66,13 +67,13 @@ class PropertyGraph {
   /// * `combine(a, b)` merges messages to the same destination;
   /// * `apply(v, old_value, msg_or_null)` produces the new vertex value and
   ///   flags whether the vertex is active next round.
-  template <typename M>
-  Result<PregelJoinStats> Pregel(
-      uint32_t max_iterations,
-      std::function<std::optional<M>(const V&, VertexId, VertexId)> send,
-      std::function<M(const M&, const M&)> combine,
-      std::function<std::pair<V, bool>(uint64_t, const V&, const M*)> apply,
-      uint32_t lineage_depth = 2) {
+  // send/combine/apply stay template parameters (not std::function): the
+  // send callback runs once per edge per iteration — the join plan's
+  // innermost loop — and must inline into the partition scan.
+  template <typename M, typename SendFn, typename CombineFn, typename ApplyFn>
+  Result<PregelJoinStats> Pregel(uint32_t max_iterations, SendFn send,
+                                 CombineFn combine, ApplyFn apply,
+                                 uint32_t lineage_depth = 2) {
     PregelJoinStats stats;
     std::deque<Dataset<std::pair<uint64_t, V>>> lineage;  // kept alive
 

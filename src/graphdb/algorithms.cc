@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/memory_budget.h"
+#include "common/metrics.h"
 #include "graphdb/traversal.h"
 
 namespace gly::graphdb {
@@ -288,6 +289,8 @@ Result<AlgorithmOutput> RunAlgorithmOnStore(GraphStore* store,
   }
   if (!result.ok()) return result.status();
   stats.cache = store->cache_stats();
+  metrics::SetGauge("graphdb.pagecache.shard_contention",
+                    static_cast<double>(stats.cache.shard_contention));
   if (stats_out != nullptr) *stats_out = stats;
   return result;
 }
@@ -299,6 +302,7 @@ Result<AlgorithmOutput> RunAlgorithm(const DbPlatformConfig& config,
   StoreConfig store_config;
   store_config.directory = config.store_dir;
   store_config.page_cache_bytes = config.page_cache_bytes;
+  store_config.page_cache_shards = config.page_cache_shards;
   GLY_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
                        GraphStore::Open(store_config));
   GLY_RETURN_NOT_OK(store->BulkImport(graph.ToEdgeList(), params.cancel));

@@ -12,13 +12,39 @@
 
 namespace gly::graphdb {
 
-PageCache::PageCache(uint64_t capacity_bytes)
-    : capacity_pages_(std::max<uint64_t>(1, capacity_bytes / kPageSize)) {}
+namespace {
+
+size_t ShardCountFor(size_t capacity_pages, uint32_t requested) {
+  size_t count = requested == 0 ? std::min<size_t>(8, capacity_pages)
+                                : static_cast<size_t>(requested);
+  // Every shard owns at least one frame, and the summed frame budget never
+  // exceeds the page capacity (a 4-page cache stays 4 pages however many
+  // shards were asked for).
+  return std::clamp<size_t>(count, 1, capacity_pages);
+}
+
+}  // namespace
+
+PageCache::PageCache(uint64_t capacity_bytes, uint32_t shards)
+    : capacity_pages_(std::max<uint64_t>(1, capacity_bytes / kPageSize)),
+      shards_(ShardCountFor(capacity_pages_, shards)) {
+  const size_t base = capacity_pages_ / shards_.size();
+  const size_t extra = capacity_pages_ % shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const size_t cap = base + (i < extra ? 1 : 0);
+    Shard& shard = shards_[i];
+    shard.frames.resize(cap);
+    shard.free_slots.reserve(cap);
+    // Descending so the first faults fill slot 0 upward.
+    for (size_t j = cap; j-- > 0;) shard.free_slots.push_back(j);
+  }
+}
 
 PageCache::~PageCache() {
   // Best effort: write back and close.
   Status s = Flush();
   (void)s;
+  std::lock_guard<std::mutex> lock(files_mu_);
   for (int fd : fds_) {
     if (fd >= 0) ::close(fd);
   }
@@ -29,66 +55,110 @@ Result<uint32_t> PageCache::OpenFile(const std::string& path) {
   if (fd < 0) {
     return Status::IOError("open(" + path + "): " + std::strerror(errno));
   }
+  std::lock_guard<std::mutex> lock(files_mu_);
   fds_.push_back(fd);
   paths_.push_back(path);
   return static_cast<uint32_t>(fds_.size() - 1);
 }
 
-Result<PageCache::Page*> PageCache::GetPage(uint32_t file_id,
-                                            uint64_t page_no) {
-  PageKey key{file_id, page_no};
-  auto it = pages_.find(key);
-  if (it != pages_.end()) {
-    ++stats_.hits;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(key);
-    it->second.lru_it = lru_.begin();
-    return &it->second;
+std::unique_lock<std::mutex> PageCache::LockShard(const Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
   }
-  ++stats_.misses;
+  return lock;
+}
+
+Result<PageCache::Frame*> PageCache::GetFrame(Shard& shard, uint32_t file_id,
+                                              uint64_t page_no) {
+  const PageKey key{file_id, page_no};
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    ++shard.stats.hits;
+    Frame& frame = shard.frames[it->second];
+    frame.referenced = true;  // second chance for the clock sweep
+    return &frame;
+  }
+  ++shard.stats.misses;
   // Injected transient read error / slow disk on the miss path.
   GLY_FAULT_POINT("graphdb.pagecache.read");
-  while (pages_.size() >= capacity_pages_) {
-    GLY_RETURN_NOT_OK(EvictOne());
+  size_t slot;
+  if (!shard.free_slots.empty()) {
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+  } else {
+    GLY_RETURN_NOT_OK(EvictClock(shard, &slot));
   }
-  Page page;
-  page.data.assign(kPageSize, 0);
-  ssize_t n = ::pread(fds_[file_id], page.data.data(), kPageSize,
+  Frame& frame = shard.frames[slot];
+  frame.data.assign(kPageSize, 0);  // reuses the evicted frame's buffer
+  int fd;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> files_lock(files_mu_);
+    fd = fds_[file_id];
+    path = paths_[file_id];
+  }
+  ssize_t n = ::pread(fd, frame.data.data(), kPageSize,
                       static_cast<off_t>(page_no * kPageSize));
   if (n < 0) {
-    return Status::IOError("pread(" + paths_[file_id] +
-                           "): " + std::strerror(errno));
+    shard.free_slots.push_back(slot);
+    return Status::IOError("pread(" + path + "): " + std::strerror(errno));
   }
-  lru_.push_front(key);
-  auto [ins, ok] = pages_.emplace(key, std::move(page));
-  (void)ok;
-  ins->second.lru_it = lru_.begin();
-  return &ins->second;
+  frame.key = key;
+  frame.in_use = true;
+  frame.dirty = false;
+  frame.referenced = true;
+  shard.index.emplace(key, slot);
+  ++shard.resident;
+  return &frame;
 }
 
-Status PageCache::EvictOne() {
-  if (lru_.empty()) return Status::Internal("page cache empty during evict");
-  PageKey victim = lru_.back();
-  auto it = pages_.find(victim);
-  if (it->second.dirty) {
-    GLY_RETURN_NOT_OK(WritebackPage(victim, it->second));
+Status PageCache::EvictClock(Shard& shard, size_t* slot_out) {
+  const size_t n = shard.frames.size();
+  if (shard.resident == 0) {
+    return Status::Internal("page cache shard empty during evict");
   }
-  lru_.pop_back();
-  pages_.erase(it);
-  ++stats_.evictions;
-  return Status::OK();
+  // One full sweep clears every second-chance bit, so two sweeps always
+  // find a victim.
+  for (size_t step = 0; step < 2 * n + 1; ++step) {
+    const size_t slot = shard.clock_hand;
+    shard.clock_hand = (shard.clock_hand + 1) % n;
+    Frame& frame = shard.frames[slot];
+    if (!frame.in_use) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.dirty) {
+      GLY_RETURN_NOT_OK(WritebackFrame(frame, &shard.stats));
+    }
+    shard.index.erase(frame.key);
+    frame.in_use = false;
+    --shard.resident;
+    ++shard.stats.evictions;
+    *slot_out = slot;
+    return Status::OK();
+  }
+  return Status::Internal("page cache clock sweep found no victim");
 }
 
-Status PageCache::WritebackPage(const PageKey& key, Page& page) {
+Status PageCache::WritebackFrame(Frame& frame, PageCacheStats* stats) {
   GLY_FAULT_POINT("graphdb.pagecache.writeback");
-  ssize_t n = ::pwrite(fds_[key.file_id], page.data.data(), kPageSize,
-                       static_cast<off_t>(key.page_no * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite(" + paths_[key.file_id] +
-                           "): " + std::strerror(errno));
+  int fd;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> files_lock(files_mu_);
+    fd = fds_[frame.key.file_id];
+    path = paths_[frame.key.file_id];
   }
-  page.dirty = false;
-  ++stats_.writebacks;
+  ssize_t n = ::pwrite(fd, frame.data.data(), kPageSize,
+                       static_cast<off_t>(frame.key.page_no * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path + "): " + std::strerror(errno));
+  }
+  frame.dirty = false;
+  ++stats->writebacks;
   return Status::OK();
 }
 
@@ -99,8 +169,12 @@ Status PageCache::Read(uint32_t file_id, uint64_t offset, void* out,
     uint64_t page_no = offset / kPageSize;
     size_t in_page = static_cast<size_t>(offset % kPageSize);
     size_t chunk = std::min(len, kPageSize - in_page);
-    GLY_ASSIGN_OR_RETURN(Page * page, GetPage(file_id, page_no));
-    std::memcpy(dst, page->data.data() + in_page, chunk);
+    Shard& shard = ShardFor(PageKey{file_id, page_no});
+    {
+      std::unique_lock<std::mutex> lock = LockShard(shard);
+      GLY_ASSIGN_OR_RETURN(Frame * frame, GetFrame(shard, file_id, page_no));
+      std::memcpy(dst, frame->data.data() + in_page, chunk);
+    }
     dst += chunk;
     offset += chunk;
     len -= chunk;
@@ -115,9 +189,13 @@ Status PageCache::Write(uint32_t file_id, uint64_t offset, const void* data,
     uint64_t page_no = offset / kPageSize;
     size_t in_page = static_cast<size_t>(offset % kPageSize);
     size_t chunk = std::min(len, kPageSize - in_page);
-    GLY_ASSIGN_OR_RETURN(Page * page, GetPage(file_id, page_no));
-    std::memcpy(page->data.data() + in_page, src, chunk);
-    page->dirty = true;
+    Shard& shard = ShardFor(PageKey{file_id, page_no});
+    {
+      std::unique_lock<std::mutex> lock = LockShard(shard);
+      GLY_ASSIGN_OR_RETURN(Frame * frame, GetFrame(shard, file_id, page_no));
+      std::memcpy(frame->data.data() + in_page, src, chunk);
+      frame->dirty = true;
+    }
     src += chunk;
     offset += chunk;
     len -= chunk;
@@ -126,17 +204,44 @@ Status PageCache::Write(uint32_t file_id, uint64_t offset, const void* data,
 }
 
 Status PageCache::Flush() {
-  for (auto& [key, page] : pages_) {
-    if (page.dirty) {
-      GLY_RETURN_NOT_OK(WritebackPage(key, page));
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    for (Frame& frame : shard.frames) {
+      if (frame.in_use && frame.dirty) {
+        GLY_RETURN_NOT_OK(WritebackFrame(frame, &shard.stats));
+      }
     }
   }
+  std::lock_guard<std::mutex> lock(files_mu_);
   for (int fd : fds_) {
     if (fd >= 0 && ::fsync(fd) != 0) {
       return Status::IOError(std::string("fsync: ") + std::strerror(errno));
     }
   }
   return Status::OK();
+}
+
+PageCacheStats PageCache::stats() const {
+  PageCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    out.hits += shard.stats.hits;
+    out.misses += shard.stats.misses;
+    out.evictions += shard.stats.evictions;
+    out.writebacks += shard.stats.writebacks;
+    out.shard_contention +=
+        shard.contention.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+size_t PageCache::resident_pages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    total += shard.resident;
+  }
+  return total;
 }
 
 }  // namespace gly::graphdb

@@ -6,11 +6,20 @@
 // graphs larger than the memory of a single machine, but its performance is
 // generally the best" — a store that fits is all cache hits; one that does
 // not thrashes or (in the harness's strict mode) refuses the workload.
+//
+// The cache is split into N lock-striped shards (DESIGN.md §13): pages hash
+// to a shard by (file, page), each shard owns `capacity / N` frames guarded
+// by its own mutex and evicted with a second-chance clock sweep. Lookups on
+// different shards never contend; a try_lock miss on a shard is counted in
+// `shard_contention` (surfaced as `graphdb.pagecache.shard_contention`).
+// WAL and checkpoint semantics are unchanged: Flush() still writes back
+// every dirty page and fsyncs before the WAL truncates.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,21 +31,27 @@ namespace gly::graphdb {
 /// Page size in bytes (Neo4j uses 8 KiB).
 inline constexpr size_t kPageSize = 8192;
 
-/// Cache statistics.
+/// Cache statistics (aggregated across shards).
 struct PageCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  /// Times a lookup found its shard's mutex held by another thread.
+  uint64_t shard_contention = 0;
 };
 
-/// LRU page cache shared by all store files of one database.
-/// Not thread-safe: the store serializes access (single-writer database,
-/// like the benchmarked embedded Neo4j).
+/// Sharded clock page cache shared by all store files of one database.
+/// Concurrent readers on distinct shards proceed in parallel; the store's
+/// single-writer discipline (like the benchmarked embedded Neo4j) still
+/// serializes mutations above this layer.
 class PageCache {
  public:
   /// `capacity_bytes` is rounded down to whole pages (minimum 1 page).
-  explicit PageCache(uint64_t capacity_bytes);
+  /// `shards` = 0 picks min(8, capacity_pages); an explicit count is
+  /// clamped so every shard owns at least one frame and the summed frame
+  /// budget never exceeds the page capacity.
+  explicit PageCache(uint64_t capacity_bytes, uint32_t shards = 0);
   ~PageCache();
 
   PageCache(const PageCache&) = delete;
@@ -57,9 +72,12 @@ class PageCache {
   /// Writes all dirty pages back and fsyncs the files.
   Status Flush();
 
-  const PageCacheStats& stats() const { return stats_; }
+  /// Aggregated snapshot across shards (locks each shard briefly).
+  PageCacheStats stats() const;
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t resident_pages() const { return pages_.size(); }
+  /// Resident pages summed across shards.
+  size_t resident_pages() const;
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:
   struct PageKey {
@@ -75,23 +93,43 @@ class PageCache {
                                    k.page_no);
     }
   };
-  struct Page {
+  /// One cache frame: a page image plus the clock's second-chance bit.
+  struct Frame {
+    PageKey key{0, 0};
     std::vector<char> data;
+    bool in_use = false;
     bool dirty = false;
-    std::list<PageKey>::iterator lru_it;
+    bool referenced = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;                            // fixed frame pool
+    std::vector<size_t> free_slots;                       // never-used frames
+    std::unordered_map<PageKey, size_t, PageKeyHash> index;  // key -> frame
+    size_t clock_hand = 0;
+    size_t resident = 0;
+    PageCacheStats stats;  // guarded by mu (except shard_contention)
+    mutable std::atomic<uint64_t> contention{0};
   };
 
-  /// Returns the resident page, faulting it in (and evicting) as needed.
-  Result<Page*> GetPage(uint32_t file_id, uint64_t page_no);
-  Status EvictOne();
-  Status WritebackPage(const PageKey& key, Page& page);
+  Shard& ShardFor(const PageKey& key) {
+    return shards_[PageKeyHash()(key) % shards_.size()];
+  }
+
+  /// Locks `shard`, counting a blocked acquisition into its contention tally.
+  static std::unique_lock<std::mutex> LockShard(const Shard& shard);
+
+  /// Returns the frame holding (file_id, page_no), faulting it in — and
+  /// running the clock sweep — as needed. Caller holds the shard lock.
+  Result<Frame*> GetFrame(Shard& shard, uint32_t file_id, uint64_t page_no);
+  Status EvictClock(Shard& shard, size_t* slot_out);
+  Status WritebackFrame(Frame& frame, PageCacheStats* stats);
 
   size_t capacity_pages_;
+  std::vector<Shard> shards_;
+  mutable std::mutex files_mu_;
   std::vector<int> fds_;            // file descriptors by file id
   std::vector<std::string> paths_;  // for error messages
-  std::unordered_map<PageKey, Page, PageKeyHash> pages_;
-  std::list<PageKey> lru_;  // front = most recent
-  PageCacheStats stats_;
 };
 
 }  // namespace gly::graphdb

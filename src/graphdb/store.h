@@ -47,6 +47,9 @@ struct RelView {
 struct StoreConfig {
   std::string directory;            ///< store files live here (required)
   uint64_t page_cache_bytes = 64ULL << 20;
+  /// Lock-striped page cache segments; 0 = auto (min(8, capacity pages)).
+  /// The README's `graphdb.pagecache_shards` knob.
+  uint32_t page_cache_shards = 0;
 };
 
 /// The embedded graph database.
@@ -131,7 +134,8 @@ class GraphStore {
   /// Flushes the page cache and truncates the WAL.
   Status Checkpoint();
 
-  const PageCacheStats& cache_stats() const { return cache_->stats(); }
+  /// Aggregated snapshot across the cache's shards.
+  PageCacheStats cache_stats() const { return cache_->stats(); }
 
   /// WAL entries replayed when this store was opened.
   uint64_t wal_entries_recovered() const { return wal_entries_recovered_; }

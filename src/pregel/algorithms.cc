@@ -1,6 +1,7 @@
 #include "pregel/algorithms.h"
 
 #include <algorithm>
+#include <span>
 
 namespace gly::pregel {
 
@@ -14,7 +15,7 @@ struct BfsProgram : VertexProgram<int64_t, int64_t> {
 
   int64_t Init(const Graph&, VertexId) override { return kUnreachable; }
 
-  void Compute(Context& ctx, const std::vector<int64_t>& messages) override {
+  void Compute(Context& ctx, std::span<const int64_t> messages) override {
     int64_t best = ctx.value();
     if (ctx.superstep() == 0) {
       if (ctx.vertex() == source_) best = 0;
@@ -50,7 +51,7 @@ struct ConnProgram : VertexProgram<int64_t, int64_t> {
     return static_cast<int64_t>(v);
   }
 
-  void Compute(Context& ctx, const std::vector<int64_t>& messages) override {
+  void Compute(Context& ctx, std::span<const int64_t> messages) override {
     int64_t best = ctx.value();
     for (int64_t m : messages) best = std::min(best, m);
     const bool changed = best < ctx.value() || ctx.superstep() == 0;
@@ -93,7 +94,7 @@ struct CdProgram : VertexProgram<CdValue, CdMessage> {
     return CdValue{static_cast<int64_t>(v), 1.0};
   }
 
-  void Compute(Context& ctx, const std::vector<CdMessage>& messages) override {
+  void Compute(Context& ctx, std::span<const CdMessage> messages) override {
     // Superstep s: adopt from messages (s >= 1), then broadcast the current
     // label while more propagation rounds remain. Message round t feeds
     // adoption round t, matching the reference's synchronous iterations.
@@ -125,7 +126,7 @@ struct PrProgram : VertexProgram<double, double> {
     return 1.0 / static_cast<double>(n_);
   }
 
-  void Compute(Context& ctx, const std::vector<double>& messages) override {
+  void Compute(Context& ctx, std::span<const double> messages) override {
     if (ctx.superstep() >= 1) {
       double sum = 0.0;
       for (double m : messages) sum += m;
@@ -169,7 +170,7 @@ struct LccProgram : VertexProgram<double, std::vector<VertexId>> {
   double Init(const Graph&, VertexId) override { return 0.0; }
 
   void Compute(Context& ctx,
-               const std::vector<std::vector<VertexId>>& messages) override {
+               std::span<const std::vector<VertexId>> messages) override {
     if (ctx.superstep() == 0) {
       auto nbrs = ctx.out_neighbors();
       if (nbrs.size() >= 2) {

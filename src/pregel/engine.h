@@ -36,11 +36,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cancellation.h"
 #include "common/checkpoint.h"
 #include "common/fault_injection.h"
@@ -261,6 +263,15 @@ struct EngineConfig {
   /// Message order, and therefore results, are identical either way.
   uint32_t steal_chunk_vertices = 4096;
 
+  /// Hot-path memory model (DESIGN.md §13): recycle outbox and inbox
+  /// storage across supersteps — flat arena outboxes, sender-side combining
+  /// through an epoch-tagged dense accumulator, and count-then-scatter
+  /// delivery into a flat CSR inbox — instead of allocating per-superstep
+  /// heap containers and sorting. Results are bit-identical either way;
+  /// `false` restores the legacy heap path (kept for the `hotpath` parity
+  /// suite and as a memory/speed trade-off knob).
+  bool outbox_pool = true;
+
   /// Superstep checkpoint/rollback policy (disabled by default).
   CheckpointPolicy checkpoint;
 
@@ -305,6 +316,9 @@ struct RunStats {
   double checkpoint_seconds = 0.0;
   /// Supersteps whose messages took the dense-frontier fast path.
   uint32_t dense_supersteps = 0;
+  /// Peak bytes held by the recycled outbox/inbox arenas (pooled mode
+  /// only; the legacy heap path reports 0).
+  uint64_t outbox_bytes_peak = 0;
   std::vector<SuperstepStats> per_superstep;
 };
 
@@ -380,8 +394,11 @@ class VertexProgram {
   /// Initial vertex value (superstep 0 runs Compute on every vertex).
   virtual V Init(const Graph& graph, VertexId v) = 0;
 
-  /// One superstep of computation for an active vertex.
-  virtual void Compute(Context& ctx, const std::vector<M>& messages) = 0;
+  /// One superstep of computation for an active vertex. The message span
+  /// views engine-owned inbox storage (per-vertex vectors, one dense slot,
+  /// or a flat CSR segment depending on the delivery path) and is valid
+  /// only for the duration of the call.
+  virtual void Compute(Context& ctx, std::span<const M> messages) = 0;
 
   /// Optional associative+commutative message combiner. Returning a
   /// function enables combining at the sender (reduces network bytes, the
@@ -455,25 +472,52 @@ class Engine {
     Aggregators aggregators;
     program->RegisterAggregators(&aggregators);
 
-    // Inboxes, double-buffered, in one of two representations per
-    // superstep: sparse (per-vertex message vectors — the general case)
-    // or dense (one combined slot + presence flag per vertex — the
-    // fast path for near-full frontiers of combinable programs, which
-    // skips materializing per-vertex vectors entirely).
-    std::vector<std::vector<M>> inbox(n);
-    std::vector<std::vector<M>> next_inbox(n);
+    // Inboxes, double-buffered, in one of three representations per
+    // superstep: sparse (per-vertex message vectors — the legacy general
+    // case), flat (a recycled CSR of offsets + contiguous messages — the
+    // pooled general case), or dense (one combined slot + presence flag
+    // per vertex — the fast path for near-full frontiers of combinable
+    // programs, which skips materializing per-vertex storage entirely).
+    const bool pooled = config_.outbox_pool;
+    std::vector<std::vector<M>> inbox(pooled ? 0 : n);
+    std::vector<std::vector<M>> next_inbox(pooled ? 0 : n);
     bool inbox_dense = false;
     bool next_dense = false;
     std::vector<M> inbox_slots;
     std::vector<M> next_slots;
     std::vector<uint8_t> inbox_has;
     std::vector<uint8_t> next_has;
+    // Pooled flat inbox (CSR): messages for vertex v live in
+    // inbox_data[inbox_offsets[v] .. inbox_offsets[v+1]). All buffers are
+    // recycled across supersteps; they are owned by this activation frame,
+    // so cancellation (which returns through cancelled_status) releases
+    // them wholesale.
+    std::vector<size_t> inbox_offsets(pooled ? n + 1 : 0, 0);
+    std::vector<size_t> next_offsets;
+    std::vector<M> inbox_data;
+    std::vector<M> next_data;
+    // Delivery staging for the pooled path: kept (post-fault) messages in
+    // delivery order plus per-vertex counts for the count-then-scatter
+    // pass, and the sender-side combining accumulator.
+    std::vector<std::pair<VertexId, M>> kept;
+    std::vector<uint32_t> counts(pooled ? n : 0, 0);
+    std::vector<size_t> scatter_cursor;
+    arena::FlatAccumulator<M> combine_acc;
+    if (pooled && combiner.has_value()) combine_acc.EnsureDomain(n);
     // The delivered inbox in canonical sparse form (checkpointing).
     auto inbox_as_sparse = [&]() -> std::vector<std::vector<M>> {
-      if (!inbox_dense) return inbox;
       std::vector<std::vector<M>> sparse(n);
-      for (VertexId v = 0; v < n; ++v) {
-        if (inbox_has[v]) sparse[v].push_back(inbox_slots[v]);
+      if (inbox_dense) {
+        for (VertexId v = 0; v < n; ++v) {
+          if (inbox_has[v]) sparse[v].push_back(inbox_slots[v]);
+        }
+      } else if (pooled) {
+        for (VertexId v = 0; v < n; ++v) {
+          sparse[v].assign(inbox_data.begin() + inbox_offsets[v],
+                           inbox_data.begin() + inbox_offsets[v + 1]);
+        }
+      } else {
+        return inbox;
       }
       return sparse;
     };
@@ -637,6 +681,23 @@ class Engine {
         }
         aggregators.RestoreCurrentValues(agg_values);
         for (auto& v : next_inbox) v.clear();
+        if (pooled) {
+          // Re-flatten the canonical sparse snapshot into the recycled CSR
+          // buffers (per-vertex order is preserved verbatim).
+          inbox_offsets.resize(n + 1);
+          inbox_offsets[0] = 0;
+          for (VertexId v = 0; v < n; ++v) {
+            inbox_offsets[v + 1] = inbox_offsets[v] + inbox[v].size();
+          }
+          inbox_data.resize(inbox_offsets[n]);
+          for (VertexId v = 0; v < n; ++v) {
+            std::move(inbox[v].begin(), inbox[v].end(),
+                      inbox_data.begin() + inbox_offsets[v]);
+          }
+          inbox.clear();
+          kept.clear();
+          std::fill(counts.begin(), counts.end(), 0u);
+        }
         // Snapshots always hold the canonical sparse form.
         inbox_dense = false;
         next_dense = false;
@@ -678,37 +739,52 @@ class Engine {
                          std::vector<std::pair<VertexId, M>>* outbox,
                          std::map<std::string, double>* partials) -> uint64_t {
       uint64_t local_active = 0;
-      std::vector<M> dense_scratch;
       for (uint32_t i = begin; i < end; ++i) {
         const VertexId v = worker_vertices[w][i];
-        const bool has_messages =
-            inbox_dense ? inbox_has[v] != 0 : !inbox[v].empty();
-        if (halted[v] && !has_messages && step > 0) continue;
+        // The message span views the delivered inbox in place, whatever
+        // representation the previous barrier produced: the dense slot,
+        // the flat CSR segment, or the per-vertex vector.
+        std::span<const M> messages;
+        if (inbox_dense) {
+          if (inbox_has[v]) messages = {&inbox_slots[v], 1};
+        } else if (pooled) {
+          messages = {inbox_data.data() + inbox_offsets[v],
+                      inbox_offsets[v + 1] - inbox_offsets[v]};
+        } else {
+          messages = inbox[v];
+        }
+        if (halted[v] && messages.empty() && step > 0) continue;
         halted[v] = 0;
         ++local_active;
         bool halt_flag = false;
         typename VertexProgram<V, M>::Context ctx(
             &graph, v, step, &out.values[v], outbox, &halt_flag,
             &aggregators, partials);
-        if (inbox_dense) {
-          dense_scratch.clear();
-          if (inbox_has[v]) dense_scratch.push_back(inbox_slots[v]);
-          program->Compute(ctx, dense_scratch);
-        } else {
-          program->Compute(ctx, inbox[v]);
-        }
+        program->Compute(ctx, messages);
         if (halt_flag) halted[v] = 1;
       }
       return local_active;
     };
 
+    // Pooled outbox arenas: hoisted out of the superstep loop so clear()
+    // recycles their capacity instead of re-allocating every superstep.
+    // Ownership across steal chunks: a chunk writes only its own
+    // chunk-outbox; the merge into the owning worker's outbox happens on
+    // the barrier thread, after every chunk future has completed.
+    std::vector<std::vector<std::pair<VertexId, M>>> pooled_outboxes;
+    std::vector<std::vector<std::pair<VertexId, M>>> pooled_chunk_outboxes;
+    uint64_t outbox_bytes_peak = 0;
+
     // A cancelled superstep: fold the partial stats out and return the
     // token's status — the harness records a timed-out/stalled cell whose
     // attempt thread it can join, instead of abandoning a runaway one.
+    // The pooled arenas are locals of this activation frame, so returning
+    // here releases them outright (recycle-within-run, release-on-cancel).
     auto cancelled_status = [&]() -> Status {
       sync_ckpt_stats();
       out.stats.total_seconds = total_watch.ElapsedSeconds();
       out.stats.peak_memory_bytes = budget.peak();
+      out.stats.outbox_bytes_peak = outbox_bytes_peak;
       if (partial_stats != nullptr) *partial_stats = out.stats;
       return config_.cancel->ToStatus().WithPrefix(
           "pregel superstep " + std::to_string(step));
@@ -727,8 +803,15 @@ class Engine {
 
       // Compute phase: each worker processes its active vertices and fills
       // per-worker outboxes (keyed by destination worker for traffic
-      // accounting).
-      std::vector<std::vector<std::pair<VertexId, M>>> outboxes(workers);
+      // accounting). Pooled mode reuses the hoisted arenas; the legacy
+      // path allocates fresh containers every superstep.
+      std::vector<std::vector<std::pair<VertexId, M>>> local_outboxes(
+          pooled ? 0 : workers);
+      auto& outboxes = pooled ? pooled_outboxes : local_outboxes;
+      if (pooled) {
+        outboxes.resize(workers);
+        for (auto& ob : outboxes) ob.clear();
+      }
       std::vector<std::map<std::string, double>> aggregator_partials(workers);
       std::vector<double> worker_busy(workers, 0.0);
       std::vector<Status> worker_status(workers);
@@ -744,33 +827,46 @@ class Engine {
           worker_status[w] = fault::CheckPoint("pregel.worker.compute");
         }
         const size_t num_chunks = chunk_ranges.size();
-        std::vector<std::vector<std::pair<VertexId, M>>> chunk_outboxes(
-            num_chunks);
+        std::vector<std::vector<std::pair<VertexId, M>>> local_chunk_outboxes(
+            pooled ? 0 : num_chunks);
+        auto& chunk_outboxes =
+            pooled ? pooled_chunk_outboxes : local_chunk_outboxes;
+        if (pooled) {
+          chunk_outboxes.resize(num_chunks);
+          for (auto& ob : chunk_outboxes) ob.clear();
+        }
         std::vector<std::map<std::string, double>> chunk_partials(num_chunks);
         std::vector<double> chunk_busy(num_chunks, 0.0);
         std::atomic<size_t> cursor{0};
-        std::vector<std::future<void>> futures;
-        futures.reserve(workers);
-        for (uint32_t t = 0; t < workers; ++t) {
-          futures.push_back(pool.Submit([&] {
-            for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-                 i < num_chunks;
-                 i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-              // Per-chunk cancellation poll: a cancelled superstep stops
-              // dispatching within one chunk's worth of compute.
-              if (Cancelled(config_.cancel)) return;
-              const ChunkRange& c = chunk_ranges[i];
-              if (!worker_status[c.worker].ok()) continue;
-              Stopwatch busy;
-              const uint64_t active =
-                  run_range(c.worker, c.begin, c.end, &chunk_outboxes[i],
-                            &chunk_partials[i]);
-              chunk_busy[i] = busy.ElapsedSeconds();
-              active_count.fetch_add(active, std::memory_order_relaxed);
-            }
-          }));
+        auto steal_loop = [&] {
+          for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+               i < num_chunks;
+               i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+            // Per-chunk cancellation poll: a cancelled superstep stops
+            // dispatching within one chunk's worth of compute.
+            if (Cancelled(config_.cancel)) return;
+            const ChunkRange& c = chunk_ranges[i];
+            if (!worker_status[c.worker].ok()) continue;
+            Stopwatch busy;
+            const uint64_t active =
+                run_range(c.worker, c.begin, c.end, &chunk_outboxes[i],
+                          &chunk_partials[i]);
+            chunk_busy[i] = busy.ElapsedSeconds();
+            active_count.fetch_add(active, std::memory_order_relaxed);
+          }
+        };
+        if (pool.num_threads() == 1) {
+          // A one-thread pool would run the stealing loops back-to-back
+          // anyway; calling them inline skips the queue/future handoff.
+          for (uint32_t t = 0; t < workers; ++t) steal_loop();
+        } else {
+          std::vector<std::future<void>> futures;
+          futures.reserve(workers);
+          for (uint32_t t = 0; t < workers; ++t) {
+            futures.push_back(pool.Submit(steal_loop));
+          }
+          for (auto& f : futures) f.get();
         }
-        for (auto& f : futures) f.get();
         // Merge in chunk-index order: a worker's chunks are consecutive and
         // ascend over its vertex list, so concatenation reproduces the
         // fixed-partition outbox — and thus message order — exactly.
@@ -786,24 +882,31 @@ class Engine {
           worker_busy[c.worker] += chunk_busy[i];
         }
       } else {
-        std::vector<std::future<void>> futures;
-        futures.reserve(workers);
-        for (uint32_t w = 0; w < workers; ++w) {
-          futures.push_back(pool.Submit([&, w] {
-            Stopwatch busy;
-            // Injected worker crash: the worker dies before computing its
-            // partition; the engine surfaces the failure after the barrier.
-            worker_status[w] = fault::CheckPoint("pregel.worker.compute");
-            if (!worker_status[w].ok()) return;
-            if (Cancelled(config_.cancel)) return;
-            const uint64_t active = run_range(
-                w, 0, static_cast<uint32_t>(worker_vertices[w].size()),
-                &outboxes[w], &aggregator_partials[w]);
-            active_count.fetch_add(active, std::memory_order_relaxed);
-            worker_busy[w] = busy.ElapsedSeconds();
-          }));
+        auto worker_task = [&](uint32_t w) {
+          Stopwatch busy;
+          // Injected worker crash: the worker dies before computing its
+          // partition; the engine surfaces the failure after the barrier.
+          worker_status[w] = fault::CheckPoint("pregel.worker.compute");
+          if (!worker_status[w].ok()) return;
+          if (Cancelled(config_.cancel)) return;
+          const uint64_t active = run_range(
+              w, 0, static_cast<uint32_t>(worker_vertices[w].size()),
+              &outboxes[w], &aggregator_partials[w]);
+          active_count.fetch_add(active, std::memory_order_relaxed);
+          worker_busy[w] = busy.ElapsedSeconds();
+        };
+        if (pool.num_threads() == 1) {
+          // Same FIFO order a one-thread pool would impose, minus the
+          // queue/future round trip per worker.
+          for (uint32_t w = 0; w < workers; ++w) worker_task(w);
+        } else {
+          std::vector<std::future<void>> futures;
+          futures.reserve(workers);
+          for (uint32_t w = 0; w < workers; ++w) {
+            futures.push_back(pool.Submit([&, w] { worker_task(w); }));
+          }
+          for (auto& f : futures) f.get();
         }
-        for (auto& f : futures) f.get();
       }
       if (Cancelled(config_.cancel)) return cancelled_status();
       Status step_failure;
@@ -865,28 +968,67 @@ class Engine {
       uint64_t emitted = 0;  ///< outbox entries before sender-side combine
       for (const auto& ob : outboxes) emitted += ob.size();
       // Deliver sequentially per source worker; per-destination-vertex
-      // combining keeps inbox sizes O(1) for combinable programs.
+      // combining keeps inbox sizes O(1) for combinable programs. Both
+      // combine implementations fold a target's messages left-to-right in
+      // emission order and emit combined entries in ascending target
+      // order, so their outputs — including floating-point folds — are
+      // bit-identical.
       for (uint32_t w = 0; w < workers; ++w) {
         auto& outbox = outboxes[w];
         if (combiner.has_value()) {
-          // Sender-side combine: sort by target, fold runs.
-          std::sort(outbox.begin(), outbox.end(),
-                    [](const auto& a, const auto& b) {
-                      return a.first < b.first;
-                    });
-          size_t write = 0;
-          for (size_t i = 0; i < outbox.size();) {
-            VertexId target = outbox[i].first;
-            M acc = outbox[i].second;
-            size_t j = i + 1;
-            while (j < outbox.size() && outbox[j].first == target) {
-              acc = (*combiner)(acc, outbox[j].second);
-              ++j;
+          if (pooled) {
+            // Sender-side combine, arena path: fold through the
+            // epoch-tagged dense accumulator (no sort of the message
+            // stream; only the touched-target list is sorted).
+            combine_acc.NewEpoch();
+            for (auto& [target, msg] : outbox) {
+              if (combine_acc.touched(target)) {
+                M& acc = combine_acc.slot(target);
+                acc = (*combiner)(acc, msg);
+              } else {
+                combine_acc.mark(target) = std::move(msg);
+              }
             }
-            outbox[write++] = {target, acc};
-            i = j;
+            auto& targets = combine_acc.touched_keys();
+            outbox.clear();
+            if (targets.size() * 16 >= n) {
+              // Dense round: a sequential sweep of the key domain emits
+              // the same ascending target order as sorting the touched
+              // list, without the O(k log k) sort.
+              for (size_t target = 0; target < n; ++target) {
+                if (!combine_acc.touched(target)) continue;
+                outbox.emplace_back(static_cast<VertexId>(target),
+                                    std::move(combine_acc.slot(target)));
+              }
+            } else {
+              std::sort(targets.begin(), targets.end());
+              for (size_t target : targets) {
+                outbox.emplace_back(static_cast<VertexId>(target),
+                                    std::move(combine_acc.slot(target)));
+              }
+            }
+          } else {
+            // Sender-side combine, legacy path: stable-sort by target,
+            // fold runs (stability keeps the per-target fold in emission
+            // order, matching the arena path bit-for-bit).
+            std::stable_sort(outbox.begin(), outbox.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
+            size_t write = 0;
+            for (size_t i = 0; i < outbox.size();) {
+              VertexId target = outbox[i].first;
+              M acc = outbox[i].second;
+              size_t j = i + 1;
+              while (j < outbox.size() && outbox[j].first == target) {
+                acc = (*combiner)(acc, outbox[j].second);
+                ++j;
+              }
+              outbox[write++] = {target, acc};
+              i = j;
+            }
+            outbox.resize(write);
           }
-          outbox.resize(write);
         }
         for (auto& [target, msg] : outbox) {
           if (GLY_FAULT_DROP("pregel.message.deliver")) {
@@ -907,10 +1049,34 @@ class Engine {
               next_slots[target] = std::move(msg);
               next_has[target] = 1;
             }
+          } else if (pooled) {
+            // Count-then-scatter: stage the kept message in delivery
+            // order; the scatter below places it into the flat CSR at the
+            // same per-vertex position the legacy push_back would.
+            ++counts[target];
+            kept.emplace_back(target, std::move(msg));
           } else {
             next_inbox[target].push_back(std::move(msg));
           }
         }
+      }
+      if (pooled && !deliver_dense) {
+        // Scatter pass: prefix-sum the per-vertex counts into CSR offsets,
+        // then place kept messages — already in (source worker, combined
+        // target order / emission order) delivery order — so each vertex's
+        // segment reproduces the legacy per-vertex vector verbatim.
+        next_offsets.resize(n + 1);
+        next_offsets[0] = 0;
+        for (VertexId v = 0; v < n; ++v) {
+          next_offsets[v + 1] = next_offsets[v] + counts[v];
+        }
+        next_data.resize(next_offsets[n]);
+        scatter_cursor.assign(next_offsets.begin(), next_offsets.end() - 1);
+        for (auto& [target, msg] : kept) {
+          next_data[scatter_cursor[target]++] = std::move(msg);
+        }
+        kept.clear();
+        std::fill(counts.begin(), counts.end(), 0u);
       }
       if (deliver_dense) {
         // Live bytes are the combined slots actually occupied — the memory
@@ -918,6 +1084,24 @@ class Engine {
         for (VertexId v = 0; v < n; ++v) {
           if (next_has[v]) inbox_bytes += MessageWireBytes(next_slots[v]);
         }
+      }
+      if (pooled) {
+        // Arena telemetry: bytes parked in the recycled buffers right now
+        // (capacity, not occupancy — this is what the pool holds between
+        // supersteps). Surfaced as `pregel.outbox_bytes_peak`.
+        uint64_t pool_bytes = 0;
+        for (const auto& ob : outboxes) {
+          pool_bytes += ob.capacity() * sizeof(std::pair<VertexId, M>);
+        }
+        for (const auto& ob : pooled_chunk_outboxes) {
+          pool_bytes += ob.capacity() * sizeof(std::pair<VertexId, M>);
+        }
+        pool_bytes += (inbox_data.capacity() + next_data.capacity() +
+                       inbox_slots.capacity() + next_slots.capacity()) *
+                      sizeof(M);
+        pool_bytes += kept.capacity() * sizeof(std::pair<VertexId, M>);
+        pool_bytes += combine_acc.held_bytes();
+        outbox_bytes_peak = std::max(outbox_bytes_peak, pool_bytes);
       }
       next_dense = deliver_dense;
       ss.dense_delivery = deliver_dense;
@@ -962,6 +1146,8 @@ class Engine {
       if (Cancelled(config_.cancel)) return cancelled_status();
 
       inbox.swap(next_inbox);
+      inbox_offsets.swap(next_offsets);
+      inbox_data.swap(next_data);
       inbox_slots.swap(next_slots);
       inbox_has.swap(next_has);
       inbox_dense = next_dense;
@@ -1011,6 +1197,11 @@ class Engine {
     if (ckpt_enabled) RemoveCheckpoint(ckpt_path);  // run finished cleanly
     out.stats.total_seconds = total_watch.ElapsedSeconds();
     out.stats.peak_memory_bytes = budget.peak();
+    out.stats.outbox_bytes_peak = outbox_bytes_peak;
+    if (pooled) {
+      metrics::SetGauge("pregel.outbox_bytes_peak",
+                        static_cast<double>(outbox_bytes_peak));
+    }
     out.aggregators = aggregators;
     return out;
   }

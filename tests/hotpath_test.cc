@@ -1,0 +1,414 @@
+// Hot-path memory model parity suite (`ctest -L hotpath`, DESIGN.md §13).
+//
+// The pooled hot paths — arena outboxes with sender-side combining in
+// Pregel, recycled partition buffers and the radix shuffle in dataflow, the
+// lock-striped clock page cache in graphdb — are performance refactors with
+// an exact-equivalence contract: results must be *bit-identical* to the
+// legacy heap paths they replaced, across thread counts, under injected
+// faults, and through mid-superstep cancellation. This suite pins that
+// contract: every test runs the same workload with the pooled knob on and
+// off (EngineConfig::outbox_pool, ContextConfig::pooled_buffers,
+// StoreConfig::page_cache_shards) and compares outputs verbatim — the same
+// comparison the Output Validator would apply to a journal's
+// output_checksum. ci.sh runs the suite under both ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "dataflow/algorithms.h"
+#include "graphdb/algorithms.h"
+#include "graphdb/page_cache.h"
+#include "graphdb/store.h"
+#include "pregel/algorithms.h"
+
+namespace gly {
+namespace {
+
+// Power-law-ish random graph, big enough for several BFS supersteps and
+// real eviction/shuffle pressure, small enough for a TSan run.
+Graph TestGraph() {
+  static const Graph g = [] {
+    const VertexId n = 600;
+    EdgeList edges(n);
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+      // Square one endpoint toward low ids to create hubs (skew is what
+      // stresses the steal scheduler and the combining accumulator).
+      VertexId a = static_cast<VertexId>(
+          rng.NextBounded(n) * rng.NextBounded(n) / n);
+      VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+      if (a != b) edges.Add(a, b);
+    }
+    edges.DeduplicateAndDropLoops();
+    return GraphBuilder::Undirected(edges).ValueOrDie();
+  }();
+  return g;
+}
+
+AlgorithmParams TestParams() {
+  AlgorithmParams params;
+  params.bfs.source = 1;  // a hub under the skewed generator
+  params.pr = PrParams{/*iterations=*/8, /*damping=*/0.85};
+  params.cd.max_iterations = 6;
+  return params;
+}
+
+const AlgorithmKind kKinds[] = {AlgorithmKind::kBfs, AlgorithmKind::kConn,
+                                AlgorithmKind::kPr, AlgorithmKind::kCd};
+const uint32_t kThreadCounts[] = {1, 2, 8};
+
+// Bit-exact output comparison: the validator journals a checksum over
+// vertex_values / vertex_scores, so "equal journals" means these vectors
+// match verbatim (doubles compared by ==, not a tolerance).
+void ExpectSameOutput(const AlgorithmOutput& pooled,
+                      const AlgorithmOutput& legacy, const std::string& what) {
+  EXPECT_EQ(pooled.vertex_values, legacy.vertex_values) << what;
+  ASSERT_EQ(pooled.vertex_scores.size(), legacy.vertex_scores.size()) << what;
+  for (size_t i = 0; i < pooled.vertex_scores.size(); ++i) {
+    EXPECT_EQ(pooled.vertex_scores[i], legacy.vertex_scores[i])
+        << what << " score of vertex " << i;
+  }
+  EXPECT_EQ(pooled.traversed_edges, legacy.traversed_edges) << what;
+}
+
+// ------------------------------------------------------------------ Pregel
+
+pregel::EngineConfig PregelConfig(bool pooled, uint32_t threads) {
+  pregel::EngineConfig config;
+  config.num_workers = 8;
+  config.num_threads = threads;
+  config.outbox_pool = pooled;
+  return config;
+}
+
+TEST(PregelHotpathParity, PooledMatchesLegacyAcrossThreadCounts) {
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  for (AlgorithmKind kind : kKinds) {
+    for (uint32_t threads : kThreadCounts) {
+      pregel::RunStats pooled_stats, legacy_stats;
+      pregel::Engine pooled_engine(PregelConfig(true, threads));
+      auto pooled =
+          pregel::RunAlgorithm(pooled_engine, g, kind, params, &pooled_stats);
+      pregel::Engine legacy_engine(PregelConfig(false, threads));
+      auto legacy =
+          pregel::RunAlgorithm(legacy_engine, g, kind, params, &legacy_stats);
+      const std::string what = std::string(AlgorithmKindName(kind)) + " @" +
+                               std::to_string(threads) + " threads";
+      ASSERT_TRUE(pooled.ok()) << what << ": " << pooled.status().ToString();
+      ASSERT_TRUE(legacy.ok()) << what << ": " << legacy.status().ToString();
+      ExpectSameOutput(*pooled, *legacy, what);
+      // Same computation shape, not just the same answer: equal superstep
+      // and message counts mean the pooled combiner really emitted the
+      // same message stream.
+      EXPECT_EQ(pooled_stats.supersteps, legacy_stats.supersteps) << what;
+      EXPECT_EQ(pooled_stats.total_messages, legacy_stats.total_messages)
+          << what;
+    }
+  }
+}
+
+TEST(PregelHotpathParity, FixedPartitionScheduleAlsoMatches) {
+  // steal_chunk_vertices = 0 selects the fixed one-task-per-worker
+  // schedule; the pooled arenas are shared by both dispatch modes.
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  for (bool pooled : {true, false}) {
+    pregel::EngineConfig config = PregelConfig(pooled, 2);
+    config.steal_chunk_vertices = 0;
+    pregel::Engine engine(config);
+    auto fixed = pregel::RunAlgorithm(engine, g, AlgorithmKind::kBfs, params);
+    pregel::Engine steal_engine(PregelConfig(pooled, 2));
+    auto steal =
+        pregel::RunAlgorithm(steal_engine, g, AlgorithmKind::kBfs, params);
+    ASSERT_TRUE(fixed.ok());
+    ASSERT_TRUE(steal.ok());
+    ExpectSameOutput(*fixed, *steal,
+                     pooled ? "pooled fixed-vs-steal" : "legacy fixed-vs-steal");
+  }
+}
+
+TEST(PregelHotpathParity, IdenticalUnderDeterministicMessageDrops) {
+  // With one thread the i-th hit of pregel.message.deliver is the i-th
+  // delivered message, so a seeded drop plan selects the *same* messages in
+  // both modes — if and only if pooled and legacy produce identical
+  // delivery streams. Equal outputs and equal trigger counts pin that.
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  for (AlgorithmKind kind : {AlgorithmKind::kBfs, AlgorithmKind::kConn}) {
+    auto run = [&](bool pooled, uint64_t* dropped) {
+      fault::FaultPlan plan(/*seed=*/1234);
+      plan.Add({.site = "pregel.message.deliver",
+                .kind = fault::FaultKind::kDrop,
+                .probability = 0.25});
+      fault::ScopedFaultPlan active(&plan);
+      pregel::Engine engine(PregelConfig(pooled, 1));
+      auto out = pregel::RunAlgorithm(engine, g, kind, params);
+      *dropped = plan.TriggeredCount("pregel.message.deliver");
+      return out;
+    };
+    uint64_t pooled_dropped = 0, legacy_dropped = 0;
+    auto pooled = run(true, &pooled_dropped);
+    auto legacy = run(false, &legacy_dropped);
+    const std::string what =
+        std::string(AlgorithmKindName(kind)) + " under message drops";
+    ASSERT_TRUE(pooled.ok()) << what;
+    ASSERT_TRUE(legacy.ok()) << what;
+    EXPECT_GT(pooled_dropped, 0u) << what;
+    EXPECT_EQ(pooled_dropped, legacy_dropped) << what;
+    ExpectSameOutput(*pooled, *legacy, what);
+  }
+}
+
+TEST(PregelHotpathParity, SameFailureStatusUnderWorkerCrash) {
+  // A journal records a failed cell's status; pooled and legacy must
+  // journal the same failure for the same injected crash.
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  for (uint32_t threads : kThreadCounts) {
+    auto run = [&](bool pooled) {
+      fault::FaultPlan plan(/*seed=*/99);
+      plan.Add({.site = "pregel.worker.compute",
+                .kind = fault::FaultKind::kCrash,
+                .skip_hits = 2,
+                .max_triggers = 1});
+      fault::ScopedFaultPlan active(&plan);
+      pregel::Engine engine(PregelConfig(pooled, threads));
+      return pregel::RunAlgorithm(engine, g, AlgorithmKind::kBfs, params);
+    };
+    auto pooled = run(true);
+    auto legacy = run(false);
+    EXPECT_FALSE(pooled.ok()) << threads << " threads";
+    EXPECT_FALSE(legacy.ok()) << threads << " threads";
+    EXPECT_EQ(pooled.status().code(), legacy.status().code())
+        << threads << " threads: " << pooled.status().ToString() << " vs "
+        << legacy.status().ToString();
+    EXPECT_TRUE(pooled.status().IsInternal()) << pooled.status().ToString();
+  }
+}
+
+TEST(PregelHotpathParity, MidSuperstepCancellationStopsBothModes) {
+  // A stall injected inside a compute chunk holds the run mid-superstep
+  // while another thread arms the deadline token; both memory models must
+  // notice at the next poll and unwind with Timeout — the pooled arenas
+  // must not skip the cancellation checks the legacy path honored.
+  const Graph g = TestGraph();
+  const AlgorithmParams base = TestParams();
+  for (bool pooled : {true, false}) {
+    fault::FaultPlan plan(/*seed=*/5);
+    plan.Add({.site = "pregel.worker.compute",
+              .kind = fault::FaultKind::kStall,
+              .skip_hits = 1,
+              .max_triggers = 2,
+              .delay_seconds = 0.4});
+    fault::ScopedFaultPlan active(&plan);
+    CancelToken token;
+    std::thread canceller([&token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      token.Cancel(CancelReason::kDeadline, "mid-superstep deadline");
+    });
+    pregel::EngineConfig config = PregelConfig(pooled, 2);
+    config.cancel = &token;
+    AlgorithmParams params = base;
+    params.cancel = &token;
+    pregel::Engine engine(config);
+    auto out = pregel::RunAlgorithm(engine, g, AlgorithmKind::kPr, params);
+    canceller.join();
+    EXPECT_FALSE(out.ok()) << (pooled ? "pooled" : "legacy");
+    EXPECT_TRUE(out.status().IsTimeout())
+        << (pooled ? "pooled: " : "legacy: ") << out.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------- Dataflow
+
+TEST(DataflowHotpathParity, PooledMatchesLegacyAcrossPartitionCounts) {
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  for (AlgorithmKind kind : kKinds) {
+    for (uint32_t parts : kThreadCounts) {
+      dataflow::ContextConfig pooled_config;
+      pooled_config.num_partitions = parts;
+      pooled_config.num_threads = parts;
+      pooled_config.pooled_buffers = true;
+      dataflow::ContextConfig legacy_config = pooled_config;
+      legacy_config.pooled_buffers = false;
+      auto pooled = dataflow::RunAlgorithm(pooled_config, g, kind, params);
+      auto legacy = dataflow::RunAlgorithm(legacy_config, g, kind, params);
+      const std::string what = std::string(AlgorithmKindName(kind)) + " @" +
+                               std::to_string(parts) + " partitions";
+      ASSERT_TRUE(pooled.ok()) << what << ": " << pooled.status().ToString();
+      ASSERT_TRUE(legacy.ok()) << what << ": " << legacy.status().ToString();
+      ExpectSameOutput(*pooled, *legacy, what);
+    }
+  }
+}
+
+TEST(DataflowHotpathParity, SameFailureStatusUnderShuffleFault) {
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  auto run = [&](bool pooled) {
+    fault::FaultPlan plan(/*seed=*/17);
+    plan.Add({.site = "dataflow.shuffle",
+              .kind = fault::FaultKind::kIOError,
+              .skip_hits = 1,
+              .max_triggers = 1});
+    fault::ScopedFaultPlan active(&plan);
+    dataflow::ContextConfig config;
+    config.num_partitions = 4;
+    config.pooled_buffers = pooled;
+    return dataflow::RunAlgorithm(config, g, AlgorithmKind::kConn, params);
+  };
+  auto pooled = run(true);
+  auto legacy = run(false);
+  EXPECT_FALSE(pooled.ok());
+  EXPECT_FALSE(legacy.ok());
+  EXPECT_EQ(pooled.status().code(), legacy.status().code())
+      << pooled.status().ToString() << " vs " << legacy.status().ToString();
+  EXPECT_TRUE(pooled.status().IsIOError()) << pooled.status().ToString();
+}
+
+TEST(DataflowHotpathParity, CancellationStopsPooledRuns) {
+  const Graph g = TestGraph();
+  AlgorithmParams params = TestParams();
+  fault::FaultPlan plan(/*seed=*/5);
+  plan.Add({.site = "dataflow.materialize",
+            .kind = fault::FaultKind::kStall,
+            .skip_hits = 2,
+            .max_triggers = 2,
+            .delay_seconds = 0.4});
+  fault::ScopedFaultPlan active(&plan);
+  CancelToken token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel(CancelReason::kDeadline, "dataflow deadline");
+  });
+  dataflow::ContextConfig config;
+  config.num_partitions = 4;
+  config.pooled_buffers = true;
+  config.cancel = &token;
+  params.cancel = &token;
+  auto out = dataflow::RunAlgorithm(config, g, AlgorithmKind::kPr, params);
+  canceller.join();
+  EXPECT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsTimeout()) << out.status().ToString();
+}
+
+// ----------------------------------------------------------------- Graphdb
+
+TEST(GraphdbHotpathParity, ShardCountDoesNotChangeResults) {
+  // The shard count is a pure concurrency knob: 1 shard is the legacy
+  // single-mutex cache, 8 shards the striped one. Same store, same
+  // algorithm output, eviction pressure included (64 KiB cache = 8 pages).
+  const Graph g = TestGraph();
+  const AlgorithmParams params = TestParams();
+  AlgorithmOutput baseline;
+  for (uint32_t shards : {1u, 8u}) {
+    auto dir = TempDir::Create("gly-hotpath-db");
+    ASSERT_TRUE(dir.ok());
+    graphdb::StoreConfig config;
+    config.directory = dir->path() + "/store";
+    config.page_cache_bytes = 64 << 10;
+    config.page_cache_shards = shards;
+    auto store = graphdb::GraphStore::Open(config);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->BulkImport(g.ToEdgeList()).ok());
+    auto out = graphdb::RunAlgorithmOnStore(store->get(), g.undirected(),
+                                            /*memory_budget_bytes=*/0,
+                                            AlgorithmKind::kBfs, params);
+    ASSERT_TRUE(out.ok()) << shards << " shards: " << out.status().ToString();
+    if (shards == 1) {
+      baseline = std::move(*out);
+    } else {
+      ExpectSameOutput(*out, baseline, "sharded vs single-mutex cache");
+    }
+  }
+}
+
+TEST(PageCacheHotpath, ConcurrentReadersSeeConsistentPages) {
+  // 8 reader threads hammer a cache whose capacity (16 pages) is far below
+  // the 64-page working set, so the clock sweep runs concurrently with the
+  // lookups. Every page carries a seeded pattern; any torn read, lost
+  // writeback, or cross-shard aliasing surfaces as a payload mismatch (and
+  // under TSan, as a race).
+  auto dir = TempDir::Create("gly-hotpath-cache");
+  ASSERT_TRUE(dir.ok());
+  constexpr uint32_t kPages = 64;
+  auto fill = [](uint32_t page, char* buf) {
+    Rng rng(1000 + page);
+    for (size_t i = 0; i < graphdb::kPageSize; ++i) {
+      buf[i] = static_cast<char>(rng.NextBounded(256));
+    }
+  };
+  graphdb::PageCache cache(16 * graphdb::kPageSize, /*shards=*/8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  auto file = cache.OpenFile(dir->File("hammer.db"));
+  ASSERT_TRUE(file.ok());
+  std::vector<char> page(graphdb::kPageSize);
+  for (uint32_t p = 0; p < kPages; ++p) {
+    fill(p, page.data());
+    ASSERT_TRUE(cache
+                    .Write(*file, uint64_t{p} * graphdb::kPageSize,
+                           page.data(), page.size())
+                    .ok());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (uint32_t t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(t);
+      std::vector<char> got(graphdb::kPageSize);
+      std::vector<char> want(graphdb::kPageSize);
+      for (int i = 0; i < 400; ++i) {
+        const uint32_t p = static_cast<uint32_t>(rng.NextBounded(kPages));
+        if (!cache.Read(*file, uint64_t{p} * graphdb::kPageSize, got.data(),
+                        got.size())
+                 .ok() ||
+            (fill(p, want.data()), got != want)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const graphdb::PageCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);  // working set really exceeded capacity
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(cache.resident_pages(), cache.capacity_pages());
+  // After the dust settles the file must hold every pattern byte-for-byte.
+  ASSERT_TRUE(cache.Flush().ok());
+  std::vector<char> want(graphdb::kPageSize);
+  for (uint32_t p = 0; p < kPages; ++p) {
+    fill(p, want.data());
+    ASSERT_TRUE(cache
+                    .Read(*file, uint64_t{p} * graphdb::kPageSize, page.data(),
+                          page.size())
+                    .ok());
+    EXPECT_EQ(page, want) << "page " << p;
+  }
+}
+
+TEST(PageCacheHotpath, ShardCountClampsToCapacity) {
+  // An explicit shard count never exceeds the page budget (every shard
+  // owns at least one frame) and 0 selects the auto policy.
+  graphdb::PageCache tiny(4 * graphdb::kPageSize, /*shards=*/16);
+  EXPECT_LE(tiny.shard_count(), 4u);
+  EXPECT_GE(tiny.shard_count(), 1u);
+  graphdb::PageCache auto_cache(64 * graphdb::kPageSize);
+  EXPECT_EQ(auto_cache.shard_count(), 8u);
+  graphdb::PageCache one_page(1);  // rounds up to one page, one shard
+  EXPECT_EQ(one_page.shard_count(), 1u);
+  EXPECT_EQ(one_page.capacity_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace gly

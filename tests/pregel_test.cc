@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "datagen/rmat.h"
 #include "graph/graph.h"
@@ -37,7 +38,7 @@ Engine DefaultEngine() {
 // A trivial program: every vertex floods its value once, then halts.
 struct FloodProgram : VertexProgram<int64_t, int64_t> {
   int64_t Init(const Graph&, VertexId v) override { return v; }
-  void Compute(Context& ctx, const std::vector<int64_t>& messages) override {
+  void Compute(Context& ctx, std::span<const int64_t> messages) override {
     if (ctx.superstep() == 0) ctx.SendToNeighbors(ctx.value());
     for (int64_t m : messages) ctx.value() += m;
     ctx.VoteToHalt();
@@ -109,7 +110,7 @@ TEST(PregelEngineTest, MaxSuperstepsBoundsRun) {
 // contributes its id once in superstep 0.
 struct AggregatingProgram : VertexProgram<int64_t, int64_t> {
   int64_t Init(const Graph&, VertexId v) override { return v; }
-  void Compute(Context& ctx, const std::vector<int64_t>&) override {
+  void Compute(Context& ctx, std::span<const int64_t>) override {
     if (ctx.superstep() == 0) {
       double v = static_cast<double>(ctx.vertex());
       ctx.AggregateValue("sum", v);
@@ -148,7 +149,7 @@ TEST(PregelEngineTest, UnregisteredAggregatorIsDropped) {
   Graph g = RandomUndirected(20, 40, 16);
   struct Rogue : VertexProgram<int64_t, int64_t> {
     int64_t Init(const Graph&, VertexId v) override { return v; }
-    void Compute(Context& ctx, const std::vector<int64_t>&) override {
+    void Compute(Context& ctx, std::span<const int64_t>) override {
       ctx.AggregateValue("nope", 1.0);
       ctx.VoteToHalt();
     }
