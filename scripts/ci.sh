@@ -13,7 +13,10 @@
 #                    `observability`, `robustness`, and `scheduler` CTest
 #                    labels: the parallel ETL pipeline (chunked parsing,
 #                    parallel CSR build, reordering), the tracer/metrics-
-#                    registry concurrency stress tests, the cancellation/
+#                    registry concurrency stress tests, the SIGPROF
+#                    sampling-profiler stress (signal handler vs ring
+#                    drain vs worker threads, via profiler_test's
+#                    observability label), the cancellation/
 #                    watchdog/grace-join paths (harness watchdog vs attempt
 #                    thread, token polls from every engine), and the
 #                    concurrent cell scheduler (jobs=1 vs jobs=4
@@ -21,14 +24,21 @@
 #                    writer) under the race detector, where their bugs
 #                    would actually show.
 #   4. observability — `ctest -L observability` in the tier-1 build (the
-#                    golden-trace, metrics round-trip, monitor, and
-#                    4-engine trace-artifact suites), then cross-checks the
-#                    committed sample artifacts (tests/data/sample_trace.json
-#                    and sample_metrics.jsonl) against the documented schema
-#                    with scripts/validate_trace.py — the Python validator
-#                    and the C++ exporter agreeing on the same bytes is the
-#                    cross-implementation schema test — and runs the
-#                    bench_compare.py unit tests.
+#                    golden-trace, metrics round-trip, monitor, profiler,
+#                    and 4-engine trace-artifact suites), then cross-checks
+#                    the committed sample artifacts (tests/data/
+#                    sample_trace.json, sample_metrics.jsonl,
+#                    sample_profile.json, sample_profile.folded) against
+#                    the documented schemas with scripts/validate_trace.py
+#                    — the Python validator and the C++ exporter agreeing
+#                    on the same bytes is the cross-implementation schema
+#                    test — runs the bench_compare.py unit tests, and
+#                    finishes with a profiler smoke: a real
+#                    `graphalytics_run --profile` of BFS+PR on an rmat-12
+#                    graph across all four engines whose trace.json,
+#                    per-cell profile-*.json, profile.folded, and
+#                    trace_analyze / results_query outputs must all
+#                    validate.
 #   5. bench-smoke — fig4_runtimes kernel duel, the ext_etl_times
 #                    parse/build duel, and the engines_hotpath engine-level
 #                    bench (pooled hot paths, scale ${ENGINE_BENCH_SCALE}),
@@ -95,8 +105,45 @@ echo "==> [4/6] observability: golden-trace suite + committed sample schemas"
 ctest --test-dir "${TIER1_DIR}" --output-on-failure -j "${JOBS}" \
       -L observability
 python3 scripts/validate_trace.py tests/data/sample_trace.json \
-    tests/data/sample_metrics.jsonl
+    tests/data/sample_metrics.jsonl tests/data/sample_profile.json \
+    tests/data/sample_profile.folded
 python3 scripts/bench_compare_test.py
+
+echo "==> [4/6] observability: --profile smoke (BFS+PR, rmat-12, 4 engines)"
+PROFILE_DIR="${TIER1_DIR}/profile-smoke"
+rm -rf "${PROFILE_DIR}"
+mkdir -p "${PROFILE_DIR}"
+cat > "${PROFILE_DIR}/benchmark.properties" <<PROPS
+graphs = g500
+graph.g500.source = rmat
+graph.g500.scale = 12
+graph.g500.edge_factor = 16
+platforms = giraph, graphx, mapreduce, neo4j
+algorithms = bfs, pr
+report.dir = ${PROFILE_DIR}/report
+validate = true
+monitor = false
+PROPS
+"${TIER1_DIR}/tools/graphalytics_run" --profile full \
+    "${PROFILE_DIR}/benchmark.properties" > "${PROFILE_DIR}/report.txt"
+# Every artifact the profiled run wrote must pass the schema validator:
+# the run-wide trace + profile, and all eight per-cell pairs.
+python3 scripts/validate_trace.py \
+    "${PROFILE_DIR}"/report/trace/trace.json \
+    "${PROFILE_DIR}"/report/trace/profile.json \
+    "${PROFILE_DIR}"/report/trace/profile.folded \
+    "${PROFILE_DIR}"/report/trace/trace-*.json \
+    "${PROFILE_DIR}"/report/trace/profile-*.json \
+    "${PROFILE_DIR}"/report/trace/metrics.jsonl
+# ... and the offline analytics tools must read them back.
+"${TIER1_DIR}/tools/trace_analyze" \
+    "${PROFILE_DIR}/report/trace/trace.json" \
+    --out "${PROFILE_DIR}/profile-offline.json"
+python3 scripts/validate_trace.py "${PROFILE_DIR}/profile-offline.json"
+"${TIER1_DIR}/tools/results_query" --top-phases \
+    "${PROFILE_DIR}/report/trace/profile.json" --top 5
+"${TIER1_DIR}/tools/results_query" --critical-path \
+    "${PROFILE_DIR}/report/trace/profile.json"
 
 echo "==> [5/6] bench-smoke: kernel duel at scale ${BENCH_SCALE} vs baseline"
 "${TIER1_DIR}/bench/fig4_runtimes" --kernels-only \

@@ -16,6 +16,16 @@ object per line, each a counter ("value"), gauge ("value"), or histogram
 (count/min/max/mean/p50/p95/p99/items, where items is a list of
 [value, count] pairs summing to count).
 
+JSON files whose top level declares kind "gly.profile" are checked as
+profile.json documents (DESIGN.md §14): schema_version 1, numeric
+wall/critical-path seconds with critical_path_seconds <= wall_seconds,
+critical_path / workers / self_time arrays with typed fields, a sampler
+block, and folded stack lines ("frame;frame count") whose counts sum to
+sampler.samples.
+
+Files ending in .folded are checked as flamegraph folded-stack syntax:
+every line is "frame(;frame)* count" with no stray separators.
+
 Exit status: 0 when every file validates, 1 on the first violation,
 2 on usage errors. Independent of the C++ validator on purpose: the C++
 and Python checkers agreeing on the committed samples is the
@@ -31,6 +41,98 @@ def fail(path, what):
     sys.exit(1)
 
 
+def check_folded_line(path, lineno, line):
+    """One folded-stack line: "frame(;frame)* count"."""
+    space = line.rfind(" ")
+    if space <= 0:
+        fail(path, f"folded line {lineno}: no count separator: {line!r}")
+    stack, count = line[:space], line[space + 1:]
+    if not count.isdigit() or int(count) < 1:
+        fail(path, f"folded line {lineno}: count {count!r} is not a "
+                   f"positive integer")
+    frames = stack.split(";")
+    if any(not f or " " in f for f in frames):
+        fail(path, f"folded line {lineno}: empty frame or space inside a "
+                   f"frame: {stack!r}")
+    return int(count)
+
+
+def validate_folded(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(path, f"cannot read: {exc}")
+    total = 0
+    for i, line in enumerate(lines, start=1):
+        total += check_folded_line(path, i, line)
+    print(f"validate_trace: {path}: ok — {len(lines)} stacks, "
+          f"{total} samples")
+
+
+def require_number(path, doc, key, parent="profile"):
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{parent}.{key} is {value!r}, want a number")
+    return value
+
+
+def validate_profile(path, doc):
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}, "
+                   f"want 1")
+    if not isinstance(doc.get("root"), str):
+        fail(path, '"root" must be a string')
+    wall = require_number(path, doc, "wall_seconds")
+    critical = require_number(path, doc, "critical_path_seconds")
+    require_number(path, doc, "completed_spans")
+    # The analytical invariant the analyzer guarantees by construction.
+    if critical > wall + 1e-9:
+        fail(path, f"critical_path_seconds {critical} exceeds "
+                   f"wall_seconds {wall}")
+    for key, fields in (
+            ("critical_path", ("tid", "span_seconds", "self_seconds")),
+            ("workers", ("tid", "busy_seconds", "idle_seconds",
+                         "utilization")),
+            ("self_time", ("self_seconds", "count"))):
+        entries = doc.get(key)
+        if not isinstance(entries, list):
+            fail(path, f'no "{key}" array')
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                fail(path, f"{key}[{i}] is not an object")
+            for field in fields:
+                require_number(path, entry, field, parent=f"{key}[{i}]")
+            if key != "workers" and not isinstance(entry.get("name"), str):
+                fail(path, f"{key}[{i}].name must be a string")
+    for step in doc["critical_path"]:
+        if step["self_seconds"] > step["span_seconds"] + 1e-9:
+            fail(path, f"critical_path step {step['name']!r} has "
+                       f"self_seconds > span_seconds")
+    sampler = doc.get("sampler")
+    if not isinstance(sampler, dict):
+        fail(path, 'no "sampler" object')
+    if not isinstance(sampler.get("mode"), str):
+        fail(path, "sampler.mode must be a string")
+    for key in ("interval_us", "samples", "dropped"):
+        require_number(path, sampler, key, parent="sampler")
+    folded = doc.get("folded")
+    if not isinstance(folded, list):
+        fail(path, 'no "folded" array')
+    total = 0
+    for i, line in enumerate(folded, start=1):
+        if not isinstance(line, str):
+            fail(path, f"folded[{i - 1}] is not a string")
+        total += check_folded_line(path, i, line)
+    # The sampler accounting invariant: nothing lost, nothing forged.
+    if total != sampler["samples"]:
+        fail(path, f"folded counts sum to {total}, sampler.samples is "
+                   f"{sampler['samples']}")
+    print(f"validate_trace: {path}: ok — profile of {doc['root']!r}, "
+          f"critical path {critical:.6f}s of {wall:.6f}s wall, "
+          f"{len(folded)} folded stacks / {total} samples")
+
+
 def validate_trace(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -39,6 +141,9 @@ def validate_trace(path):
         fail(path, f"cannot parse: {exc}")
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
+    if doc.get("kind") == "gly.profile":
+        validate_profile(path, doc)
+        return
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         fail(path, 'no "traceEvents" array')
@@ -148,6 +253,8 @@ def main():
     for path in sys.argv[1:]:
         if path.endswith(".jsonl"):
             validate_metrics(path)
+        elif path.endswith(".folded"):
+            validate_folded(path)
         else:
             validate_trace(path)
 

@@ -177,17 +177,25 @@ Result<std::map<std::string, MetricValue>> Registry::FromJsonl(
     std::string_view text) {
   std::map<std::string, MetricValue> out;
   bool saw_header = false;
+  uint64_t schema_version = 0;
   for (const std::string& raw_line : Split(text, '\n')) {
     std::string_view line = Trim(raw_line);
     if (line.empty()) continue;
     if (!saw_header) {
-      std::string_view version = RawField(line, "schema_version");
+      // Forward-compat: accept any schema_version >= 1 so readers built
+      // against v1 can still load files from newer writers; unknown keys
+      // anywhere are ignored by the field scanner, and under a newer
+      // version unknown metric *types* are skipped instead of rejected.
+      std::string_view version_raw = RawField(line, "schema_version");
       std::string_view kind = RawField(line, "kind");
-      if (version != "1" || kind != "\"gly.metrics\"") {
+      auto version = ParseUint64(version_raw);
+      if (!version.ok() || version.ValueOrDie() < 1 ||
+          kind != "\"gly.metrics\"") {
         return Status::InvalidArgument(
             "metrics jsonl: bad or missing schema header: " +
             std::string(line));
       }
+      schema_version = version.ValueOrDie();
       saw_header = true;
       continue;
     }
@@ -231,8 +239,13 @@ Result<std::map<std::string, MetricValue>> Registry::FromJsonl(
         pos = close + 1;
       }
     } else {
-      return Status::InvalidArgument("metrics jsonl: unknown metric type \"" +
-                                     type + "\"");
+      // Version 1 has a closed type set, so an unknown type there is
+      // corruption; newer versions may add types this reader skips.
+      if (schema_version <= 1) {
+        return Status::InvalidArgument(
+            "metrics jsonl: unknown metric type \"" + type + "\"");
+      }
+      continue;
     }
     out[name] = std::move(v);
   }

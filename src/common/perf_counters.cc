@@ -1,0 +1,165 @@
+#include "common/perf_counters.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace gly::perf {
+
+namespace internal {
+std::atomic<PerfCounters*> g_active_counters{nullptr};
+}  // namespace internal
+
+namespace {
+
+#if defined(__linux__)
+
+int OpenPerfEvent(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  // Count this process and every thread it spawns *after* the open; the
+  // harness opens counters before engine pools exist for exactly this
+  // reason. inherit precludes PERF_FORMAT_GROUP, hence one fd per event.
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  long fd = syscall(__NR_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                    /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+double RusageCpuSeconds(const rusage& ru) {
+  auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return seconds(ru.ru_utime) + seconds(ru.ru_stime);
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<PerfCounters> PerfCounters::Open() {
+  std::unique_ptr<PerfCounters> counters(new PerfCounters());
+#if defined(__linux__)
+  struct EventSpec {
+    uint32_t type;
+    uint64_t config;
+  };
+  const EventSpec specs[kNumEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+  };
+  bool all_open = true;
+  for (int i = 0; i < kNumEvents; ++i) {
+    counters->fds_[i] = OpenPerfEvent(specs[i].type, specs[i].config);
+    if (counters->fds_[i] < 0) {
+      all_open = false;
+      break;
+    }
+  }
+  if (all_open) {
+    counters->fallback_ = false;
+  } else {
+    // All-or-nothing: partial counter sets would make IPC/miss rates lie.
+    for (int i = 0; i < kNumEvents; ++i) {
+      if (counters->fds_[i] >= 0) close(counters->fds_[i]);
+      counters->fds_[i] = -1;
+    }
+  }
+#endif
+  return counters;
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+#endif
+}
+
+Reading PerfCounters::Read() const {
+  Reading r;
+#if defined(__linux__)
+  if (!fallback_) {
+    uint64_t values[kNumEvents] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < kNumEvents; ++i) {
+      uint64_t value = 0;
+      if (read(fds_[i], &value, sizeof(value)) == sizeof(value)) {
+        values[i] = value;
+      }
+    }
+    r.cycles = values[0];
+    r.instructions = values[1];
+    r.cache_misses = values[2];
+    r.branch_misses = values[3];
+    // TASK_CLOCK counts nanoseconds of CPU time.
+    r.task_clock_seconds = static_cast<double>(values[4]) * 1e-9;
+    return r;
+  }
+  rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    r.task_clock_seconds = RusageCpuSeconds(ru);
+    r.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+    r.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+    r.ctx_switches =
+        static_cast<uint64_t>(ru.ru_nvcsw) + static_cast<uint64_t>(ru.ru_nivcsw);
+  }
+#endif
+  return r;
+}
+
+CounterDelta PerfCounters::Delta(const Reading& begin,
+                                 const Reading& end) const {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  CounterDelta d;
+  d.fallback = fallback_;
+  d.cycles = sub(end.cycles, begin.cycles);
+  d.instructions = sub(end.instructions, begin.instructions);
+  d.cache_misses = sub(end.cache_misses, begin.cache_misses);
+  d.branch_misses = sub(end.branch_misses, begin.branch_misses);
+  double clock = end.task_clock_seconds - begin.task_clock_seconds;
+  d.task_clock_seconds = clock > 0 ? clock : 0.0;
+  d.minor_faults = sub(end.minor_faults, begin.minor_faults);
+  d.major_faults = sub(end.major_faults, begin.major_faults);
+  d.ctx_switches = sub(end.ctx_switches, begin.ctx_switches);
+  return d;
+}
+
+void SpanCounters::Attach(const CounterDelta& delta) {
+  span_->SetAttribute("counters", counters_->mode());
+  span_->SetAttribute("task_clock_ms",
+                      StringPrintf("%.3f", delta.task_clock_seconds * 1e3));
+  if (delta.fallback) {
+    span_->SetAttribute("minor_faults", delta.minor_faults);
+    span_->SetAttribute("major_faults", delta.major_faults);
+    span_->SetAttribute("ctx_switches", delta.ctx_switches);
+    return;
+  }
+  span_->SetAttribute("cycles", delta.cycles);
+  span_->SetAttribute("instructions", delta.instructions);
+  span_->SetAttribute("cache_misses", delta.cache_misses);
+  span_->SetAttribute("branch_misses", delta.branch_misses);
+  span_->SetAttribute("ipc", StringPrintf("%.3f", delta.Ipc()));
+  span_->SetAttribute("cache_mpki", StringPrintf("%.3f", delta.CacheMpki()));
+  span_->SetAttribute("branch_mpki", StringPrintf("%.3f", delta.BranchMpki()));
+}
+
+}  // namespace gly::perf

@@ -1,0 +1,166 @@
+// Hardware performance counters attached to trace spans — the resource-
+// attribution half of the profiling layer (DESIGN.md §14). A PerfCounters
+// instance opens a small fixed set of per-process counters via
+// perf_event_open (cycles, instructions, cache-misses, branch-misses,
+// task-clock); SpanCounters snapshots them around an existing TraceSpan
+// and attaches the deltas — plus derived IPC and misses-per-kilo-
+// instruction — as span attributes, so a `pregel.superstep` or
+// `dataflow.shuffle` span explains *why* it took as long as it did.
+//
+// Fallback ladder: perf events are frequently unavailable (CI containers,
+// perf_event_paranoid, non-Linux). Open() never fails — when any counter
+// cannot be opened, the whole instance degrades to getrusage(RUSAGE_SELF)
+// deltas (user+system CPU time, page faults, context switches) and spans
+// carry an explicit `counters: "fallback"` marker instead of silently
+// missing data.
+//
+// Activation mirrors the tracer: ScopedPerfCounters installs an instance
+// process-globally; SpanCounters on a disabled span or with no installed
+// instance is inert. Counters are opened with inherit=1, so open the
+// instance *before* spawning worker pools — inheritance only covers
+// threads created after the perf fds exist.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <atomic>
+
+#include "common/trace.h"
+
+namespace gly::perf {
+
+/// One snapshot of the counter set (absolute values since Open).
+struct Reading {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  double task_clock_seconds = 0.0;
+  // Fallback-mode fields (getrusage deltas; zero in perf mode).
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t ctx_switches = 0;
+};
+
+/// Difference of two Readings plus derived rates.
+struct CounterDelta {
+  bool fallback = false;  ///< true = getrusage ladder, not perf events
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  double task_clock_seconds = 0.0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t ctx_switches = 0;
+
+  /// Instructions per cycle (0 when cycles are unavailable).
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  /// Cache misses per kilo-instruction (0 when instructions unavailable).
+  double CacheMpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(cache_misses) /
+                                   static_cast<double>(instructions);
+  }
+  /// Branch misses per kilo-instruction.
+  double BranchMpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(branch_misses) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// Process-wide counter set. Construct via Open(); thread-safe to Read
+/// concurrently (reads are independent syscalls / getrusage calls).
+class PerfCounters {
+ public:
+  /// Opens the counter set. Never fails: when perf events are unavailable
+  /// the instance reports `fallback() == true` and Read() returns
+  /// getrusage-derived values.
+  static std::unique_ptr<PerfCounters> Open();
+
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Current counter values (absolute; subtract two Readings for a delta).
+  Reading Read() const;
+
+  /// Delta between two readings taken on this instance.
+  CounterDelta Delta(const Reading& begin, const Reading& end) const;
+
+  bool fallback() const { return fallback_; }
+  /// "perf" or "fallback" — the value spans carry in their `counters` attr.
+  const char* mode() const { return fallback_ ? "fallback" : "perf"; }
+
+ private:
+  PerfCounters() = default;
+
+  // One fd per event: inherit=1 does not combine with PERF_FORMAT_GROUP,
+  // and we want inheritance so pool threads are counted.
+  static constexpr int kNumEvents = 5;
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1};
+  bool fallback_ = true;
+};
+
+namespace internal {
+extern std::atomic<PerfCounters*> g_active_counters;
+}  // namespace internal
+
+/// The installed counter set, or nullptr (the common, fast case).
+inline PerfCounters* ActiveCounters() {
+  return internal::g_active_counters.load(std::memory_order_acquire);
+}
+
+/// RAII process-global installation, mirroring trace::ScopedTracer.
+class ScopedPerfCounters {
+ public:
+  explicit ScopedPerfCounters(PerfCounters* counters)
+      : previous_(internal::g_active_counters.exchange(
+            counters, std::memory_order_acq_rel)) {}
+  ~ScopedPerfCounters() {
+    internal::g_active_counters.store(previous_, std::memory_order_release);
+  }
+  ScopedPerfCounters(const ScopedPerfCounters&) = delete;
+  ScopedPerfCounters& operator=(const ScopedPerfCounters&) = delete;
+
+ private:
+  PerfCounters* previous_;
+};
+
+/// Attaches counter deltas to a TraceSpan: snapshots the active counter
+/// set at construction and, at destruction (before the span closes — declare
+/// it after the span so it destructs first), attaches cycles, instructions,
+/// ipc, cache/branch miss rates, task-clock and a `counters` mode marker.
+/// Inert when the span is disabled or no counter set is installed.
+class SpanCounters {
+ public:
+  explicit SpanCounters(trace::TraceSpan* span) : span_(span) {
+    if (span_ == nullptr || !span_->enabled()) return;
+    counters_ = ActiveCounters();
+    if (counters_ != nullptr) begin_ = counters_->Read();
+  }
+
+  ~SpanCounters() {
+    if (counters_ == nullptr) return;
+    Attach(counters_->Delta(begin_, counters_->Read()));
+  }
+
+  SpanCounters(const SpanCounters&) = delete;
+  SpanCounters& operator=(const SpanCounters&) = delete;
+
+ private:
+  void Attach(const CounterDelta& delta);
+
+  trace::TraceSpan* span_;
+  PerfCounters* counters_ = nullptr;
+  Reading begin_;
+};
+
+}  // namespace gly::perf

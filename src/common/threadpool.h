@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/trace.h"
 
 namespace gly {
 
@@ -31,15 +32,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `fn` and returns a future for its result.
+  /// Enqueues `fn` and returns a future for its result. The submitter's
+  /// effective tracer (thread-local override or process-global, see
+  /// trace::ActiveTracer) is captured here and installed around the task,
+  /// so a cell's parallel work traces into the cell's own tracer even on
+  /// shared pool threads.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
+    trace::Tracer* tracer = trace::ActiveTracer();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back([task, tracer] {
+        trace::ScopedThreadTracer scope(tracer);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;

@@ -13,6 +13,7 @@ namespace gly::trace {
 
 namespace internal {
 std::atomic<Tracer*> g_active_tracer{nullptr};
+thread_local Tracer* tls_tracer = nullptr;
 }  // namespace internal
 
 SteadyClock::SteadyClock() {
@@ -44,9 +45,25 @@ uint32_t Tracer::TidOfCurrentThread() {
   for (const auto& [id, tid] : tids_) {
     if (id == self) return tid;
   }
-  uint32_t tid = static_cast<uint32_t>(tids_.size()) + 1;
+  uint32_t tid = next_tid_++;
   tids_.emplace_back(self, tid);
   return tid;
+}
+
+void Tracer::MergeEvents(std::vector<TraceEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Remap every distinct incoming tid to a fresh tid of this tracer: the
+  // same OS thread may already have a tid here, and two cells merged back
+  // to back may reuse child tids — fresh ids keep per-tid nesting valid.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  events_.reserve(events_.size() + events.size());
+  for (TraceEvent& e : events) {
+    auto [it, inserted] = remap.emplace(e.tid, next_tid_);
+    if (inserted) ++next_tid_;
+    e.tid = it->second;
+    events_.push_back(std::move(e));
+  }
 }
 
 void Tracer::Begin(std::string_view name, std::string_view category) {
@@ -492,6 +509,10 @@ class JsonReader {
           event.tid = static_cast<uint32_t>(v);
           saw_tid = true;
         }
+      } else if (key == "cat") {
+        s = ParseString(&event.category);
+      } else if (key == "args") {
+        s = ParseArgsObject(&event.args);
       } else {
         s = ParseValue(nullptr, nullptr);
       }
@@ -516,6 +537,56 @@ class JsonReader {
     return Status::OK();
   }
 
+  // The "args" member of a trace event: an object whose string-valued
+  // members are recovered verbatim; non-string values (legal in the Chrome
+  // format, never produced by ChromeTraceJson) are skipped structurally.
+  Status ParseArgsObject(std::vector<TraceArg>* args) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '{') {
+      return Err("args is not an object");
+    }
+    ++pos_;
+    ++depth_;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Err("expected ':' in args");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == '"') {
+        std::string value;
+        s = ParseString(&value);
+        if (s.ok()) args->emplace_back(std::move(key), std::move(value));
+      } else {
+        s = ParseValue(nullptr, nullptr);
+      }
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Err("unterminated args object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return Status::OK();
+      }
+      return Err("expected ',' or '}' in args");
+    }
+  }
+
   std::string_view text_;
   size_t pos_ = 0;
   int depth_ = 0;
@@ -535,6 +606,19 @@ Result<TraceCheck> ValidateChromeTraceJson(std::string_view json) {
         "invalid trace JSON: no top-level \"traceEvents\" array");
   }
   return CheckWellFormed(events);
+}
+
+Result<std::vector<TraceEvent>> ParseChromeTraceJson(std::string_view json) {
+  JsonReader reader(json);
+  TraceCheck check;
+  std::vector<TraceEvent> events;
+  GLY_RETURN_NOT_OK(reader.ParseValue(&check, &events));
+  GLY_RETURN_NOT_OK(reader.Finish());
+  if (!reader.saw_trace_events()) {
+    return Status::InvalidArgument(
+        "invalid trace JSON: no top-level \"traceEvents\" array");
+  }
+  return events;
 }
 
 void TraceSpan::SetAttribute(std::string_view key, double value) {

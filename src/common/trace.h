@@ -140,6 +140,17 @@ class Tracer {
   /// Writes ToChromeJson() to `path`.
   Status WriteTo(const std::string& path) const;
 
+  /// The clock events are stamped with (never null). Lets a child tracer
+  /// share its parent's clock so merged timelines stay comparable.
+  Clock* clock() const { return clock_; }
+
+  /// Appends events recorded by another tracer (typically a per-cell child
+  /// tracer, see ScopedThreadTracer). Each distinct incoming tid is mapped
+  /// to a fresh virtual tid of this tracer, so per-thread B/E nesting in
+  /// the merged stream stays valid even when both tracers saw the same OS
+  /// thread. Events are appended contiguously in their original order.
+  void MergeEvents(std::vector<TraceEvent> events);
+
  private:
   uint32_t TidOfCurrentThread();
 
@@ -148,6 +159,7 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::thread::id, uint32_t>> tids_;
+  uint32_t next_tid_ = 1;  ///< next virtual tid (shared by threads + merges)
 };
 
 /// Renders any event list as a Chrome trace-event JSON document
@@ -167,15 +179,26 @@ Result<TraceCheck> ValidateChromeTraceJson(std::string_view json);
 /// a live trace can end mid-span).
 Result<TraceCheck> CheckWellFormed(const std::vector<TraceEvent>& events);
 
+/// Parses a Chrome trace-event JSON document back into its event list
+/// (name/ph/ts/tid and string-valued args are recovered; other fields are
+/// validated structurally and dropped). This is the read side used by the
+/// post-run trace analyzer (common/trace_analysis.h).
+Result<std::vector<TraceEvent>> ParseChromeTraceJson(std::string_view json);
+
 /// Aggregates matched B/E pairs by span name, descending by total time.
 std::vector<PhaseTotal> AggregateSpans(const std::vector<TraceEvent>& events);
 
 namespace internal {
 extern std::atomic<Tracer*> g_active_tracer;
+extern thread_local Tracer* tls_tracer;
 }  // namespace internal
 
-/// The tracer spans write to, or nullptr (the common, fast case).
+/// The tracer spans write to, or nullptr (the common, fast case). A
+/// thread-local override (ScopedThreadTracer) wins over the process-global
+/// tracer: the harness gives every in-flight cell its own child tracer, so
+/// `--trace-dir` under `--jobs N` still writes valid per-cell traces.
 inline Tracer* ActiveTracer() {
+  if (internal::tls_tracer != nullptr) return internal::tls_tracer;
   return internal::g_active_tracer.load(std::memory_order_acquire);
 }
 
@@ -191,6 +214,25 @@ class ScopedTracer {
   }
   ScopedTracer(const ScopedTracer&) = delete;
   ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// RAII installation of a *thread-local* tracer override; restores the
+/// previous override on destruction. Installing nullptr removes the
+/// override (spans fall back to the process-global tracer). ThreadPool
+/// propagates the submitter's effective tracer into pool workers, so a
+/// cell's parallel work lands in the cell's own tracer.
+class ScopedThreadTracer {
+ public:
+  explicit ScopedThreadTracer(Tracer* tracer)
+      : previous_(internal::tls_tracer) {
+    internal::tls_tracer = tracer;
+  }
+  ~ScopedThreadTracer() { internal::tls_tracer = previous_; }
+  ScopedThreadTracer(const ScopedThreadTracer&) = delete;
+  ScopedThreadTracer& operator=(const ScopedThreadTracer&) = delete;
 
  private:
   Tracer* previous_;

@@ -1,0 +1,419 @@
+#include "common/trace_analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace gly::trace {
+
+namespace {
+
+struct Node {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t begin_micros = 0;
+  uint64_t end_micros = 0;
+  std::vector<size_t> children;  ///< indices into the completed-node vector
+
+  double Seconds() const {
+    return static_cast<double>(end_micros - begin_micros) * 1e-6;
+  }
+};
+
+double SelfSeconds(const Node& node, const std::vector<Node>& nodes) {
+  double children = 0.0;
+  for (size_t child : node.children) children += nodes[child].Seconds();
+  double self = node.Seconds() - children;
+  return self > 0.0 ? self : 0.0;
+}
+
+}  // namespace
+
+TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events,
+                           const AnalyzeOptions& options) {
+  TraceAnalysis analysis;
+  if (events.empty()) return analysis;
+
+  uint64_t min_ts = events.front().ts_micros;
+  uint64_t max_ts = events.front().ts_micros;
+
+  // Rebuild the span forest from matched B/E pairs. Mirrors
+  // AggregateSpans' tolerance: an E that does not close the top of its
+  // thread's stack is skipped, unmatched B's never complete.
+  std::vector<Node> nodes;
+  std::unordered_map<uint32_t, std::vector<Node>> open;
+  std::unordered_map<uint32_t, std::vector<size_t>> top_level;
+  for (const TraceEvent& e : events) {
+    min_ts = std::min(min_ts, e.ts_micros);
+    max_ts = std::max(max_ts, e.ts_micros);
+    if (e.phase == 'B') {
+      Node node;
+      node.name = e.name;
+      node.tid = e.tid;
+      node.begin_micros = e.ts_micros;
+      open[e.tid].push_back(std::move(node));
+    } else if (e.phase == 'E') {
+      auto& stack = open[e.tid];
+      if (stack.empty() || stack.back().name != e.name) continue;
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      node.end_micros = e.ts_micros;
+      nodes.push_back(std::move(node));
+      size_t index = nodes.size() - 1;
+      if (!stack.empty()) {
+        stack.back().children.push_back(index);
+      } else {
+        top_level[e.tid].push_back(index);
+      }
+    }
+  }
+
+  analysis.wall_seconds = static_cast<double>(max_ts - min_ts) * 1e-6;
+  analysis.completed_spans = nodes.size();
+
+  // Per-worker utilization: top-level spans on one tid never overlap
+  // (per-thread nesting), so their durations sum to that worker's busy
+  // time over the window.
+  for (const auto& [tid, indices] : top_level) {
+    WorkerUtilization worker;
+    worker.tid = tid;
+    for (size_t index : indices) worker.busy_seconds += nodes[index].Seconds();
+    worker.idle_seconds =
+        std::max(0.0, analysis.wall_seconds - worker.busy_seconds);
+    worker.utilization = analysis.wall_seconds > 0.0
+                             ? worker.busy_seconds / analysis.wall_seconds
+                             : 0.0;
+    analysis.workers.push_back(worker);
+  }
+  std::sort(analysis.workers.begin(), analysis.workers.end(),
+            [](const WorkerUtilization& a, const WorkerUtilization& b) {
+              return a.tid < b.tid;
+            });
+
+  // Self-time table, aggregated by span name.
+  std::map<std::string, SelfTimeEntry> by_name;
+  for (const Node& node : nodes) {
+    SelfTimeEntry& entry = by_name[node.name];
+    entry.name = node.name;
+    entry.self_seconds += SelfSeconds(node, nodes);
+    ++entry.count;
+  }
+  for (auto& [name, entry] : by_name) {
+    analysis.self_time.push_back(std::move(entry));
+  }
+  std::sort(analysis.self_time.begin(), analysis.self_time.end(),
+            [](const SelfTimeEntry& a, const SelfTimeEntry& b) {
+              if (a.self_seconds != b.self_seconds) {
+                return a.self_seconds > b.self_seconds;
+              }
+              return a.name < b.name;
+            });
+  if (options.top_k > 0 && analysis.self_time.size() > options.top_k) {
+    analysis.self_time.resize(options.top_k);
+  }
+
+  // Critical path: choose the root, then repeatedly descend into the
+  // longest child, charging each visited span its self time. Children
+  // nest within their parent on one thread, so the accumulated total can
+  // never exceed the root span's duration.
+  const Node* root = nullptr;
+  if (!options.root.empty()) {
+    for (const Node& node : nodes) {
+      if (node.name != options.root) continue;
+      if (root == nullptr || node.Seconds() > root->Seconds()) root = &node;
+    }
+  } else {
+    for (const auto& [tid, indices] : top_level) {
+      for (size_t index : indices) {
+        const Node& node = nodes[index];
+        if (root == nullptr || node.Seconds() > root->Seconds()) root = &node;
+      }
+    }
+  }
+  if (root != nullptr) {
+    analysis.root = root->name;
+    const Node* current = root;
+    for (;;) {
+      CriticalPathStep step;
+      step.name = current->name;
+      step.tid = current->tid;
+      step.span_seconds = current->Seconds();
+      step.self_seconds = SelfSeconds(*current, nodes);
+      analysis.critical_path_seconds += step.self_seconds;
+      analysis.critical_path.push_back(std::move(step));
+      const Node* next = nullptr;
+      for (size_t child : current->children) {
+        if (next == nullptr || nodes[child].Seconds() > next->Seconds()) {
+          next = &nodes[child];
+        }
+      }
+      if (next == nullptr) break;
+      current = next;
+    }
+  }
+  return analysis;
+}
+
+// ---------------------------------------------------------------------------
+// profile.json (schema v1)
+
+std::string ProfileJson(const TraceAnalysis& analysis,
+                        const SamplerSummary& sampler,
+                        const std::vector<std::string>& folded_lines) {
+  std::string out;
+  out += "{\"schema_version\":1,\"kind\":\"gly.profile\",\n";
+  out += "\"root\":\"" + JsonEscape(analysis.root) + "\",";
+  out += StringPrintf("\"wall_seconds\":%.6f,", analysis.wall_seconds);
+  out += StringPrintf("\"critical_path_seconds\":%.6f,",
+                      analysis.critical_path_seconds);
+  out += StringPrintf("\"completed_spans\":%zu,\n", analysis.completed_spans);
+  out += "\"critical_path\":[\n";
+  for (size_t i = 0; i < analysis.critical_path.size(); ++i) {
+    const CriticalPathStep& step = analysis.critical_path[i];
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"tid\":%u,\"span_seconds\":%.6f,"
+        "\"self_seconds\":%.6f}%s\n",
+        JsonEscape(step.name).c_str(), step.tid, step.span_seconds,
+        step.self_seconds, i + 1 < analysis.critical_path.size() ? "," : "");
+  }
+  out += "],\n\"workers\":[\n";
+  for (size_t i = 0; i < analysis.workers.size(); ++i) {
+    const WorkerUtilization& worker = analysis.workers[i];
+    out += StringPrintf(
+        "{\"tid\":%u,\"busy_seconds\":%.6f,\"idle_seconds\":%.6f,"
+        "\"utilization\":%.4f}%s\n",
+        worker.tid, worker.busy_seconds, worker.idle_seconds,
+        worker.utilization, i + 1 < analysis.workers.size() ? "," : "");
+  }
+  out += "],\n\"self_time\":[\n";
+  for (size_t i = 0; i < analysis.self_time.size(); ++i) {
+    const SelfTimeEntry& entry = analysis.self_time[i];
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"self_seconds\":%.6f,\"count\":%llu}%s\n",
+        JsonEscape(entry.name).c_str(), entry.self_seconds,
+        static_cast<unsigned long long>(entry.count),
+        i + 1 < analysis.self_time.size() ? "," : "");
+  }
+  out += StringPrintf(
+      "],\n\"sampler\":{\"mode\":\"%s\",\"interval_us\":%llu,"
+      "\"samples\":%llu,\"dropped\":%llu},\n",
+      JsonEscape(sampler.mode).c_str(),
+      static_cast<unsigned long long>(sampler.interval_us),
+      static_cast<unsigned long long>(sampler.samples),
+      static_cast<unsigned long long>(sampler.dropped));
+  out += "\"folded\":[\n";
+  for (size_t i = 0; i < folded_lines.size(); ++i) {
+    out += "\"" + JsonEscape(folded_lines[i]) + "\"";
+    out += i + 1 < folded_lines.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+// Scan-based extraction over the line-oriented document ProfileJson
+// emits, mirroring report.cc's ResultFromJson idiom. validate_trace.py is
+// the strict structural validator; this reader only needs to round-trip
+// our own files.
+
+Result<double> FindNumber(std::string_view text, std::string_view key) {
+  std::string marker = "\"" + std::string(key) + "\":";
+  size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("profile.json missing key: " +
+                                   std::string(key));
+  }
+  pos += marker.size();
+  size_t end = pos;
+  while (end < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[end])) ||
+          text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+          text[end] == 'e' || text[end] == 'E')) {
+    ++end;
+  }
+  return ParseDouble(text.substr(pos, end - pos));
+}
+
+Result<std::string> FindString(std::string_view text, std::string_view key) {
+  std::string marker = "\"" + std::string(key) + "\":\"";
+  size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("profile.json missing key: " +
+                                   std::string(key));
+  }
+  pos += marker.size();
+  std::string value;
+  while (pos < text.size() && text[pos] != '"') {
+    if (text[pos] == '\\' && pos + 1 < text.size()) {
+      char esc = text[pos + 1];
+      switch (esc) {
+        case 'n': value += '\n'; break;
+        case 't': value += '\t'; break;
+        case 'r': value += '\r'; break;
+        default: value += esc; break;
+      }
+      pos += 2;
+    } else {
+      value += text[pos++];
+    }
+  }
+  if (pos >= text.size()) {
+    return Status::InvalidArgument("profile.json unterminated string for " +
+                                   std::string(key));
+  }
+  return value;
+}
+
+// The body of `"key":[ ... \n]` as individual trimmed lines.
+Result<std::vector<std::string>> ArrayLines(std::string_view text,
+                                            std::string_view key) {
+  std::string marker = "\"" + std::string(key) + "\":[";
+  size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("profile.json missing array: " +
+                                   std::string(key));
+  }
+  pos += marker.size();
+  size_t end = text.find("\n]", pos);
+  if (end == std::string_view::npos) {
+    return Status::InvalidArgument("profile.json unterminated array: " +
+                                   std::string(key));
+  }
+  std::vector<std::string> lines;
+  std::string_view body = text.substr(pos, end - pos);
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t newline = body.find('\n', start);
+    std::string_view line = body.substr(
+        start, newline == std::string_view::npos ? body.size() - start
+                                                 : newline - start);
+    while (!line.empty() && (line.back() == ',' || line.back() == ' ' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) lines.emplace_back(line);
+    if (newline == std::string_view::npos) break;
+    start = newline + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<ProfileSummary> ParseProfileJson(std::string_view json) {
+  if (json.find("\"kind\":\"gly.profile\"") == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "not a profile.json document (kind != gly.profile)");
+  }
+  auto version = FindNumber(json, "schema_version");
+  GLY_RETURN_NOT_OK(version.status());
+  if (*version < 1) {
+    return Status::InvalidArgument("profile.json schema_version < 1");
+  }
+
+  ProfileSummary profile;
+  auto root = FindString(json, "root");
+  if (root.ok()) profile.root = *root;
+  auto wall = FindNumber(json, "wall_seconds");
+  GLY_RETURN_NOT_OK(wall.status());
+  profile.wall_seconds = *wall;
+  auto critical = FindNumber(json, "critical_path_seconds");
+  GLY_RETURN_NOT_OK(critical.status());
+  profile.critical_path_seconds = *critical;
+  auto spans = FindNumber(json, "completed_spans");
+  GLY_RETURN_NOT_OK(spans.status());
+  profile.completed_spans = static_cast<size_t>(*spans);
+
+  auto path_lines = ArrayLines(json, "critical_path");
+  GLY_RETURN_NOT_OK(path_lines.status());
+  for (const std::string& line : *path_lines) {
+    CriticalPathStep step;
+    auto name = FindString(line, "name");
+    GLY_RETURN_NOT_OK(name.status());
+    step.name = *name;
+    auto tid = FindNumber(line, "tid");
+    GLY_RETURN_NOT_OK(tid.status());
+    step.tid = static_cast<uint32_t>(*tid);
+    auto span_s = FindNumber(line, "span_seconds");
+    GLY_RETURN_NOT_OK(span_s.status());
+    step.span_seconds = *span_s;
+    auto self_s = FindNumber(line, "self_seconds");
+    GLY_RETURN_NOT_OK(self_s.status());
+    step.self_seconds = *self_s;
+    profile.critical_path.push_back(std::move(step));
+  }
+
+  auto worker_lines = ArrayLines(json, "workers");
+  GLY_RETURN_NOT_OK(worker_lines.status());
+  for (const std::string& line : *worker_lines) {
+    WorkerUtilization worker;
+    auto tid = FindNumber(line, "tid");
+    GLY_RETURN_NOT_OK(tid.status());
+    worker.tid = static_cast<uint32_t>(*tid);
+    auto busy = FindNumber(line, "busy_seconds");
+    GLY_RETURN_NOT_OK(busy.status());
+    worker.busy_seconds = *busy;
+    auto idle = FindNumber(line, "idle_seconds");
+    GLY_RETURN_NOT_OK(idle.status());
+    worker.idle_seconds = *idle;
+    auto util = FindNumber(line, "utilization");
+    GLY_RETURN_NOT_OK(util.status());
+    worker.utilization = *util;
+    profile.workers.push_back(worker);
+  }
+
+  auto self_lines = ArrayLines(json, "self_time");
+  GLY_RETURN_NOT_OK(self_lines.status());
+  for (const std::string& line : *self_lines) {
+    SelfTimeEntry entry;
+    auto name = FindString(line, "name");
+    GLY_RETURN_NOT_OK(name.status());
+    entry.name = *name;
+    auto self_s = FindNumber(line, "self_seconds");
+    GLY_RETURN_NOT_OK(self_s.status());
+    entry.self_seconds = *self_s;
+    auto count = FindNumber(line, "count");
+    GLY_RETURN_NOT_OK(count.status());
+    entry.count = static_cast<uint64_t>(*count);
+    profile.self_time.push_back(std::move(entry));
+  }
+
+  size_t sampler_pos = json.find("\"sampler\":{");
+  if (sampler_pos == std::string_view::npos) {
+    return Status::InvalidArgument("profile.json missing sampler block");
+  }
+  std::string_view sampler_text = json.substr(sampler_pos);
+  size_t sampler_end = sampler_text.find('}');
+  if (sampler_end != std::string_view::npos) {
+    sampler_text = sampler_text.substr(0, sampler_end + 1);
+  }
+  auto mode = FindString(sampler_text, "mode");
+  GLY_RETURN_NOT_OK(mode.status());
+  profile.sampler.mode = *mode;
+  auto interval = FindNumber(sampler_text, "interval_us");
+  GLY_RETURN_NOT_OK(interval.status());
+  profile.sampler.interval_us = static_cast<uint64_t>(*interval);
+  auto samples = FindNumber(sampler_text, "samples");
+  GLY_RETURN_NOT_OK(samples.status());
+  profile.sampler.samples = static_cast<uint64_t>(*samples);
+  auto dropped = FindNumber(sampler_text, "dropped");
+  GLY_RETURN_NOT_OK(dropped.status());
+  profile.sampler.dropped = static_cast<uint64_t>(*dropped);
+
+  auto folded_lines = ArrayLines(json, "folded");
+  GLY_RETURN_NOT_OK(folded_lines.status());
+  for (std::string_view line : *folded_lines) {
+    if (line.size() >= 2 && line.front() == '"' && line.back() == '"') {
+      line = line.substr(1, line.size() - 2);
+    }
+    profile.folded.emplace_back(line);
+  }
+  return profile;
+}
+
+}  // namespace gly::trace

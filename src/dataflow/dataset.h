@@ -46,6 +46,7 @@
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/threadpool.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 
 namespace gly::dataflow {
@@ -371,6 +372,7 @@ class Context {
       return Status::InvalidArgument("join requires co-partitioned inputs");
     }
     trace::TraceSpan join_span("dataflow.join", "dataflow");
+    perf::SpanCounters join_counters(&join_span);
     auto partitions = AcquirePartitions<U>(left.num_partitions());
     std::atomic<uint64_t> probes{0};
     // Pooled build tables: one recycled epoch-tagged [key -> value*]
@@ -428,6 +430,7 @@ class Context {
       const Dataset<std::pair<uint64_t, V>>& in) {
     using KV = std::pair<uint64_t, V>;
     trace::TraceSpan shuffle_span("dataflow.shuffle", "dataflow");
+    perf::SpanCounters shuffle_counters(&shuffle_span);
     // Injected shuffle failure: a lost map output / fetch failure aborts
     // the stage (Spark without stage retries).
     GLY_FAULT_POINT("dataflow.shuffle");
@@ -556,6 +559,7 @@ class Context {
     // Every transformation funnels through here — one span per operator in
     // the lineage, and one site to model an executor loss at any point.
     trace::TraceSpan mat_span("dataflow.materialize", "dataflow");
+    perf::SpanCounters mat_counters(&mat_span);
     GLY_FAULT_POINT("dataflow.materialize");
     GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
     uint64_t elements = 0;

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 
 namespace gly {
@@ -221,6 +222,7 @@ Result<Graph> GraphBuilder::ParallelDirected(const EdgeList& edges, bool dedup,
                                              ThreadPool& pool,
                                              const CancelToken* cancel) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
+  perf::SpanCounters csr_counters(&csr_span);
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = false;
@@ -252,6 +254,7 @@ Result<Graph> GraphBuilder::ParallelUndirected(const EdgeList& edges,
                                                ThreadPool& pool,
                                                const CancelToken* cancel) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
+  perf::SpanCounters csr_counters(&csr_span);
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = true;
@@ -400,6 +403,7 @@ ReorderedGraph Graph::ReorderByDegree(ThreadPool* pool) const {
 
 Result<Graph> GraphBuilder::Directed(const EdgeList& edges, bool dedup) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
+  perf::SpanCounters csr_counters(&csr_span);
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = false;
@@ -435,6 +439,7 @@ Result<Graph> GraphBuilder::Directed(const EdgeList& edges,
 
 Result<Graph> GraphBuilder::Undirected(const EdgeList& edges) {
   trace::TraceSpan csr_span("etl.csr_build", "etl");
+  perf::SpanCounters csr_counters(&csr_span);
   csr_span.SetAttribute("edges", uint64_t{edges.num_edges()});
   Graph g;
   g.undirected_ = true;

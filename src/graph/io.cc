@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 
 namespace gly {
@@ -122,6 +123,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
     return ReadEdgeListTextSerial(path, options, etl.cancel);
   }
   trace::TraceSpan parse_span("etl.parse", "etl");
+  perf::SpanCounters parse_counters(&parse_span);
   std::optional<ThreadPool> own_pool;
   ThreadPool* pool = etl.pool;
   if (pool == nullptr) {

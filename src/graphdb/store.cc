@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 
 namespace gly::graphdb {
@@ -78,6 +79,7 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(
 
 Status GraphStore::Recover() {
   trace::TraceSpan recover_span("graphdb.wal.recover", "graphdb");
+  perf::SpanCounters recover_counters(&recover_span);
   GLY_ASSIGN_OR_RETURN(WalRecovery recovery, wal_->Recover());
   recover_span.SetAttribute("entries", uint64_t{recovery.entries.size()});
   recover_span.SetAttribute("truncated_bytes", recovery.truncated_bytes);
@@ -120,6 +122,7 @@ Status GraphStore::BulkImport(const EdgeList& edges,
     return Status::InvalidArgument("BulkImport requires an empty store");
   }
   trace::TraceSpan import_span("graphdb.bulk_import", "graphdb");
+  perf::SpanCounters import_counters(&import_span);
   import_span.SetAttribute("edges", edges.num_edges());
   // Bulk path bypasses the WAL (like neo4j-admin import) and checkpoints at
   // the end.

@@ -13,8 +13,11 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/perf_counters.h"
+#include "common/profiler.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace_analysis.h"
 #include "harness/report.h"
 #include "harness/scheduler.h"
 
@@ -45,6 +48,10 @@ struct AttemptState {
   AlgorithmKind algorithm = AlgorithmKind::kStats;
   AlgorithmParams params;
   CancelToken cancel;
+  /// The cell's child tracer, held here so an abandoned attempt can keep
+  /// recording into live storage after the harness summarized the cell
+  /// and moved on (those late events are dropped, never a dangling write).
+  std::shared_ptr<trace::Tracer> cell_tracer;
   Result<AlgorithmOutput> run = Status::Internal("attempt never finished");
   std::promise<void> done;
 };
@@ -133,16 +140,26 @@ uint64_t MetricValue(const std::map<std::string, std::string>& metrics,
   return std::strtoull(it->second.c_str(), nullptr, 10);
 }
 
+/// Writes one artifact file under the trace dir, warning (not failing) on
+/// I/O errors — observability output never fails a run.
+void WriteTraceArtifact(const std::string& trace_dir, const std::string& file,
+                        const std::string& contents) {
+  std::ofstream out(std::filesystem::path(trace_dir) / file,
+                    std::ios::binary | std::ios::trunc);
+  out << contents;
+  if (!out) {
+    GLY_LOG_WARN << "trace: cannot write artifact " << file;
+  }
+}
+
 /// Folds the cell's trace window into its result (span count + top-3
 /// phases by total duration, the cell envelope itself excluded) and, when
-/// a trace dir is set, writes the window as a per-cell Chrome trace.
-/// Windows are event-count intervals on the run-wide tracer, so this is
-/// only exact when cells execute one at a time — the harness calls it only
-/// at jobs == 1 (see RunSpec::jobs).
-void SummarizeCellTrace(const trace::Tracer& tracer, size_t first_event,
+/// a trace dir is set, writes the window as a per-cell Chrome trace. The
+/// window is the full snapshot of the cell's child tracer, so it is exact
+/// at any jobs.
+void SummarizeCellTrace(const std::vector<trace::TraceEvent>& window,
                         const std::string& trace_dir,
                         BenchmarkResult* result) {
-  std::vector<trace::TraceEvent> window = tracer.SnapshotSince(first_event);
   std::vector<trace::PhaseTotal> phases = trace::AggregateSpans(window);
   std::vector<std::string> top;
   for (const trace::PhaseTotal& phase : phases) {
@@ -157,13 +174,31 @@ void SummarizeCellTrace(const trace::Tracer& tracer, size_t first_event,
   if (!trace_dir.empty()) {
     std::string file = "trace-" + result->platform + "-" + result->graph +
                        "-" + AlgorithmKindName(result->algorithm) + ".json";
-    std::string json = trace::ChromeTraceJson(window);
-    std::ofstream out(std::filesystem::path(trace_dir) / file,
-                      std::ios::binary | std::ios::trunc);
-    out << json;
-    if (!out) {
-      GLY_LOG_WARN << "trace: cannot write per-cell trace " << file;
-    }
+    WriteTraceArtifact(trace_dir, file, trace::ChromeTraceJson(window));
+  }
+}
+
+/// Trace analysis of one cell's window: records the critical path (rooted
+/// at the harness.cell envelope) on the result and, when a trace dir is
+/// set, writes profile-<cell>.json (plus its folded stacks when per-cell
+/// sampling was attributed).
+void WriteCellProfile(const std::vector<trace::TraceEvent>& window,
+                      const std::string& trace_dir,
+                      const trace::SamplerSummary& sampler,
+                      const prof::FoldedProfile& folded,
+                      BenchmarkResult* result) {
+  trace::AnalyzeOptions options;
+  options.root = "harness.cell";
+  trace::TraceAnalysis analysis = trace::AnalyzeTrace(window, options);
+  result->critical_path_seconds = analysis.critical_path_seconds;
+  if (trace_dir.empty()) return;
+  std::string stem = result->platform + "-" + result->graph + "-" +
+                     AlgorithmKindName(result->algorithm);
+  WriteTraceArtifact(trace_dir, "profile-" + stem + ".json",
+                     trace::ProfileJson(analysis, sampler, folded.ToLines()));
+  if (sampler.mode != "off") {
+    WriteTraceArtifact(trace_dir, "profile-" + stem + ".folded",
+                       folded.ToFolded());
   }
 }
 
@@ -246,11 +281,39 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   if (tracer != nullptr) trace_scope.emplace(tracer);
   if (registry != nullptr) metrics_scope.emplace(registry);
 
-  // Per-cell trace windows are event-count intervals on the run-wide
-  // tracer: exact when one cell runs at a time, interleaved garbage when
-  // several do. Summaries and per-cell trace files are therefore a
-  // jobs == 1 feature; the run-wide trace.json stays complete either way.
-  const bool per_cell_trace = tracer != nullptr && jobs == 1;
+  // Profiling (DESIGN.md §14). Counters are opened before the scheduler
+  // spawns any worker or attempt thread: perf events inherit only into
+  // threads created after the open. The sampling profiler is process-wide
+  // (one interval timer); per-cell sample attribution happens by draining
+  // at cell boundaries, which is exact only at jobs == 1 — otherwise all
+  // samples land in the run-wide folded profile.
+  const bool counters_on = spec.profile.mode == ProfileMode::kCounters ||
+                           spec.profile.mode == ProfileMode::kFull;
+  const bool sampler_on = spec.profile.mode == ProfileMode::kSampler ||
+                          spec.profile.mode == ProfileMode::kFull;
+  std::unique_ptr<perf::PerfCounters> counters;
+  std::optional<perf::ScopedPerfCounters> counters_scope;
+  if (counters_on) {
+    counters = perf::PerfCounters::Open();
+    counters_scope.emplace(counters.get());
+  }
+  std::optional<prof::CpuProfiler> profiler;
+  prof::FoldedProfile run_folded;
+  std::mutex profile_mu;  // guards profiler drains + run_folded merges
+  if (sampler_on) {
+    prof::CpuProfiler::Options profiler_options;
+    profiler_options.interval_us = std::max<uint64_t>(
+        1, spec.profile.sample_interval_us);
+    profiler_options.sampler = spec.profile.sampler;
+    profiler.emplace(profiler_options);
+    Status started = profiler->Start();
+    if (!started.ok()) {
+      GLY_LOG_WARN << "profiler: " << started.ToString()
+                   << " (sampling disabled for this run)";
+      profiler.reset();
+    }
+  }
+  const bool per_cell_samples = profiler.has_value() && jobs == 1;
 
   // Completion journal: with `resume`, cells already journaled as finished
   // are reused; without it the journal restarts from scratch. Newly
@@ -380,11 +443,13 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
   // on every cell of the group, never thrown.
   auto load_group = [&](size_t group_id) {
     GroupState& g = groups[group_id];
+    prof::ScopedProfilePhase profile_phase("harness.load");
     g.load_status = make_group_platform(g);
     if (!g.load_status.ok()) return;
     Stopwatch load_watch;
     {
       trace::TraceSpan load_span("harness.load", "harness");
+      perf::SpanCounters load_counters(&load_span);
       load_span.SetAttribute("platform", g.platform_name);
       load_span.SetAttribute("graph", g.dataset->name);
       uint32_t load_attempts = 0;
@@ -422,11 +487,30 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     result.algorithm = algorithm;
     result.load_seconds = g.load_seconds;
 
-    // The cell's trace window: everything recorded while the harness.cell
-    // envelope below is open, summarized (and written as a per-cell trace
-    // file) once it closes — only meaningful with one cell in flight.
-    const size_t cell_begin =
-        per_cell_trace ? tracer->event_count() : 0;
+    prof::ScopedProfilePhase profile_phase("harness.run");
+
+    // The cell records into its own child tracer (sharing the run
+    // tracer's clock), installed as this thread's override and propagated
+    // into engine pools by ThreadPool::Submit — so the window is exactly
+    // this cell's events at any jobs. It is summarized, written as the
+    // per-cell trace/profile, and merged back into the run-wide tracer
+    // once the envelope closes.
+    std::shared_ptr<trace::Tracer> cell_tracer;
+    std::optional<trace::ScopedThreadTracer> cell_scope;
+    if (tracer != nullptr) {
+      cell_tracer = std::make_shared<trace::Tracer>(tracer->clock());
+      cell_scope.emplace(cell_tracer.get());
+    }
+
+    // Per-cell sample attribution (jobs == 1 only): samples still queued
+    // from between cells are flushed to the run-wide profile, so the
+    // cell-end drain contains exactly this cell's samples.
+    uint64_t dropped_before = 0;
+    if (per_cell_samples) {
+      std::lock_guard<std::mutex> lock(profile_mu);
+      run_folded.Merge(profiler->Collect());
+      dropped_before = profiler->dropped_samples();
+    }
     {
     trace::TraceSpan cell_span("harness.cell", "harness");
     cell_span.SetAttribute("platform", g.platform_name);
@@ -476,6 +560,7 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
       Result<AlgorithmOutput> run = Status::Internal("cell never ran");
       {
         trace::TraceSpan run_span("harness.run", "harness");
+        perf::SpanCounters run_counters(&run_span);
         run_span.SetAttribute("attempt", uint64_t{attempt});
         const bool supervised = spec.cell_timeout_s > 0.0 ||
                                 spec.stall_timeout_s > 0.0 ||
@@ -486,8 +571,13 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
           state->algorithm = algorithm;
           state->params = g.run_params;
           state->params.cancel = &state->cancel;
+          state->cell_tracer = cell_tracer;
           std::future<void> done = state->done.get_future();
           std::thread runner([state] {
+            // The runner is a fresh thread: re-install the cell's tracer
+            // override so the attempt (and pools it submits to) records
+            // into the cell's window.
+            trace::ScopedThreadTracer tracer_scope(state->cell_tracer.get());
             state->run = state->platform->Run(state->algorithm,
                                               state->params);
             state->done.set_value();
@@ -625,7 +715,9 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         }
         result.output_checksum = OutputChecksum(*answer);
         if (spec.validate) {
+          prof::ScopedProfilePhase validate_phase("harness.validate");
           trace::TraceSpan validate_span("harness.validate", "harness");
+          perf::SpanCounters validate_counters(&validate_span);
           // Reordered datasets validate in original vertex ids against
           // the original graph, so a reordered run and a plain run
           // answer to the same reference output.
@@ -677,8 +769,29 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
         MetricValue(result.platform_metrics, "supersteps_replayed");
     }  // retry loop (else branch of the refusal checks)
     }  // harness.cell envelope
-    if (per_cell_trace) {
-      SummarizeCellTrace(*tracer, cell_begin, spec.trace_dir, &result);
+    if (cell_tracer != nullptr) {
+      // Close the override first so nothing this thread does below lands
+      // in the cell window, then summarize/analyze it and merge it back
+      // into the run-wide trace (events are appended contiguously, with
+      // child tids remapped to fresh run-level tids).
+      cell_scope.reset();
+      std::vector<trace::TraceEvent> window = cell_tracer->Snapshot();
+      SummarizeCellTrace(window, spec.trace_dir, &result);
+      trace::SamplerSummary sampler_summary;
+      prof::FoldedProfile cell_folded;
+      if (per_cell_samples) {
+        std::lock_guard<std::mutex> lock(profile_mu);
+        cell_folded = profiler->Collect();
+        run_folded.Merge(cell_folded);
+        cell_folded.dropped = profiler->dropped_samples() - dropped_before;
+        sampler_summary.mode = profiler->mode();
+        sampler_summary.interval_us = profiler->interval_us();
+        sampler_summary.samples = cell_folded.samples;
+        sampler_summary.dropped = cell_folded.dropped;
+      }
+      WriteCellProfile(window, spec.trace_dir, sampler_summary, cell_folded,
+                       &result);
+      tracer->MergeEvents(std::move(window));
     }
     emit(cell.slot, std::move(result));
   };
@@ -711,6 +824,18 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
     }
   }
 
+  // Stop sampling and fold the tail (samples taken after the last cell
+  // completed); the run-wide profile then accounts for every sample the
+  // ring accepted, with drops reported from the sampler's own counter.
+  if (profiler.has_value()) {
+    std::lock_guard<std::mutex> lock(profile_mu);
+    profiler->Stop();
+    run_folded.Merge(profiler->Collect());
+    run_folded.dropped = profiler->dropped_samples();
+    metrics::AddCounter("profiler.samples", run_folded.samples);
+    metrics::AddCounter("profiler.dropped", run_folded.dropped);
+  }
+
   // Run-wide observability artifacts (after the drain, so spans from
   // abandoned-but-finished attempts are included).
   if (!spec.trace_dir.empty()) {
@@ -719,6 +844,24 @@ Result<std::vector<BenchmarkResult>> RunBenchmark(const RunSpec& spec,
       Status written = tracer->WriteTo((dir / "trace.json").string());
       if (!written.ok()) {
         GLY_LOG_WARN << "trace: " << written.ToString();
+      }
+      // Run-wide profile.json: critical path over the whole span forest
+      // (longest top-level span as root), per-worker utilization, top-K
+      // self time, plus the run-wide folded stacks.
+      trace::TraceAnalysis analysis = trace::AnalyzeTrace(tracer->Snapshot());
+      trace::SamplerSummary sampler_summary;
+      if (profiler.has_value()) {
+        sampler_summary.mode = profiler->mode();
+        sampler_summary.interval_us = profiler->interval_us();
+        sampler_summary.samples = run_folded.samples;
+        sampler_summary.dropped = run_folded.dropped;
+      }
+      WriteTraceArtifact(
+          spec.trace_dir, "profile.json",
+          trace::ProfileJson(analysis, sampler_summary, run_folded.ToLines()));
+      if (profiler.has_value()) {
+        WriteTraceArtifact(spec.trace_dir, "profile.folded",
+                           run_folded.ToFolded());
       }
     }
     if (registry != nullptr) {

@@ -28,12 +28,33 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/trace.h"
+
+namespace gly::prof {
+class Sampler;
+}  // namespace gly::prof
 #include "harness/monitor.h"
 #include "harness/platform.h"
 #include "harness/scheduler.h"
 #include "harness/validator.h"
 
 namespace gly::harness {
+
+/// What the profiling layer (DESIGN.md §14) collects during a run.
+enum class ProfileMode {
+  kOff,       ///< no profiling (the default)
+  kCounters,  ///< hardware-counter deltas on spans (perf or fallback)
+  kSampler,   ///< sampling CPU profiler → folded stacks
+  kFull,      ///< counters + sampler
+};
+
+struct ProfileOptions {
+  ProfileMode mode = ProfileMode::kOff;
+  /// Sampling interval in microseconds of CPU time (500 Hz default).
+  uint64_t sample_interval_us = 2000;
+  /// Injected sampler (e.g. prof::FakeSampler) for deterministic tests;
+  /// not owned. Null = the harness owns a real SignalSampler.
+  prof::Sampler* sampler = nullptr;
+};
 
 /// One dataset in the run.
 ///
@@ -124,20 +145,37 @@ struct RunSpec {
 
   /// Observability (see DESIGN.md §10). With `trace_dir` set, the run
   /// emits a run-wide `trace.json` (Chrome trace-event format), one
-  /// `trace-<platform>-<graph>-<algorithm>.json` per cell, and a
-  /// schema-versioned `metrics.jsonl` into that directory, and each result
-  /// carries its span count and top phase durations. `tracer` / `metrics`
-  /// may be supplied by the caller (e.g. with a fake clock for golden
-  /// tests); when null and `trace_dir` is set, RunBenchmark owns its own.
-  /// All three empty/null (the default) disables tracing entirely — spans
-  /// throughout the engines then cost one atomic load each.
+  /// `trace-<platform>-<graph>-<algorithm>.json` per cell, a run-wide
+  /// `profile.json` (critical path / utilization / self time, schema v1),
+  /// one `profile-<cell>.json` per cell, and a schema-versioned
+  /// `metrics.jsonl` into that directory, and each result carries its span
+  /// count, top phase durations, and critical-path seconds. Per-cell
+  /// artifacts are valid at any `jobs`: each in-flight cell records into
+  /// its own child tracer (thread-local override, propagated into engine
+  /// pools), merged back into the run-wide trace when the cell completes.
+  /// `tracer` / `metrics` may be supplied by the caller (e.g. with a fake
+  /// clock for golden tests); when null and `trace_dir` is set,
+  /// RunBenchmark owns its own. All three empty/null (the default)
+  /// disables tracing entirely — spans throughout the engines then cost
+  /// one atomic load each.
   ///
   /// Caveat (same as caller-owned graphs): a caller-supplied tracer or
   /// registry must outlive attempts abandoned on timeout, i.e. live past
-  /// the `abandon_grace_s` drain.
+  /// the `abandon_grace_s` drain. Events an abandoned attempt records
+  /// after its cell was summarized stay in the (kept-alive) child tracer
+  /// and are dropped, never a use-after-free.
   std::string trace_dir;
   trace::Tracer* tracer = nullptr;
   metrics::Registry* metrics = nullptr;
+
+  /// Profiling (DESIGN.md §14): sampling CPU profiler and/or hardware
+  /// counters attached to spans. Artifacts land in `trace_dir` (profile
+  /// modes other than kOff require tracing to be on to be useful — the
+  /// launcher defaults a trace dir when `--profile` is given). Per-cell
+  /// folded stacks are attributed exactly at jobs == 1; under jobs > 1
+  /// samples are reported run-wide only (the interval timer is a process
+  /// resource), while per-cell critical paths stay exact at any jobs.
+  ProfileOptions profile;
 
   /// Concurrent scheduling (see DESIGN.md §12). `jobs` is the maximum
   /// number of cells in flight; 1 (the default) reproduces the serial
@@ -146,14 +184,13 @@ struct RunSpec {
   /// comes from distinct pairs.
   ///
   /// Caveats at jobs > 1 — everything else (journal contents, statuses,
-  /// validation, retry/backoff, stall detection, stop, resume) is
-  /// equivalent to the serial run: per-cell trace summaries/files
-  /// (trace_spans, top_phases, trace-<cell>.json) are skipped because a
-  /// cell's trace window would interleave with its neighbours'; per-cell
+  /// validation, per-cell trace files, retry/backoff, stall detection,
+  /// stop, resume) is equivalent to the serial run: per-cell
   /// `injected_faults` attribution is approximate (the plan's trigger
-  /// counter is process-global); and an explicit `<platform>.scratch_dir`
-  /// is shared by concurrent instances of that platform (the default
-  /// per-instance temp dir is safe).
+  /// counter is process-global); per-cell folded stacks from the sampling
+  /// profiler are reported run-wide only; and an explicit
+  /// `<platform>.scratch_dir` is shared by concurrent instances of that
+  /// platform (the default per-instance temp dir is safe).
   uint32_t jobs = 1;
 
   /// Admission budget for concurrently loaded graphs, in MiB (0 = no
@@ -215,6 +252,11 @@ struct BenchmarkResult {
   /// "name:seconds" pairs joined with ';'.
   uint64_t trace_spans = 0;
   std::string top_phases;
+  /// Critical path through the cell's span tree, rooted at its
+  /// harness.cell envelope (trace analysis, DESIGN.md §14); by
+  /// construction never exceeds the envelope's wall-clock duration. 0
+  /// when tracing is off.
+  double critical_path_seconds = 0.0;
   ResourceSummary resources;
   std::map<std::string, std::string> platform_metrics;
 };

@@ -1,5 +1,6 @@
 #include "harness/monitor.h"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -61,6 +62,13 @@ double SelfProcReader::NowSeconds() {
       .count();
 }
 
+uint64_t SelfProcReader::PeakRssBytes() {
+  struct rusage usage;
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
 ProcReader& SystemMonitor::reader() {
   return reader_ != nullptr ? *reader_ : self_reader_;
 }
@@ -76,6 +84,7 @@ void SystemMonitor::OpenWindow() {
   samples_.clear();
   start_cpu_ = reader().CpuSeconds();
   start_wall_ = reader().NowSeconds();
+  start_peak_rss_ = reader().PeakRssBytes();
   started_ = true;
 }
 
@@ -124,6 +133,15 @@ ResourceSummary SystemMonitor::Stop() {
     sum_rss += s.rss_bytes;
   }
   if (!samples_.empty()) summary.mean_rss_bytes = sum_rss / samples_.size();
+  // Reconcile the sampled peak with the kernel's high-water mark: a short
+  // allocation spike between samples is invisible to the /proc poller but
+  // moves ru_maxrss. Only trust the rusage value when it advanced during
+  // this window — the high-water mark is per-process-lifetime, so a large
+  // earlier window would otherwise leak into this summary.
+  uint64_t end_peak_rss = reader().PeakRssBytes();
+  if (end_peak_rss > start_peak_rss_) {
+    summary.peak_rss_bytes = std::max(summary.peak_rss_bytes, end_peak_rss);
+  }
   return summary;
 }
 

@@ -42,14 +42,19 @@ class ProcReader {
   virtual uint64_t RssBytes() = 0;      ///< current resident set, bytes
   virtual double CpuSeconds() = 0;      ///< cumulative user+system CPU
   virtual double NowSeconds() = 0;      ///< monotonic wall clock
+  /// Kernel-tracked lifetime peak RSS (getrusage ru_maxrss), bytes.
+  /// 0 = unavailable; defaulted so scripted fakes need not implement it.
+  virtual uint64_t PeakRssBytes() { return 0; }
 };
 
-/// ProcReader over /proc/self (statm for RSS, stat for CPU).
+/// ProcReader over /proc/self (statm for RSS, stat for CPU) plus
+/// getrusage for the kernel's peak-RSS high-water mark.
 class SelfProcReader : public ProcReader {
  public:
   uint64_t RssBytes() override;
   double CpuSeconds() override;
   double NowSeconds() override;
+  uint64_t PeakRssBytes() override;
 };
 
 /// Background sampler.
@@ -98,6 +103,7 @@ class SystemMonitor {
   std::vector<ResourceSample> samples_;
   double start_cpu_ = 0.0;
   double start_wall_ = 0.0;
+  uint64_t start_peak_rss_ = 0;
 };
 
 }  // namespace gly::harness

@@ -239,6 +239,10 @@ std::string RenderFullReport(const Config& configuration,
         if (!r.top_phases.empty()) out << "  top: " << r.top_phases;
         out << '\n';
       }
+      if (r.critical_path_seconds > 0) {
+        out << "  crit path:   " << FormatSeconds(r.critical_path_seconds)
+            << '\n';
+      }
       for (const auto& [k, v] : r.platform_metrics) {
         out << "  " << StringPrintf("%-12s %s\n", (k + ":").c_str(),
                                     v.c_str());
@@ -260,7 +264,7 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
                    "cancel_reason", "cancel_join_s", "injected_faults",
                    "resumed", "recoveries", "supersteps_replayed",
                    "peak_rss_bytes", "cpu_utilization", "trace_spans",
-                   "top_phases"});
+                   "top_phases", "critical_path_s"});
   for (const BenchmarkResult& r : results) {
     // status_detail (and cancel_reason / top_phases below) carry free-form
     // engine text — commas, quotes, newlines — which CsvWriter::Field
@@ -289,7 +293,8 @@ Status WriteResultsCsv(const std::vector<BenchmarkResult>& results,
         .Field(r.resources.peak_rss_bytes)
         .Field(r.resources.cpu_utilization)
         .Field(r.trace_spans)
-        .Field(r.top_phases);
+        .Field(r.top_phases)
+        .Field(r.critical_path_seconds);
     csv.EndRow();
   }
   file.flush();
@@ -326,6 +331,8 @@ std::string ResultToJson(const BenchmarkResult& result) {
       << "\"peak_rss_bytes\":" << result.resources.peak_rss_bytes << ','
       << "\"trace_spans\":" << result.trace_spans << ','
       << "\"top_phases\":\"" << JsonEscape(result.top_phases) << "\","
+      << StringPrintf("\"critical_path_s\":%.6f,",
+                      result.critical_path_seconds)
       << "\"metrics\":{";
   bool first = true;
   for (const auto& [k, v] : result.platform_metrics) {
@@ -411,6 +418,9 @@ Result<BenchmarkResult> ResultFromJson(const std::string& line) {
     r.trace_spans = static_cast<uint64_t>(value);
   }
   ExtractJsonString(head, "top_phases", &r.top_phases);
+  if (ExtractJsonNumber(head, "critical_path_s", &value)) {
+    r.critical_path_seconds = value;
+  }
 
   if (metrics_pos != std::string::npos) {
     size_t pos = metrics_pos + std::string_view("\"metrics\":{").size();

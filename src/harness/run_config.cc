@@ -146,6 +146,35 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config,
   // Declared before the Scoped* installers so scope teardown (which
   // uninstalls the process-global pointer) precedes object destruction.
   std::string trace_dir = config.GetStringOr("trace.dir", "");
+
+  // Profiling (DESIGN.md §14): profile.mode = off | counters | sampler |
+  // full. Profile artifacts land next to the trace exports, so a profiled
+  // run needs a trace directory; default one under report.dir when unset.
+  ProfileOptions profile;
+  std::string profile_mode =
+      ToLower(config.GetStringOr("profile.mode", "off"));
+  if (profile_mode == "off") {
+    profile.mode = ProfileMode::kOff;
+  } else if (profile_mode == "counters") {
+    profile.mode = ProfileMode::kCounters;
+  } else if (profile_mode == "sampler") {
+    profile.mode = ProfileMode::kSampler;
+  } else if (profile_mode == "full") {
+    profile.mode = ProfileMode::kFull;
+  } else {
+    return Status::InvalidArgument("profile.mode: unknown '" + profile_mode +
+                                   "' (off | counters | sampler | full)");
+  }
+  profile.sample_interval_us = config.GetUintOr("profile.interval_us", 2000);
+  if (profile.mode != ProfileMode::kOff && trace_dir.empty()) {
+    std::string profile_report_dir = config.GetStringOr("report.dir", "");
+    if (profile_report_dir.empty()) {
+      return Status::InvalidArgument(
+          "profile.mode requires trace.dir or report.dir for artifacts");
+    }
+    trace_dir = profile_report_dir + "/trace";
+  }
+
   std::optional<trace::Tracer> tracer;
   std::optional<metrics::Registry> run_metrics;
   std::optional<trace::ScopedTracer> trace_scope;
@@ -267,6 +296,7 @@ Result<ConfigRunOutput> RunFromConfig(const Config& config,
   spec.trace_dir = trace_dir;
   spec.tracer = tracer ? &*tracer : nullptr;
   spec.metrics = run_metrics ? &*run_metrics : nullptr;
+  spec.profile = profile;
 
   // --------------------------------------------------------------- run it
   ConfigRunOutput out;

@@ -11,6 +11,7 @@
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 #include "common/logging.h"
 #include "common/macros.h"
@@ -305,6 +306,7 @@ Result<std::vector<std::string>> Job::Run(
 
   JobStats stats;
   trace::TraceSpan job_span("mapreduce.job", "mapreduce");
+  perf::SpanCounters job_counters(&job_span);
   metrics::AddCounter("mapreduce.jobs");
   GLY_RETURN_NOT_OK(CheckCancel(config_.cancel));
   const uint32_t mappers = std::max(1u, config_.num_mappers);
@@ -343,6 +345,7 @@ Result<std::vector<std::string>> Job::Run(
   if (!map_recovered) {
     Stopwatch map_watch;
     trace::TraceSpan map_span("mapreduce.map", "mapreduce");
+    perf::SpanCounters map_counters(&map_span);
     map_span.SetAttribute("mappers", uint64_t{mappers});
     // Split inputs across mappers round-robin by file; files are the
     // natural split unit since the driver writes one part per previous
@@ -441,6 +444,7 @@ Result<std::vector<std::string>> Job::Run(
   std::vector<JobStats> reducer_stats(reducers);
   {
   trace::TraceSpan reduce_span("mapreduce.shuffle_reduce", "mapreduce");
+  perf::SpanCounters reduce_counters(&reduce_span);
   reduce_span.SetAttribute("reducers", uint64_t{reducers});
   std::vector<std::future<Status>> reduce_tasks;
   for (uint32_t r = 0; r < reducers; ++r) {

@@ -52,6 +52,7 @@
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/threadpool.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
@@ -799,6 +800,7 @@ class Engine {
       // crashed worker or barrier fault still closes its span, so a
       // recovered run's timeline shows the failed attempt and its replays.
       trace::TraceSpan step_span("pregel.superstep", "pregel");
+      perf::SpanCounters step_counters(&step_span);
       step_span.SetAttribute("superstep", uint64_t{step});
 
       // Compute phase: each worker processes its active vertices and fills

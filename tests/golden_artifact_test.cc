@@ -36,10 +36,10 @@ namespace {
 // traversed edges, output checksums, attempts, metrics — must match the
 // goldens bit-for-bit.
 const char* const kVolatileJsonKeys =
-    "runtime_s|load_s|teps|cancel_join_s|peak_rss_bytes";
+    "runtime_s|load_s|teps|cancel_join_s|peak_rss_bytes|critical_path_s";
 const std::vector<std::string> kVolatileCsvColumns = {
-    "runtime_s",       "load_s",         "teps",
-    "cancel_join_s",   "peak_rss_bytes", "cpu_utilization"};
+    "runtime_s",       "load_s",         "teps",            "cancel_join_s",
+    "peak_rss_bytes",  "cpu_utilization", "critical_path_s"};
 
 std::string ReadFile(const std::string& path) {
   std::ifstream file(path);

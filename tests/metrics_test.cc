@@ -159,9 +159,13 @@ TEST(MetricsTest, FromJsonlRejectsBadDocuments) {
   EXPECT_FALSE(
       Registry::FromJsonl("{\"name\":\"a\",\"type\":\"counter\",\"value\":1}")
           .ok());
-  // Wrong schema version.
+  // Version zero / non-numeric versions are rejected.
   EXPECT_FALSE(
-      Registry::FromJsonl("{\"schema_version\":2,\"kind\":\"gly.metrics\"}\n")
+      Registry::FromJsonl("{\"schema_version\":0,\"kind\":\"gly.metrics\"}\n")
+          .ok());
+  EXPECT_FALSE(
+      Registry::FromJsonl(
+          "{\"schema_version\":\"x\",\"kind\":\"gly.metrics\"}\n")
           .ok());
   // Wrong kind.
   EXPECT_FALSE(
@@ -182,6 +186,37 @@ TEST(MetricsTest, FromJsonlRejectsBadDocuments) {
       Registry::FromJsonl("{\"schema_version\":1,\"kind\":\"gly.metrics\"}\n");
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
+}
+
+// Forward compatibility: files written by a newer tool version — a higher
+// schema_version, extra keys per line, even whole metric types this reader
+// has never heard of — must still load the metrics it does understand.
+TEST(MetricsTest, FromJsonlToleratesFutureSchemas) {
+  // Future schema version with known content parses fully.
+  auto v2 = Registry::FromJsonl(
+      "{\"schema_version\":2,\"kind\":\"gly.metrics\"}\n"
+      "{\"name\":\"a\",\"type\":\"counter\",\"value\":7}\n");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->at("a").counter, 7u);
+
+  // Unknown keys ride along silently, on the header and on metric lines.
+  auto extra = Registry::FromJsonl(
+      "{\"schema_version\":1,\"kind\":\"gly.metrics\",\"writer\":\"v9\"}\n"
+      "{\"name\":\"a\",\"type\":\"counter\",\"value\":3,\"unit\":\"ops\"}\n"
+      "{\"name\":\"g\",\"shard\":4,\"type\":\"gauge\",\"value\":1.5}\n");
+  ASSERT_TRUE(extra.ok()) << extra.status().ToString();
+  EXPECT_EQ(extra->at("a").counter, 3u);
+  EXPECT_EQ(extra->at("g").gauge, 1.5);
+
+  // A metric type from the future is skipped under version >= 2 (it would
+  // be rejected as corruption under version 1) and the rest still loads.
+  auto skipped = Registry::FromJsonl(
+      "{\"schema_version\":2,\"kind\":\"gly.metrics\"}\n"
+      "{\"name\":\"m\",\"type\":\"meter\",\"value\":9}\n"
+      "{\"name\":\"a\",\"type\":\"counter\",\"value\":2}\n");
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped->count("m"), 0u);
+  EXPECT_EQ(skipped->at("a").counter, 2u);
 }
 
 TEST(MetricsTest, WriteToRoundTripsThroughDisk) {

@@ -157,6 +157,65 @@ TEST(SystemMonitorTest, LiveProcReadersReturnPlausibleValues) {
   double a = self.NowSeconds();
   double b = self.NowSeconds();
   EXPECT_GE(b, a);
+  // getrusage's high-water mark can never be below the current RSS.
+  EXPECT_GE(self.PeakRssBytes(), self.RssBytes());
+}
+
+// Reader that also scripts the kernel's ru_maxrss high-water mark.
+class PeakAwareProcReader : public FakeProcReader {
+ public:
+  uint64_t peak = 0;
+  uint64_t PeakRssBytes() override { return peak; }
+};
+
+TEST(SystemMonitorTest, PeakRssReconciledWithRusageHighWaterMark) {
+  // An allocation spike between /proc samples is invisible to the poller
+  // but moves ru_maxrss: the summary must report the rusage value.
+  PeakAwareProcReader proc;
+  SystemMonitor monitor(0.05, &proc);
+  proc.now = 0.0;
+  proc.peak = 5000;  // lifetime peak before this window
+  monitor.StartManual();
+  proc.now = 1.0;
+  proc.rss = 1000;
+  monitor.SampleOnce();
+  proc.now = 2.0;
+  proc.peak = 8000;  // spike the sampler never saw
+  ResourceSummary summary = monitor.Stop();
+  EXPECT_EQ(summary.peak_rss_bytes, 8000u);
+}
+
+TEST(SystemMonitorTest, StalePeakFromEarlierWindowIsIgnored) {
+  // ru_maxrss is per-process-lifetime: a big peak *before* this window must
+  // not leak into its summary when the mark did not advance.
+  PeakAwareProcReader proc;
+  SystemMonitor monitor(0.05, &proc);
+  proc.now = 0.0;
+  proc.peak = 90000;  // high-water mark from some earlier phase
+  monitor.StartManual();
+  proc.now = 1.0;
+  proc.rss = 1000;
+  monitor.SampleOnce();
+  proc.now = 2.0;  // peak unchanged during the window
+  ResourceSummary summary = monitor.Stop();
+  EXPECT_EQ(summary.peak_rss_bytes, 1000u);
+}
+
+TEST(SystemMonitorTest, SampledPeakWinsWhenAboveAdvancedMark) {
+  // If the sampler itself saw a higher value (e.g. rusage granularity),
+  // reconciliation takes the max rather than trusting either side alone.
+  PeakAwareProcReader proc;
+  SystemMonitor monitor(0.05, &proc);
+  proc.now = 0.0;
+  proc.peak = 100;
+  monitor.StartManual();
+  proc.now = 1.0;
+  proc.rss = 7000;
+  monitor.SampleOnce();
+  proc.now = 2.0;
+  proc.peak = 4000;  // advanced, but below the sampled peak
+  ResourceSummary summary = monitor.Stop();
+  EXPECT_EQ(summary.peak_rss_bytes, 7000u);
 }
 
 }  // namespace

@@ -67,9 +67,18 @@ monitor = true
 # Observability (see DESIGN.md, "Observability model"): set a directory (or
 # pass --trace-dir) to export trace.json — open it in chrome://tracing or
 # https://ui.perfetto.dev — plus metrics.jsonl and one trace-<cell>.json
-# per benchmark cell. Off by default; the disabled hot path is one atomic
-# load per would-be span.
+# per benchmark cell (valid at any --jobs level). Off by default; the
+# disabled hot path is one atomic load per would-be span.
 # trace.dir = graphalytics-report/trace
+
+# Profiling (see DESIGN.md §14): profile.mode attaches hardware counters
+# (IPC, cache/branch miss rates — getrusage fallback when perf_event_open
+# is unavailable) to trace spans and/or runs a sampling CPU profiler whose
+# folded stacks are written per cell. Artifacts: profile.json (critical
+# path, worker utilization, top self-time) + profile.folded next to
+# trace.json. Also reachable as --profile [mode] on the command line.
+# profile.mode = off         # off | counters | sampler | full
+# profile.interval_us = 2000 # sampling period for sampler/full
 
 # ETL (see DESIGN.md, "ETL performance"): parallel parse + CSR build, and
 # optional degree-descending relabeling for traversal locality. Outputs and
@@ -113,7 +122,7 @@ harness.graph_cache = true
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--resume] [--jobs N] [--trace-dir <dir>] "
-               "<benchmark.properties>\n"
+               "[--profile [mode]] <benchmark.properties>\n"
                "       %s --example   # print a starter configuration\n"
                "  --resume           reuse cells already journaled as "
                "finished\n"
@@ -122,7 +131,11 @@ void PrintUsage(const char* argv0) {
                "  --trace-dir <dir>  write trace.json (Chrome tracing) and\n"
                "                     metrics.jsonl per run, plus one\n"
                "                     trace-<cell>.json per benchmark cell\n"
-               "                     (per-cell traces need --jobs 1)\n",
+               "                     (valid at any --jobs level)\n"
+               "  --profile [mode]   profile the run: counters | sampler |\n"
+               "                     full (default full). Writes profile.json\n"
+               "                     + folded stacks next to the traces and\n"
+               "                     attaches counter deltas to spans\n",
                argv0, argv0);
 }
 
@@ -132,6 +145,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   const char* trace_dir = nullptr;
   const char* jobs = nullptr;
+  const char* profile_mode = nullptr;
   const char* config_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) {
@@ -152,6 +166,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      // Optional value: bare --profile means the full pipeline.
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          (std::strcmp(argv[i + 1], "off") == 0 ||
+           std::strcmp(argv[i + 1], "counters") == 0 ||
+           std::strcmp(argv[i + 1], "sampler") == 0 ||
+           std::strcmp(argv[i + 1], "full") == 0)) {
+        profile_mode = argv[++i];
+      } else {
+        profile_mode = "full";
+      }
     } else if (config_path == nullptr) {
       config_path = argv[i];
     } else {
@@ -172,6 +197,7 @@ int main(int argc, char** argv) {
   if (resume) config->SetBool("resume", true);
   if (jobs != nullptr) config->Set("harness.jobs", jobs);
   if (trace_dir != nullptr) config->Set("trace.dir", trace_dir);
+  if (profile_mode != nullptr) config->Set("profile.mode", profile_mode);
   std::signal(SIGINT, HandleSigint);
   auto run = gly::harness::RunFromConfig(*config, &g_stop);
   if (!run.ok()) {

@@ -8,17 +8,23 @@
 //
 //   $ results_query results_database.jsonl [--platform P] [--graph G]
 //       [--algorithm A] [--failures] [--summary]
+//   $ results_query --top-phases <profile.json> [--top K]
+//   $ results_query --critical-path <profile.json>
 //
-// The parser handles exactly the flat JSON the Report Generator emits; it
-// is not a general JSON library.
+// The row parser handles exactly the flat JSON the Report Generator emits;
+// it is not a general JSON library. The profile subcommands read the
+// profile.json artifacts a `--profile` run writes next to trace.json.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/trace_analysis.h"
 
 namespace {
 
@@ -49,15 +55,101 @@ std::string ExtractField(const std::string& line, const std::string& key) {
   return line.substr(pos, end - pos);
 }
 
+gly::Result<gly::trace::ProfileSummary> LoadProfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return gly::Status::IOError("cannot open " + path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return gly::trace::ParseProfileJson(json);
+}
+
+// `results_query --top-phases profile.json [--top K]`: the aggregated
+// self-time table — where the run's wall clock actually went.
+int TopPhases(const std::string& path, size_t top_k) {
+  auto profile = LoadProfile(path);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-32s %12s %8s %8s\n", "phase", "self (s)", "count",
+              "% wall");
+  size_t shown = 0;
+  for (const auto& entry : profile->self_time) {
+    if (top_k > 0 && shown >= top_k) break;
+    double pct = profile->wall_seconds > 0.0
+                     ? 100.0 * entry.self_seconds / profile->wall_seconds
+                     : 0.0;
+    std::printf("%-32s %12.4f %8llu %7.1f%%\n", entry.name.c_str(),
+                entry.self_seconds, (unsigned long long)entry.count, pct);
+    ++shown;
+  }
+  std::printf("(wall %.4f s, %zu completed spans, sampler %s: %llu samples"
+              ", %llu dropped)\n",
+              profile->wall_seconds, profile->completed_spans,
+              profile->sampler.mode.c_str(),
+              (unsigned long long)profile->sampler.samples,
+              (unsigned long long)profile->sampler.dropped);
+  return 0;
+}
+
+// `results_query --critical-path profile.json`: the longest dependency
+// chain through the span forest, root first, with per-step self time.
+int CriticalPath(const std::string& path) {
+  auto profile = LoadProfile(path);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("critical path from root \"%s\" — %.4f s of %.4f s wall\n",
+              profile->root.c_str(), profile->critical_path_seconds,
+              profile->wall_seconds);
+  for (size_t i = 0; i < profile->critical_path.size(); ++i) {
+    const auto& step = profile->critical_path[i];
+    std::printf("%*s%-32s tid=%u span=%.4fs self=%.4fs\n",
+                (int)(2 * i), "", step.name.c_str(), step.tid,
+                step.span_seconds, step.self_seconds);
+  }
+  if (!profile->workers.empty()) {
+    std::printf("workers:\n");
+    for (const auto& w : profile->workers) {
+      std::printf("  tid=%-4u busy=%.4fs idle=%.4fs util=%.0f%%\n", w.tid,
+                  w.busy_seconds, w.idle_seconds, w.utilization * 100.0);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <results.jsonl> [--platform P] [--graph G] "
-                 "[--algorithm A] [--failures] [--summary]\n",
-                 argv[0]);
+                 "[--algorithm A] [--failures] [--summary]\n"
+                 "       %s --top-phases <profile.json> [--top K]\n"
+                 "       %s --critical-path <profile.json>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--top-phases") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --top-phases <profile.json> [--top K]\n",
+                   argv[0]);
+      return 2;
+    }
+    size_t top_k = 0;  // 0 = all entries the profile kept
+    if (argc >= 5 && std::string(argv[3]) == "--top") {
+      top_k = static_cast<size_t>(std::strtoul(argv[4], nullptr, 10));
+    }
+    return TopPhases(argv[2], top_k);
+  }
+  if (std::string(argv[1]) == "--critical-path") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --critical-path <profile.json>\n",
+                   argv[0]);
+      return 2;
+    }
+    return CriticalPath(argv[2]);
   }
   std::string path = argv[1];
   std::string want_platform;
